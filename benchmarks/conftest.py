@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's artifacts on
+a *micro matrix* — the smallest case set that still exercises the regime
+behind the artifact — prints the rendered table (run with ``-s`` to see
+it), asserts the paper's qualitative shape, and times one representative
+simulation with pytest-benchmark.
+
+The full (larger) matrices are produced by ``python -m repro.bench
+<experiment> [--mode full]``; see EXPERIMENTS.md for recorded outputs.
+"""
+
+import pytest
+
+from repro.bench.runner import Case
+from repro.units import MiB
+
+#: Problem-size overrides for micro cases (seconds per run, not minutes).
+MICRO_SIZE = {
+    "ior": (("block_size", 2 * MiB),),
+    "tile_1m": (("element_size", 4096),),
+    "tile_256": (("rows", 256), ("row_elements", 8)),
+    "flash": (("blocks_per_proc", 5),),
+}
+
+#: One multi-node process count per benchmark (>= 2 nodes on both clusters).
+MICRO_NPROCS = {
+    "ior": 96,
+    "tile_1m": 100,
+    "tile_256": 64,
+    "flash": 96,
+}
+
+
+def micro_case(benchmark: str, cluster: str, nprocs: int | None = None) -> Case:
+    return Case(
+        benchmark,
+        cluster,
+        nprocs if nprocs is not None else MICRO_NPROCS[benchmark],
+        MICRO_SIZE[benchmark],
+    )
+
+
+@pytest.fixture
+def print_artifact(capsys):
+    """Print a rendered artifact so it survives pytest's capture with -s."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _print

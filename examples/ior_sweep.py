@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""IOR process-count sweep: where does overlapping pay off?
+
+Sweeps an IOR-style collective write over process counts on both of the
+paper's clusters and reports each algorithm's improvement over the
+no-overlap baseline — the experiment behind the paper's Table I rows and
+Figs. 2-3.  Note how crill (slow node-local HDD storage, ~90% of time in
+file access) caps the achievable gain, while Ibex (fast dedicated
+storage, larger communication share) rewards overlap much more.
+
+Run:  python examples/ior_sweep.py [--counts 96 144 192] [--reps 3]
+"""
+
+import argparse
+
+from repro.analysis.stats import Series, relative_improvement
+from repro.bench.runner import specs_for
+from repro.collio import CollectiveConfig, run_collective_write
+from repro.units import fmt_time
+from repro.workloads import make_workload
+
+ALGORITHMS = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
+
+
+def sweep(cluster_name: str, counts: list[int], reps: int, block_size: int) -> None:
+    cluster, fs = specs_for(cluster_name, scale=64)
+    print(f"\n=== {cluster_name} ===")
+    header = f"{'procs':>6s} {'baseline':>12s}" + "".join(f"{a:>15s}" for a in ALGORITHMS[1:])
+    print(header)
+    for nprocs in counts:
+        workload = make_workload("ior", nprocs, block_size=block_size)
+        views = workload.views()
+        config = CollectiveConfig.for_scale(64)
+        points = {}
+        for algorithm in ALGORITHMS:
+            series = Series(key=(cluster_name, nprocs), algorithm=algorithm)
+            for rep in range(reps):
+                run = run_collective_write(
+                    cluster, fs, nprocs, views, algorithm=algorithm,
+                    config=config, carry_data=False, seed=7 + 1000 * rep,
+                )
+                series.add(run.elapsed)
+            points[algorithm] = series.point
+        base = points["no_overlap"]
+        cells = "".join(
+            f"{relative_improvement(base, points[a]):>+14.1%} " for a in ALGORITHMS[1:]
+        )
+        print(f"{nprocs:>6d} {fmt_time(base):>12s} {cells}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--counts", type=int, nargs="+", default=[96, 144])
+    parser.add_argument("--reps", type=int, default=2)
+    parser.add_argument("--block-mib", type=int, default=4,
+                        help="per-process block size in MiB (paper: 16 at scale 64)")
+    args = parser.parse_args()
+    for cluster_name in ("crill", "ibex"):
+        sweep(cluster_name, args.counts, args.reps, args.block_mib << 20)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Shuffle-primitive study on the Tile I/O workloads (the paper's Fig. 4).
+
+Compares the three data-transfer primitives for the shuffle phase —
+non-blocking two-sided, one-sided Put + ``Win_fence``, one-sided Put +
+``Win_lock``/``unlock`` + barrier — on the Write-Comm-2 algorithm for the
+two Tile I/O configurations.
+
+The contrast to look for (paper Sec. IV-B): with 1 MB tiles (few, large,
+contiguous runs) the two-sided path is effectively zero-copy on both
+sides and the RMA variants just add synchronization; with 256-byte tiles
+(many small discontiguous runs) the two-sided path pays pack/unpack CPU
+at the busy aggregator while Puts land in place — so one-sided wins.
+
+Run:  python examples/tile_io_primitives.py [--nprocs 100] [--reps 3]
+"""
+
+import argparse
+
+from repro.analysis.stats import Series, relative_improvement
+from repro.bench.runner import specs_for
+from repro.collio import CollectiveConfig, run_collective_write
+from repro.units import fmt_time
+from repro.workloads import make_workload
+
+SHUFFLES = ["two_sided", "one_sided_fence", "one_sided_lock"]
+
+
+def study(cluster_name: str, variant: str, nprocs: int, reps: int, quick: bool) -> None:
+    cluster, fs = specs_for(cluster_name, scale=64)
+    kwargs = {}
+    if quick:
+        kwargs = {"rows": 256, "row_elements": 16} if variant == "tile_256" else {"element_size": 4096}
+    workload = make_workload(variant, nprocs, **kwargs)
+    views = workload.views()
+    config = CollectiveConfig.for_scale(64, extent_cost_factor=workload.extent_cost_factor)
+    points = {}
+    for shuffle in SHUFFLES:
+        series = Series(key=(cluster_name, variant), algorithm=shuffle)
+        for rep in range(reps):
+            run = run_collective_write(
+                cluster, fs, nprocs, views, algorithm="write_comm2",
+                shuffle=shuffle, config=config, carry_data=False, seed=11 + 1000 * rep,
+            )
+            series.add(run.elapsed)
+        points[shuffle] = series.point
+    base = points["two_sided"]
+    extents = workload.view(0).num_extents
+    print(f"{cluster_name:6s} {variant:9s} ({extents:4d} extents/rank) "
+          f"two_sided={fmt_time(base):>11s}  "
+          + "  ".join(
+              f"{s}={relative_improvement(base, points[s]):+.1%}" for s in SHUFFLES[1:]
+          ))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nprocs", type=int, default=100)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--paper-sizes", action="store_true",
+                        help="use the paper's full (scaled) problem sizes — slower")
+    args = parser.parse_args()
+    for cluster_name in ("ibex", "crill"):
+        for variant in ("tile_1m", "tile_256"):
+            study(cluster_name, variant, args.nprocs, args.reps, quick=not args.paper_sizes)
+
+
+if __name__ == "__main__":
+    main()

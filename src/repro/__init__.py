@@ -1,0 +1,44 @@
+"""repro — reproduction of "On Overlapping Communication and File I/O in
+Collective Write Operation" (Feki & Gabriel, 2020).
+
+The package provides a deterministic discrete-event simulation of an MPI
+library (two-sided messaging with eager/rendezvous protocols, collectives,
+one-sided RMA) and a striped parallel file system (with synchronous and
+asynchronous I/O paths), and on top of them a complete reimplementation of
+the two-phase collective write algorithm with the paper's four overlap
+algorithms and three shuffle data-transfer primitives.
+
+Quick start::
+
+    from repro.collio.api import run_collective_write
+    result = run_collective_write(
+        cluster="crill", nprocs=16, workload="ior",
+        algorithm="write_overlap",
+    )
+    print(result.elapsed, result.write_bandwidth)
+
+Sub-packages
+------------
+``repro.sim``
+    Discrete-event simulation kernel (event heap, generator processes,
+    resources, seeded RNG streams).
+``repro.hardware``
+    Cluster hardware model: nodes, NICs, fabric; *crill* and *Ibex* presets.
+``repro.mpi``
+    Simulated MPI: datatypes, point-to-point with message matching and
+    eager/rendezvous protocols, collectives, RMA windows, MPI-IO.
+``repro.fs``
+    Striped parallel file system with storage targets and an asynchronous
+    I/O engine; BeeGFS-like and Lustre-like presets.
+``repro.collio``
+    The paper's contribution: two-phase collective write with overlap
+    algorithms and shuffle primitives.
+``repro.workloads``
+    IOR, MPI-Tile-IO and FLASH-IO workload generators.
+``repro.bench``
+    Experiment harness reproducing Table I and Figures 1-4.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Statistics used by the paper's evaluation section.
+
+* :mod:`repro.analysis.stats` — min-of-series point estimates, winner
+  counts (Table I / Fig. 4) and the paper's "average positive relative
+  improvement" metric (Figs. 2-3).
+"""
+
+from repro.analysis.breakdown import PhaseBreakdown, aggregate_phases
+from repro.analysis.stats import (
+    Series,
+    average_positive_improvement,
+    best_algorithm,
+    relative_improvement,
+    winner_counts,
+)
+
+__all__ = [
+    "PhaseBreakdown",
+    "aggregate_phases",
+    "Series",
+    "average_positive_improvement",
+    "best_algorithm",
+    "relative_improvement",
+    "winner_counts",
+]

@@ -1,0 +1,70 @@
+"""Phase-time aggregation across ranks (the Sec. IV-A analysis, generalized).
+
+Works on the per-rank :class:`~repro.collio.context.PhaseStats` lists that
+:func:`~repro.collio.api.run_collective_write` (and the read counterpart)
+return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhaseBreakdown", "aggregate_phases"]
+
+#: Phases that constitute "communication" vs "file access" for the
+#: paper's two-way split.
+COMM_PHASES = ("shuffle", "shuffle_init", "scatter", "scatter_init")
+IO_PHASES = ("write", "write_post", "read", "read_post")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Aggregated phase shares of one run."""
+
+    #: phase -> max accumulated seconds over the selected ranks.
+    max_times: dict
+    #: phase -> mean accumulated seconds over the selected ranks.
+    mean_times: dict
+    ranks_considered: int
+
+    @property
+    def communication_time(self) -> float:
+        return sum(self.max_times.get(p, 0.0) for p in COMM_PHASES)
+
+    @property
+    def io_time(self) -> float:
+        return sum(self.max_times.get(p, 0.0) for p in IO_PHASES)
+
+    @property
+    def communication_share(self) -> float:
+        total = self.communication_time + self.io_time
+        return self.communication_time / total if total else 0.0
+
+    @property
+    def io_share(self) -> float:
+        total = self.communication_time + self.io_time
+        return self.io_time / total if total else 0.0
+
+
+def aggregate_phases(per_rank_stats, ranks=None) -> PhaseBreakdown:
+    """Aggregate phase times over ``ranks`` (default: every rank).
+
+    Pass the aggregator ranks to reproduce the paper's aggregator-side
+    split; non-aggregators' "shuffle" time includes waiting for busy
+    aggregators and would skew the picture.
+    """
+    selected = (
+        list(enumerate(per_rank_stats))
+        if ranks is None
+        else [(r, per_rank_stats[r]) for r in ranks]
+    )
+    if not selected:
+        raise ValueError("no ranks selected")
+    phases = set()
+    for _r, stats in selected:
+        phases.update(stats.times)
+    max_times = {p: max(s.time_in(p) for _r, s in selected) for p in phases}
+    mean_times = {
+        p: sum(s.time_in(p) for _r, s in selected) / len(selected) for p in phases
+    }
+    return PhaseBreakdown(max_times, mean_times, len(selected))

@@ -1,0 +1,97 @@
+"""The paper's summary statistics.
+
+Section IV: "For each benchmark test case, we run between 3 and 9
+measurements [...]  When comparing individual data points we used the
+minimum execution time across all measurements within a series."  A
+*series* is (benchmark, platform, process count, algorithm); its point
+estimate is the min over repetitions.  Table I counts, per benchmark row,
+how many series each algorithm won; Figs. 2-3 report the mean relative
+improvement over the no-overlap baseline **excluding negative
+improvements** (i.e. the average gain when there was a gain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Series",
+    "best_algorithm",
+    "winner_counts",
+    "relative_improvement",
+    "average_positive_improvement",
+]
+
+
+@dataclass
+class Series:
+    """Repeated measurements of one (case, algorithm) combination."""
+
+    key: tuple
+    algorithm: str
+    times: list[float] = field(default_factory=list)
+
+    def add(self, t: float) -> None:
+        if t < 0:
+            raise ValueError(f"negative time {t}")
+        self.times.append(t)
+
+    @property
+    def point(self) -> float:
+        """The paper's point estimate: min over the series."""
+        if not self.times:
+            raise ValueError(f"empty series {self.key}/{self.algorithm}")
+        return min(self.times)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times)
+
+
+def best_algorithm(series_by_algorithm: dict[str, Series]) -> str:
+    """Winner of one test case: the algorithm with the lowest point estimate.
+
+    Deterministic tie-break by algorithm name (ties are measure-zero with
+    noisy service times, but determinism keeps reruns reproducible).
+    """
+    if not series_by_algorithm:
+        raise ValueError("no series to compare")
+    return min(series_by_algorithm.values(), key=lambda s: (s.point, s.algorithm)).algorithm
+
+
+def winner_counts(cases: list[dict[str, Series]]) -> dict[str, int]:
+    """Table-I-style tally: how many cases each algorithm won."""
+    counts: dict[str, int] = {}
+    for case in cases:
+        winner = best_algorithm(case)
+        counts[winner] = counts.get(winner, 0) + 1
+    return counts
+
+
+def relative_improvement(baseline_time: float, algo_time: float) -> float:
+    """Fractional improvement of ``algo`` over the baseline (can be < 0)."""
+    if baseline_time <= 0:
+        raise ValueError(f"non-positive baseline time {baseline_time}")
+    return (baseline_time - algo_time) / baseline_time
+
+
+def average_positive_improvement(
+    cases: list[dict[str, Series]],
+    algorithm: str,
+    baseline: str = "no_overlap",
+) -> float | None:
+    """Figs. 2-3's metric: mean improvement over the baseline, counting
+    only the cases where the algorithm actually improved on it.
+
+    Returns ``None`` if the algorithm never beat the baseline.
+    """
+    gains = []
+    for case in cases:
+        if algorithm not in case or baseline not in case:
+            continue
+        gain = relative_improvement(case[baseline].point, case[algorithm].point)
+        if gain > 0:
+            gains.append(gain)
+    if not gains:
+        return None
+    return sum(gains) / len(gains)

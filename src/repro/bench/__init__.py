@@ -1,0 +1,28 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. IV).
+
+The harness runs *cases* — (benchmark, cluster, process count, problem
+size) — with repeated measurements per (case, algorithm) series, and
+derives the paper's artifacts:
+
+* :func:`~repro.bench.experiments.table1` — winner counts per overlap
+  algorithm (Table I);
+* :func:`~repro.bench.experiments.fig1` — Tile-1M execution times at two
+  process counts on both clusters (Fig. 1);
+* :func:`~repro.bench.experiments.fig2` / ``fig3`` — average positive
+  improvement per algorithm x benchmark on crill / Ibex (Figs. 2-3);
+* :func:`~repro.bench.experiments.fig4` — shuffle-primitive winner counts
+  on Write-Comm-2 (Fig. 4), with the crill scale trend (Sec. IV-B);
+* :func:`~repro.bench.experiments.breakdown` — the no-overlap
+  communication/IO split quoted in Sec. IV-A;
+* :func:`~repro.bench.experiments.lustre_note` — the Sec. V note that
+  poor ``aio_write`` support (Lustre) erases Write-Overlap's advantage.
+
+``python -m repro.bench <experiment> [--full] [--reps N] [--scale N]``
+prints each artifact; the ``benchmarks/`` pytest suite runs reduced
+slices of the same code.
+"""
+
+from repro.bench.runner import Case, MatrixResult, run_case, run_matrix
+from repro.bench import experiments, reporting
+
+__all__ = ["Case", "MatrixResult", "run_case", "run_matrix", "experiments", "reporting"]

@@ -1,0 +1,121 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``.
+
+Examples::
+
+    python -m repro.bench table1               # quick matrix (minutes)
+    python -m repro.bench fig4 --reps 5
+    python -m repro.bench all --mode quick
+    python -m repro.bench table1 --mode full   # the paper's ladders (hours)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments, reporting
+from repro.config import DEFAULT_SCALE
+
+EXPERIMENTS = (
+    "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
+    "read", "ablations", "all",
+)
+
+
+def _progress(case, algorithm, shuffle, series) -> None:
+    point = series.point
+    label = algorithm if shuffle == "two_sided" else f"{algorithm}/{shuffle}"
+    print(f"  [{time.strftime('%H:%M:%S')}] {case.label:40s} {label:28s} {point:.4f}s",
+          file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--mode", choices=("quick", "full"), default="quick",
+                        help="matrix size: quick (minutes) or full (paper ladders, hours)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="measurements per series (paper: 3-9)")
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE,
+                        help="data-size scale divisor (see repro.config)")
+    parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    parser.add_argument("--csv-dir", default=None,
+                        help="also write machine-readable CSVs into this directory")
+    args = parser.parse_args(argv)
+
+    csv_files: dict[str, str] = {}
+
+    progress = None if args.quiet else _progress
+    kwargs = dict(mode=args.mode, reps=args.reps, scale=args.scale)
+
+    started = time.time()
+    outputs: list[str] = []
+    if args.experiment in ("table1", "fig2", "fig3", "all"):
+        shared = None
+        if args.experiment in ("table1", "all") or shared is None:
+            t1 = experiments.table1(progress=progress, **kwargs)
+            shared = t1.matrix
+            if args.experiment in ("table1", "all"):
+                outputs.append(reporting.render_table1(t1))
+                csv_files["table1.csv"] = reporting.table1_csv(t1)
+        if args.experiment in ("fig2", "all"):
+            f2 = experiments.fig2(matrix=shared, **kwargs)
+            outputs.append(reporting.render_improvements(f2, "FIG. 2"))
+            csv_files["fig2.csv"] = reporting.improvements_csv(f2)
+        if args.experiment in ("fig3", "all"):
+            f3 = experiments.fig3(matrix=shared, **kwargs)
+            outputs.append(reporting.render_improvements(f3, "FIG. 3"))
+            csv_files["fig3.csv"] = reporting.improvements_csv(f3)
+    if args.experiment in ("fig1", "all"):
+        f1 = experiments.fig1(progress=progress, **kwargs)
+        outputs.append(reporting.render_fig1(f1))
+        csv_files["fig1.csv"] = reporting.fig1_csv(f1)
+    if args.experiment in ("fig4", "all"):
+        f4 = experiments.fig4(progress=progress, **kwargs)
+        outputs.append(reporting.render_fig4(f4))
+        csv_files["fig4.csv"] = reporting.fig4_csv(f4)
+    if args.experiment in ("breakdown", "all"):
+        outputs.append(
+            reporting.render_breakdown(
+                experiments.breakdown(mode=args.mode, scale=args.scale)
+            )
+        )
+    if args.experiment in ("lustre", "all"):
+        outputs.append(
+            reporting.render_lustre(
+                experiments.lustre_note(mode=args.mode, reps=args.reps, scale=args.scale)
+            )
+        )
+    if args.experiment == "read":
+        outputs.append(
+            experiments.read_study(mode=args.mode, reps=args.reps, scale=args.scale).render()
+        )
+    if args.experiment == "ablations":
+        from repro.bench.ablations import ALL_ABLATIONS
+
+        for name, fn in ALL_ABLATIONS.items():
+            if not args.quiet:
+                print(f"  running ablation {name} ...", file=sys.stderr)
+            outputs.append(fn(reps=args.reps, scale=args.scale).render())
+
+    print("\n\n".join(outputs))
+    if args.csv_dir and csv_files:
+        import os
+
+        os.makedirs(args.csv_dir, exist_ok=True)
+        for name, content in csv_files.items():
+            path = os.path.join(args.csv_dir, name)
+            with open(path, "w") as fh:
+                fh.write(content)
+            print(f"[wrote {path}]", file=sys.stderr)
+    print(f"\n[elapsed {time.time() - started:.0f}s, mode={args.mode}, "
+          f"reps={args.reps}, scale={args.scale}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

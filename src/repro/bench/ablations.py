@@ -1,0 +1,196 @@
+"""Ablation studies of the design choices the paper (and DESIGN.md) call out.
+
+Each ablation flips one knob of the model or the implementation and
+measures the consequence, turning the paper's *explanations* into
+testable predictions:
+
+``progress_thread``
+    Paper III-A1: Comm-Overlap's effectiveness hinges on the MPI library
+    progressing communication in the background.  With a progress
+    thread, Comm-Overlap should close most of its gap to Write-Overlap.
+``eager_threshold``
+    Paper III-B1: rendezvous couples senders to busy aggregators.
+    Raising the threshold (more eager traffic) should *help* the
+    blocking-write algorithms by decoupling senders.
+``buffer_size``
+    The collective buffer trades cycle-management overhead (small
+    buffers) against pipelining granularity and memory (large buffers).
+``aggregators``
+    More aggregators buy parallel file-system injection until the
+    targets saturate; the automatic selection should sit near the knee.
+``storage_noise``
+    DESIGN.md 6.0(3): per-request storage variance is what double-
+    buffered asynchronous writes hide on crill; with a noiseless file
+    system the Write-Overlap gain should shrink toward the pure
+    shuffle-hiding bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import Series, relative_improvement
+from repro.bench.runner import specs_for
+from repro.collio.api import run_collective_write
+from repro.collio.config import CollectiveConfig
+from repro.config import DEFAULT_SCALE, DEFAULT_SEED
+from repro.units import MiB
+from repro.workloads import make_workload
+
+__all__ = [
+    "AblationResult",
+    "progress_thread_ablation",
+    "eager_threshold_ablation",
+    "buffer_size_ablation",
+    "aggregator_ablation",
+    "storage_noise_ablation",
+    "ALL_ABLATIONS",
+]
+
+
+@dataclass
+class AblationResult:
+    """One ablation: rows of (setting label -> {algorithm: point time})."""
+
+    name: str
+    parameter: str
+    rows: dict[str, dict[str, float]] = field(default_factory=dict)
+    notes: str = ""
+
+    def gain(self, setting: str, algorithm: str, baseline: str = "no_overlap") -> float:
+        row = self.rows[setting]
+        return relative_improvement(row[baseline], row[algorithm])
+
+    def render(self) -> str:
+        algorithms = list(next(iter(self.rows.values())))
+        header = [self.parameter] + algorithms
+        widths = [max(len(str(h)), 12) for h in header]
+        lines = [" | ".join(str(h).rjust(w) for h, w in zip(header, widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for setting, row in self.rows.items():
+            cells = [setting] + [f"{row[a] * 1e3:.2f} ms" for a in algorithms]
+            lines.append(" | ".join(str(c).rjust(w) for c, w in zip(cells, widths)))
+        title = f"ABLATION — {self.name}"
+        if self.notes:
+            title += f"\n{self.notes}"
+        return title + "\n" + "\n".join(lines)
+
+
+def _measure(
+    cluster_spec, fs_spec, nprocs, workload, algorithms, config, reps, seed=DEFAULT_SEED
+) -> dict[str, float]:
+    views = workload.views()
+    points = {}
+    for algorithm in algorithms:
+        series = Series(key=("ablation",), algorithm=algorithm)
+        for rep in range(reps):
+            run = run_collective_write(
+                cluster_spec, fs_spec, nprocs, views, algorithm=algorithm,
+                config=config, carry_data=False, seed=seed + 1000 * rep,
+            )
+            series.add(run.elapsed)
+        points[algorithm] = series.point
+    return points
+
+
+def progress_thread_ablation(
+    nprocs: int = 96, reps: int = 2, scale: int = DEFAULT_SCALE
+) -> AblationResult:
+    """Does a progress thread rescue Comm-Overlap?  (paper III-A1)."""
+    result = AblationResult(
+        "MPI progress thread", "progress",
+        notes="Comm-Overlap relies on background progress of rendezvous traffic.",
+    )
+    fs_spec = specs_for("ibex", scale)[1]
+    workload = make_workload("ior", nprocs, scale=scale, block_size=4 * MiB)
+    config = CollectiveConfig.for_scale(scale)
+    for label, flag in (("off", False), ("on", True)):
+        cluster_spec = specs_for("ibex", scale)[0].with_(progress_thread=flag)
+        result.rows[label] = _measure(
+            cluster_spec, fs_spec, nprocs, workload,
+            ["no_overlap", "comm_overlap", "write_overlap"], config, reps,
+        )
+    return result
+
+
+def eager_threshold_ablation(
+    nprocs: int = 96, reps: int = 2, scale: int = DEFAULT_SCALE
+) -> AblationResult:
+    """How does the rendezvous switch-over shape the algorithms?"""
+    result = AblationResult(
+        "eager/rendezvous threshold", "threshold",
+        notes="Rendezvous couples senders to busy aggregators (paper III-B1).",
+    )
+    base_cluster, fs_spec = specs_for("ibex", scale)
+    workload = make_workload("ior", nprocs, scale=scale, block_size=4 * MiB)
+    config = CollectiveConfig.for_scale(scale)
+    for threshold in (512, 8 * 1024, 1 * MiB):
+        cluster_spec = base_cluster.with_(eager_threshold=threshold)
+        label = f"{threshold} B"
+        result.rows[label] = _measure(
+            cluster_spec, fs_spec, nprocs, workload,
+            ["no_overlap", "comm_overlap", "write_overlap"], config, reps,
+        )
+    return result
+
+
+def buffer_size_ablation(
+    nprocs: int = 96, reps: int = 2, scale: int = DEFAULT_SCALE
+) -> AblationResult:
+    """Collective buffer size sweep (ompio default: 32 MB unscaled)."""
+    result = AblationResult("collective buffer size", "cb_buffer")
+    cluster_spec, fs_spec = specs_for("crill", scale)
+    workload = make_workload("ior", nprocs, scale=scale, block_size=4 * MiB)
+    for cb in (64 * 1024, 256 * 1024, 512 * 1024, 2 * MiB):
+        config = CollectiveConfig.for_scale(scale, cb_buffer_size=cb)
+        result.rows[f"{cb >> 10} KiB"] = _measure(
+            cluster_spec, fs_spec, nprocs, workload,
+            ["no_overlap", "write_overlap"], config, reps,
+        )
+    return result
+
+
+def aggregator_ablation(
+    nprocs: int = 96, reps: int = 2, scale: int = DEFAULT_SCALE
+) -> AblationResult:
+    """Aggregator count sweep vs. the automatic selection."""
+    result = AblationResult("aggregator count", "aggregators")
+    cluster_spec, fs_spec = specs_for("ibex", scale)
+    workload = make_workload("ior", nprocs, scale=scale, block_size=4 * MiB)
+    for count in (1, 2, 3, None):
+        config = CollectiveConfig.for_scale(scale, num_aggregators=count)
+        label = "auto" if count is None else str(count)
+        result.rows[label] = _measure(
+            cluster_spec, fs_spec, nprocs, workload,
+            ["write_overlap"], config, reps,
+        )
+    return result
+
+
+def storage_noise_ablation(
+    nprocs: int = 96, reps: int = 2, scale: int = DEFAULT_SCALE
+) -> AblationResult:
+    """Per-request storage variance: what pipelined writes actually hide."""
+    result = AblationResult(
+        "crill storage noise (sigma)", "sigma",
+        notes="HDD service variance is what double-buffered writes hide on crill.",
+    )
+    cluster_spec, base_fs = specs_for("crill", scale)
+    workload = make_workload("ior", nprocs, scale=scale, block_size=4 * MiB)
+    config = CollectiveConfig.for_scale(scale)
+    for sigma in (0.0, 0.15, 0.35, 0.6):
+        fs_spec = base_fs.with_(noise_sigma=sigma)
+        result.rows[f"{sigma:.2f}"] = _measure(
+            cluster_spec, fs_spec, nprocs, workload,
+            ["no_overlap", "comm_overlap", "write_overlap"], config, reps,
+        )
+    return result
+
+
+ALL_ABLATIONS = {
+    "progress_thread": progress_thread_ablation,
+    "eager_threshold": eager_threshold_ablation,
+    "buffer_size": buffer_size_ablation,
+    "aggregators": aggregator_ablation,
+    "storage_noise": storage_noise_ablation,
+}

@@ -1,0 +1,466 @@
+"""Experiment definitions for every table and figure of the paper.
+
+Each function returns a plain-data result object that
+:mod:`repro.bench.reporting` renders as text.  Two matrix sizes exist:
+
+* ``quick`` — reduced process counts and problem sizes that run in
+  minutes on a laptop while preserving every studied regime (multi-node
+  placement, I/O-dominance on crill, communication share on Ibex, the
+  many-small-extents character of Tile-256);
+* ``full`` — the paper's process-count ladders and problem sizes
+  (hours of host time; the artifact shapes are the same).
+
+Every case keeps the paper's methodology: 3+ repetitions per series with
+fresh noise seeds, min-of-series point estimates, winner counts and
+positive-average improvements (see :mod:`repro.analysis.stats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import (
+    Series,
+    average_positive_improvement,
+    best_algorithm,
+    relative_improvement,
+)
+from repro.bench.runner import Case, MatrixResult, run_case, run_matrix, specs_for
+from repro.collio.api import run_collective_write
+from repro.collio.config import CollectiveConfig
+from repro.collio.overlap import ALGORITHMS, ASYNC_WRITE_ALGORITHMS
+from repro.config import DEFAULT_SCALE, DEFAULT_SEED
+from repro.fs.presets import lustre_like
+from repro.units import MiB
+from repro.workloads import make_workload
+
+__all__ = [
+    "ALGORITHM_ORDER",
+    "SHUFFLE_ORDER",
+    "BENCHMARK_ORDER",
+    "table1_cases",
+    "fig4_cases",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "breakdown",
+    "lustre_note",
+    "read_study",
+]
+
+ALGORITHM_ORDER = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
+SHUFFLE_ORDER = ["two_sided", "one_sided_fence", "one_sided_lock"]
+BENCHMARK_ORDER = ["ior", "tile_256", "tile_1m", "flash"]
+CLUSTERS = ["crill", "ibex"]
+
+# --------------------------------------------------------------------------
+# Matrices
+# --------------------------------------------------------------------------
+
+#: Quick-mode problem-size overrides (post-scale byte values) chosen so a
+#: case runs in seconds while keeping its regime; full mode uses the
+#: paper's sizes (workload defaults).
+_QUICK_SIZE: dict[str, tuple] = {
+    "ior": (("block_size", 4 * MiB),),
+    "tile_1m": (("element_size", 4096),),
+    "tile_256": (("rows", 256), ("row_elements", 16)),
+    "flash": (),
+}
+
+#: Process-count ladders.  All counts span >= 2 nodes on both clusters
+#: (crill has 48 cores/node, Ibex 40): single-node runs are not a regime
+#: the paper evaluates.
+_LADDERS = {
+    "quick": {
+        "ior": [96, 144],
+        "tile_256": [64, 100],
+        "tile_1m": [100, 144],
+        "flash": [96, 144],
+    },
+    "full": {
+        "ior": [64, 128, 192, 256, 320, 384, 448, 512, 576, 704],
+        "tile_256": [64, 100, 144, 196, 256, 400, 576, 704],
+        "tile_1m": [64, 100, 144, 196, 256, 400, 576, 704],
+        "flash": [64, 128, 192, 256, 320, 384, 448, 512, 576, 704],
+    },
+}
+
+#: Extra problem-size variants (full mode only), mirroring the paper's
+#: "problem sizes" dimension of Table I.
+_FULL_SIZE_VARIANTS: dict[str, list[tuple]] = {
+    "ior": [(), (("block_size", 8 * MiB),), (("block_size", 32 * MiB),)],
+    "tile_256": [()],
+    "tile_1m": [()],
+    "flash": [(), (("blocks_per_proc", 20),)],
+}
+
+
+def _sizes(benchmark: str, mode: str) -> list[tuple]:
+    if mode == "quick":
+        return [_QUICK_SIZE[benchmark]]
+    return _FULL_SIZE_VARIANTS[benchmark]
+
+
+def table1_cases(mode: str = "quick") -> list[Case]:
+    """The (benchmark, platform, process count, size) matrix of Table I."""
+    ladder = _LADDERS[mode]
+    cases = []
+    for benchmark in BENCHMARK_ORDER:
+        for cluster in CLUSTERS:
+            for nprocs in ladder[benchmark]:
+                for size in _sizes(benchmark, mode):
+                    cases.append(Case(benchmark, cluster, nprocs, size))
+    return cases
+
+
+def fig4_cases(mode: str = "quick") -> list[Case]:
+    """Fig. 4's matrix: IOR and both Tile I/O configurations."""
+    ladder = _LADDERS[mode]
+    cases = []
+    for benchmark in ("ior", "tile_256", "tile_1m"):
+        for cluster in CLUSTERS:
+            counts = ladder[benchmark]
+            if mode == "full" and benchmark == "tile_256":
+                # Sec. IV-B's scale trend needs crill points on both sides
+                # of the 256-process threshold.
+                counts = sorted(set(counts) | {100, 256, 400})
+            for nprocs in counts:
+                for size in _sizes(benchmark, mode):
+                    cases.append(Case(benchmark, cluster, nprocs, size))
+    return cases
+
+
+# --------------------------------------------------------------------------
+# Table I
+# --------------------------------------------------------------------------
+
+@dataclass
+class Table1Result:
+    """Winner counts per benchmark row (the paper's Table I)."""
+
+    rows: dict[str, dict[str, int]] = field(default_factory=dict)
+    matrix: MatrixResult | None = None
+
+    @property
+    def totals(self) -> dict[str, int]:
+        out = {a: 0 for a in ALGORITHM_ORDER}
+        for row in self.rows.values():
+            for a, n in row.items():
+                out[a] += n
+        return out
+
+    @property
+    def total_cases(self) -> int:
+        return sum(self.totals.values())
+
+    def async_write_share(self) -> float:
+        """Fraction of cases won by an asynchronous-write algorithm."""
+        totals = self.totals
+        won = sum(n for a, n in totals.items() if a in ASYNC_WRITE_ALGORITHMS)
+        return won / max(1, self.total_cases)
+
+
+def table1(
+    mode: str = "quick",
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    matrix: MatrixResult | None = None,
+    progress=None,
+) -> Table1Result:
+    """Reproduce Table I: count, per benchmark, the winning algorithm."""
+    if matrix is None:
+        matrix = run_matrix(
+            table1_cases(mode), ALGORITHM_ORDER, reps=reps, scale=scale, progress=progress
+        )
+    result = Table1Result(matrix=matrix)
+    for benchmark in BENCHMARK_ORDER:
+        row = {a: 0 for a in ALGORITHM_ORDER}
+        for case_result in matrix.cases(benchmark=benchmark):
+            row[best_algorithm(case_result.by_algorithm())] += 1
+        result.rows[benchmark] = row
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figure 1 — Tile-1M execution times
+# --------------------------------------------------------------------------
+
+@dataclass
+class Fig1Result:
+    """Execution time per (cluster, nprocs, algorithm), min-of-series."""
+
+    points: dict[tuple[str, int, str], float] = field(default_factory=dict)
+    nprocs_list: list[int] = field(default_factory=list)
+
+    def improvement(self, cluster: str, nprocs: int) -> float:
+        """Best overlap algorithm's gain over the baseline."""
+        base = self.points[(cluster, nprocs, "no_overlap")]
+        best = min(
+            self.points[(cluster, nprocs, a)] for a in ALGORITHM_ORDER if a != "no_overlap"
+        )
+        return relative_improvement(base, best)
+
+
+def fig1(
+    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE, progress=None
+) -> Fig1Result:
+    """Reproduce Fig. 1: Tile-1M at two process counts on both clusters."""
+    counts = [256, 576] if mode == "full" else [100, 196]
+    size = _sizes("tile_1m", mode)[0]
+    result = Fig1Result(nprocs_list=counts)
+    for cluster in CLUSTERS:
+        for nprocs in counts:
+            case = Case("tile_1m", cluster, nprocs, size)
+            case_result = run_case(case, ALGORITHM_ORDER, reps=reps, scale=scale, progress=progress)
+            for algorithm, series in case_result.by_algorithm().items():
+                result.points[(cluster, nprocs, algorithm)] = series.point
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figures 2 and 3 — average positive improvement
+# --------------------------------------------------------------------------
+
+@dataclass
+class ImprovementResult:
+    """Average positive improvement per (algorithm, benchmark) on a cluster."""
+
+    cluster: str
+    #: (algorithm, benchmark) -> mean positive improvement, or None.
+    values: dict[tuple[str, str], float | None] = field(default_factory=dict)
+
+    def range_over_all(self) -> tuple[float, float]:
+        present = [v for v in self.values.values() if v is not None]
+        if not present:
+            return (0.0, 0.0)
+        return (min(present), max(present))
+
+
+def _improvements(matrix: MatrixResult, cluster: str) -> ImprovementResult:
+    result = ImprovementResult(cluster)
+    for benchmark in BENCHMARK_ORDER:
+        cases = [r.by_algorithm() for r in matrix.cases(benchmark=benchmark, cluster=cluster)]
+        for algorithm in ALGORITHM_ORDER:
+            if algorithm == "no_overlap":
+                continue
+            result.values[(algorithm, benchmark)] = average_positive_improvement(
+                cases, algorithm
+            )
+    return result
+
+
+def fig2(
+    mode: str = "quick",
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    matrix: MatrixResult | None = None,
+    progress=None,
+) -> ImprovementResult:
+    """Reproduce Fig. 2 (crill average positive improvements)."""
+    if matrix is None:
+        matrix = table1(mode, reps=reps, scale=scale, progress=progress).matrix
+    return _improvements(matrix, "crill")
+
+
+def fig3(
+    mode: str = "quick",
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    matrix: MatrixResult | None = None,
+    progress=None,
+) -> ImprovementResult:
+    """Reproduce Fig. 3 (Ibex average positive improvements)."""
+    if matrix is None:
+        matrix = table1(mode, reps=reps, scale=scale, progress=progress).matrix
+    return _improvements(matrix, "ibex")
+
+
+# --------------------------------------------------------------------------
+# Figure 4 — shuffle primitives
+# --------------------------------------------------------------------------
+
+@dataclass
+class Fig4Result:
+    """Winner counts per shuffle primitive (on Write-Comm-2)."""
+
+    rows: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: (benchmark, cluster, nprocs) -> winning shuffle, for the scale trend.
+    winners: dict[tuple[str, str, int], str] = field(default_factory=dict)
+    matrix: MatrixResult | None = None
+
+    @property
+    def totals(self) -> dict[str, int]:
+        out = {s: 0 for s in SHUFFLE_ORDER}
+        for row in self.rows.values():
+            for s, n in row.items():
+                out[s] += n
+        return out
+
+    def two_sided_share(self) -> float:
+        totals = self.totals
+        return totals["two_sided"] / max(1, sum(totals.values()))
+
+    def crill_onesided_wins(self, min_procs: int = 0, max_procs: int = 10**9) -> int:
+        return sum(
+            1
+            for (b, cl, n), win in self.winners.items()
+            if cl == "crill" and min_procs <= n <= max_procs and win != "two_sided"
+        )
+
+
+def fig4(
+    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE, progress=None
+) -> Fig4Result:
+    """Reproduce Fig. 4: two-sided vs one-sided shuffles on Write-Comm-2."""
+    matrix = run_matrix(
+        fig4_cases(mode), ["write_comm2"], shuffles=tuple(SHUFFLE_ORDER),
+        reps=reps, scale=scale, progress=progress,
+    )
+    result = Fig4Result(matrix=matrix)
+    for benchmark in ("ior", "tile_256", "tile_1m"):
+        row = {s: 0 for s in SHUFFLE_ORDER}
+        for case_result in matrix.cases(benchmark=benchmark):
+            series = case_result.by_shuffle("write_comm2")
+            winner_name = min(series.items(), key=lambda kv: (kv[1].point, kv[0]))[0]
+            row[winner_name] += 1
+            c = case_result.case
+            result.winners[(benchmark, c.cluster, c.nprocs)] = winner_name
+        result.rows[benchmark] = row
+    return result
+
+
+# --------------------------------------------------------------------------
+# Sec. IV-A breakdown and Sec. V Lustre note
+# --------------------------------------------------------------------------
+
+@dataclass
+class BreakdownResult:
+    """No-overlap aggregator phase split per (cluster, nprocs)."""
+
+    #: (cluster, nprocs) -> (comm_fraction, io_fraction)
+    shares: dict[tuple[str, int], tuple[float, float]] = field(default_factory=dict)
+
+
+def breakdown(mode: str = "quick", scale: int = DEFAULT_SCALE) -> BreakdownResult:
+    """Reproduce Sec. IV-A's communication/IO split (no-overlap, Tile-1M).
+
+    Always uses the paper's Tile-1M problem size — the quoted 93%/7%
+    (crill) vs 77%/23% (Ibex) splits are size-dependent; quick mode only
+    reduces the process counts.
+    """
+    counts = [256, 576] if mode == "full" else [144, 256]
+    result = BreakdownResult()
+    for cluster in CLUSTERS:
+        cluster_spec, fs_spec = specs_for(cluster, scale)
+        for nprocs in counts:
+            workload = make_workload("tile_1m", nprocs, scale=scale)
+            config = CollectiveConfig.for_scale(
+                scale, extent_cost_factor=workload.extent_cost_factor
+            )
+            run = run_collective_write(
+                cluster_spec, fs_spec, nprocs, workload.views(),
+                algorithm="no_overlap", config=config, carry_data=False,
+            )
+            agg = run.per_rank_stats[0]  # rank 0 is always an aggregator
+            comm = agg.time_in("shuffle") + agg.time_in("shuffle_init")
+            io = agg.time_in("write")
+            total = comm + io
+            result.shares[(cluster, nprocs)] = (comm / total, io / total)
+    return result
+
+
+@dataclass
+class ReadStudyResult:
+    """Collective-read extension study: algorithm x scatter times."""
+
+    #: (cluster, algorithm, scatter) -> point time
+    points: dict[tuple[str, str, str], float] = field(default_factory=dict)
+
+    def gain(self, cluster: str, algorithm: str, scatter: str = "two_sided") -> float:
+        base = self.points[(cluster, "no_overlap", scatter)]
+        return relative_improvement(base, self.points[(cluster, algorithm, scatter)])
+
+    def render(self) -> str:
+        lines = ["EXTENSION — two-phase collective READ (IOR pattern)"]
+        header = f"{'cluster':8s} {'algorithm':17s} {'scatter':15s} {'time':>12s} {'vs no_overlap':>14s}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for (cluster, algorithm, scatter), t in sorted(self.points.items()):
+            base = self.points[(cluster, "no_overlap", scatter)]
+            gain = relative_improvement(base, t)
+            lines.append(
+                f"{cluster:8s} {algorithm:17s} {scatter:15s} {t * 1e3:>9.2f} ms {gain:>+13.1%}"
+            )
+        return "\n".join(lines)
+
+
+def read_study(
+    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE
+) -> ReadStudyResult:
+    """Extension experiment: the paper's overlap question for collective
+    *reads* (read-ahead vs scatter overlap vs no overlap, two-sided vs
+    one-sided Get)."""
+    from repro.collio.read import run_collective_read
+
+    nprocs = 96 if mode == "quick" else 256
+    size = dict(_QUICK_SIZE["ior"]) if mode == "quick" else {}
+    result = ReadStudyResult()
+    for cluster in CLUSTERS:
+        cluster_spec, fs_spec = specs_for(cluster, scale)
+        workload = make_workload("ior", nprocs, scale=scale, **size)
+        config = CollectiveConfig.for_scale(scale)
+        views = workload.views()
+        for algorithm in ("no_overlap", "read_ahead", "scatter_overlap"):
+            for scatter in ("two_sided", "one_sided_get"):
+                series = Series(key=(cluster,), algorithm=algorithm)
+                for rep in range(reps):
+                    run = run_collective_read(
+                        cluster_spec, fs_spec, nprocs, views,
+                        algorithm=algorithm, scatter=scatter, config=config,
+                        seed=DEFAULT_SEED + 1000 * rep, carry_data=False,
+                    )
+                    series.add(run.elapsed)
+                result.points[(cluster, algorithm, scatter)] = series.point
+    return result
+
+
+@dataclass
+class LustreResult:
+    """Write-Overlap's gain over the baseline per file system."""
+
+    #: fs name -> (baseline time, write_overlap time, improvement)
+    entries: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+
+    def gain(self, fs: str) -> float:
+        return self.entries[fs][2]
+
+
+def lustre_note(
+    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE
+) -> LustreResult:
+    """Reproduce the Sec. V observation: poor aio support (Lustre-like)
+    erases the advantage of asynchronous-write overlap."""
+    nprocs = 96 if mode == "quick" else 256
+    size = dict(_QUICK_SIZE["ior"]) if mode == "quick" else {}
+    cluster_spec, beegfs = specs_for("ibex", scale)
+    result = LustreResult()
+    for fs_name, fs_spec in (("beegfs", beegfs), ("lustre", lustre_like(scale=scale))):
+        workload = make_workload("ior", nprocs, scale=scale, **size)
+        config = CollectiveConfig.for_scale(scale)
+        views = workload.views()
+        times = {}
+        for algorithm in ("no_overlap", "write_overlap"):
+            series = Series(key=(fs_name,), algorithm=algorithm)
+            for rep in range(reps):
+                run = run_collective_write(
+                    cluster_spec, fs_spec, nprocs, views,
+                    algorithm=algorithm, config=config,
+                    seed=DEFAULT_SEED + 1000 * rep, carry_data=False,
+                )
+                series.add(run.elapsed)
+            times[algorithm] = series.point
+        gain = relative_improvement(times["no_overlap"], times["write_overlap"])
+        result.entries[fs_name] = (times["no_overlap"], times["write_overlap"], gain)
+    return result

@@ -1,0 +1,194 @@
+"""Text renderers for the experiment results (paper-style tables)."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    ALGORITHM_ORDER,
+    BENCHMARK_ORDER,
+    SHUFFLE_ORDER,
+    BreakdownResult,
+    Fig1Result,
+    Fig4Result,
+    ImprovementResult,
+    LustreResult,
+    Table1Result,
+)
+from repro.units import fmt_time
+
+__all__ = [
+    "render_table1",
+    "render_fig1",
+    "render_improvements",
+    "render_fig4",
+    "render_breakdown",
+    "render_lustre",
+    "table1_csv",
+    "fig1_csv",
+    "improvements_csv",
+    "fig4_csv",
+]
+
+_ALGO_LABEL = {
+    "no_overlap": "No Overlap",
+    "comm_overlap": "Comm Overlap",
+    "write_overlap": "Write Overlap",
+    "write_comm": "Write-Comm",
+    "write_comm2": "Write-Comm 2",
+}
+_BENCH_LABEL = {
+    "ior": "IOR",
+    "tile_256": "Tile I/O 256",
+    "tile_1m": "Tile I/O 1M",
+    "flash": "Flash I/O",
+}
+_SHUFFLE_LABEL = {
+    "two_sided": "Two-sided",
+    "one_sided_fence": "1-sided fence",
+    "one_sided_lock": "1-sided lock",
+}
+
+
+def _table(header: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(len(header))]
+    def fmt(row):
+        return " | ".join(str(c).rjust(w) for c, w in zip(row, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(header), sep] + [fmt(r) for r in rows])
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table I: number of runs each overlap algorithm was best."""
+    header = ["Benchmark"] + [_ALGO_LABEL[a] for a in ALGORITHM_ORDER]
+    rows = []
+    for benchmark in BENCHMARK_ORDER:
+        row = result.rows.get(benchmark, {})
+        rows.append([_BENCH_LABEL[benchmark]] + [row.get(a, 0) for a in ALGORITHM_ORDER])
+    totals = result.totals
+    rows.append(["Total:"] + [totals[a] for a in ALGORITHM_ORDER])
+    body = _table(header, rows)
+    share = result.async_write_share()
+    return (
+        "TABLE I — number of cases an overlap algorithm was best\n"
+        f"{body}\n"
+        f"cases: {result.total_cases}; won by an async-write algorithm: {share:.0%}"
+    )
+
+
+def render_fig1(result: Fig1Result) -> str:
+    """Fig. 1: Tile-1M execution times."""
+    header = ["Cluster", "Procs"] + [_ALGO_LABEL[a] for a in ALGORITHM_ORDER] + ["best gain"]
+    rows = []
+    for cluster in ("crill", "ibex"):
+        for nprocs in result.nprocs_list:
+            row = [cluster, nprocs]
+            for algorithm in ALGORITHM_ORDER:
+                row.append(fmt_time(result.points[(cluster, nprocs, algorithm)]))
+            row.append(f"{result.improvement(cluster, nprocs):+.1%}")
+            rows.append(row)
+    return "FIG. 1 — Tile I/O 1M execution time (min of series)\n" + _table(header, rows)
+
+
+def render_improvements(result: ImprovementResult, figure: str) -> str:
+    """Figs. 2-3: average positive improvement over No Overlap."""
+    header = ["Algorithm"] + [_BENCH_LABEL[b] for b in BENCHMARK_ORDER]
+    rows = []
+    for algorithm in ALGORITHM_ORDER:
+        if algorithm == "no_overlap":
+            continue
+        row = [_ALGO_LABEL[algorithm]]
+        for benchmark in BENCHMARK_ORDER:
+            v = result.values.get((algorithm, benchmark))
+            row.append("—" if v is None else f"{v:.1%}")
+        rows.append(row)
+    lo, hi = result.range_over_all()
+    return (
+        f"{figure} — average positive improvement over No Overlap ({result.cluster})\n"
+        + _table(header, rows)
+        + f"\nrange: {lo:.1%} .. {hi:.1%}"
+    )
+
+
+def render_fig4(result: Fig4Result) -> str:
+    """Fig. 4: winner counts per shuffle primitive."""
+    header = ["Benchmark"] + [_SHUFFLE_LABEL[s] for s in SHUFFLE_ORDER]
+    rows = []
+    for benchmark in ("ior", "tile_256", "tile_1m"):
+        row = result.rows.get(benchmark, {})
+        rows.append([_BENCH_LABEL[benchmark]] + [row.get(s, 0) for s in SHUFFLE_ORDER])
+    totals = result.totals
+    rows.append(["Total:"] + [totals[s] for s in SHUFFLE_ORDER])
+    return (
+        "FIG. 4 — cases each shuffle primitive was best (Write-Comm-2)\n"
+        + _table(header, rows)
+        + f"\ntwo-sided share: {result.two_sided_share():.0%}"
+    )
+
+
+def render_breakdown(result: BreakdownResult) -> str:
+    """Sec. IV-A: no-overlap aggregator phase split."""
+    header = ["Cluster", "Procs", "Communication", "File I/O"]
+    rows = [
+        [cluster, nprocs, f"{comm:.0%}", f"{io:.0%}"]
+        for (cluster, nprocs), (comm, io) in sorted(result.shares.items())
+    ]
+    return "SEC. IV-A — no-overlap phase breakdown (aggregator, Tile-1M)\n" + _table(header, rows)
+
+
+def render_lustre(result: LustreResult) -> str:
+    """Sec. V: the Lustre aio note."""
+    header = ["File system", "No Overlap", "Write Overlap", "gain"]
+    rows = [
+        [fs, fmt_time(base), fmt_time(wo), f"{gain:+.1%}"]
+        for fs, (base, wo, gain) in result.entries.items()
+    ]
+    return "SEC. V — Write Overlap gain by file system (IOR)\n" + _table(header, rows)
+
+
+# --------------------------------------------------------------------------
+# Machine-readable exports (for replotting the figures elsewhere)
+# --------------------------------------------------------------------------
+
+def _csv(header: list[str], rows: list[list]) -> str:
+    def esc(cell) -> str:
+        s = str(cell)
+        return f'"{s}"' if ("," in s or '"' in s) else s
+
+    return "\n".join(",".join(esc(c) for c in row) for row in [header] + rows) + "\n"
+
+
+def table1_csv(result: Table1Result) -> str:
+    """Table I winner counts as CSV (benchmark, algorithm, wins)."""
+    rows = [
+        [benchmark, algorithm, count]
+        for benchmark, row in result.rows.items()
+        for algorithm, count in row.items()
+    ]
+    return _csv(["benchmark", "algorithm", "wins"], rows)
+
+
+def fig1_csv(result: Fig1Result) -> str:
+    """Fig. 1 series as CSV (cluster, nprocs, algorithm, seconds)."""
+    rows = [
+        [cluster, nprocs, algorithm, f"{t:.9f}"]
+        for (cluster, nprocs, algorithm), t in sorted(result.points.items())
+    ]
+    return _csv(["cluster", "nprocs", "algorithm", "seconds"], rows)
+
+
+def improvements_csv(result: ImprovementResult) -> str:
+    """Figs. 2-3 bars as CSV (cluster, algorithm, benchmark, improvement)."""
+    rows = [
+        [result.cluster, algorithm, benchmark, "" if v is None else f"{v:.6f}"]
+        for (algorithm, benchmark), v in sorted(result.values.items())
+    ]
+    return _csv(["cluster", "algorithm", "benchmark", "avg_positive_improvement"], rows)
+
+
+def fig4_csv(result: Fig4Result) -> str:
+    """Fig. 4 winner counts as CSV (benchmark, shuffle, wins)."""
+    rows = [
+        [benchmark, shuffle, count]
+        for benchmark, row in result.rows.items()
+        for shuffle, count in row.items()
+    ]
+    return _csv(["benchmark", "shuffle", "wins"], rows)

@@ -1,0 +1,152 @@
+"""Case runner: repeated simulated measurements with plan reuse."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import Series
+from repro.collio.api import build_plan, run_collective_write
+from repro.collio.config import CollectiveConfig
+from repro.collio.overlap import make_algorithm
+from repro.config import DEFAULT_SCALE, DEFAULT_SEED
+from repro.fs.presets import beegfs_crill, beegfs_ibex, FsSpec
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.presets import preset
+from repro.sim.engine import Engine
+from repro.workloads import make_workload
+
+__all__ = ["Case", "CaseResult", "MatrixResult", "run_case", "run_matrix", "specs_for"]
+
+#: Storage preset used for each cluster (the paper's BeeGFS deployments).
+_CLUSTER_FS = {"crill": beegfs_crill, "ibex": beegfs_ibex}
+
+
+def specs_for(cluster: str, scale: int) -> tuple[ClusterSpec, FsSpec]:
+    """The (cluster, file-system) spec pair of a named platform."""
+    return preset(cluster, scale=scale), _CLUSTER_FS[cluster](scale=scale)
+
+
+@dataclass(frozen=True)
+class Case:
+    """One of the paper's test cases."""
+
+    benchmark: str          # workload registry name: ior / tile_256 / tile_1m / flash
+    cluster: str            # 'crill' or 'ibex'
+    nprocs: int
+    #: Problem-size label with workload kwargs (hashable): e.g.
+    #: (("block_size", 1 << 24),) for an IOR size variant.
+    size: tuple = ()
+
+    @property
+    def label(self) -> str:
+        suffix = "" if not self.size else "/" + ",".join(f"{k}={v}" for k, v in self.size)
+        return f"{self.benchmark}@{self.cluster} P={self.nprocs}{suffix}"
+
+
+@dataclass
+class CaseResult:
+    """All series measured for one case."""
+
+    case: Case
+    #: (algorithm, shuffle) -> Series
+    series: dict[tuple[str, str], Series] = field(default_factory=dict)
+    num_aggregators: int = 0
+    num_cycles: int = 0
+    total_bytes: int = 0
+
+    def by_algorithm(self, shuffle: str = "two_sided") -> dict[str, Series]:
+        return {a: s for (a, sh), s in self.series.items() if sh == shuffle}
+
+    def by_shuffle(self, algorithm: str = "write_comm2") -> dict[str, Series]:
+        return {sh: s for (a, sh), s in self.series.items() if a == algorithm}
+
+
+@dataclass
+class MatrixResult:
+    """Results of a whole experiment matrix."""
+
+    results: list[CaseResult] = field(default_factory=list)
+
+    def cases(self, **filters) -> list[CaseResult]:
+        out = []
+        for r in self.results:
+            if all(getattr(r.case, k) == v for k, v in filters.items()):
+                out.append(r)
+        return out
+
+    def find(self, benchmark: str, cluster: str, nprocs: int) -> CaseResult:
+        for r in self.results:
+            c = r.case
+            if (c.benchmark, c.cluster, c.nprocs) == (benchmark, cluster, nprocs):
+                return r
+        raise KeyError(f"no case {benchmark}@{cluster} P={nprocs}")
+
+
+def run_case(
+    case: Case,
+    algorithms: list[str],
+    shuffles: tuple[str, ...] = ("two_sided",),
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    base_seed: int = DEFAULT_SEED,
+    progress=None,
+) -> CaseResult:
+    """Measure every (algorithm, shuffle) series of one case.
+
+    Repetitions use distinct seeds (fresh noise draws), mirroring the
+    paper's 3-9 measurements per series; the plan for each cycle size is
+    built once and shared across algorithms and repetitions.
+    """
+    cluster_spec, fs_spec = specs_for(case.cluster, scale)
+    workload = make_workload(case.benchmark, case.nprocs, scale=scale, **dict(case.size))
+    config = CollectiveConfig.for_scale(scale, extent_cost_factor=workload.extent_cost_factor)
+    views = workload.views()
+    placement = Cluster(Engine(), cluster_spec)
+    plans: dict[int, object] = {}
+    result = CaseResult(case)
+    for algorithm in algorithms:
+        cycle_bytes = make_algorithm(algorithm).cycle_bytes(config.cb_buffer_size)
+        plan = plans.get(cycle_bytes)
+        if plan is None:
+            plan = build_plan(
+                placement, case.nprocs, views, config, cycle_bytes,
+                stripe_size=fs_spec.stripe_size,
+            )
+            plans[cycle_bytes] = plan
+        for shuffle in shuffles:
+            series = Series(key=(case.label,), algorithm=algorithm)
+            for rep in range(reps):
+                run = run_collective_write(
+                    cluster_spec, fs_spec, case.nprocs, views,
+                    algorithm=algorithm, shuffle=shuffle, config=config,
+                    seed=base_seed + 1000 * rep, carry_data=False, plan=plan,
+                )
+                series.add(run.elapsed)
+                result.num_aggregators = run.num_aggregators
+                result.num_cycles = max(result.num_cycles, run.num_cycles)
+                result.total_bytes = run.total_bytes
+            result.series[(algorithm, shuffle)] = series
+            if progress is not None:
+                progress(case, algorithm, shuffle, series)
+    return result
+
+
+def run_matrix(
+    cases: list[Case],
+    algorithms: list[str],
+    shuffles: tuple[str, ...] = ("two_sided",),
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    base_seed: int = DEFAULT_SEED,
+    progress=None,
+) -> MatrixResult:
+    """Run every case of an experiment matrix."""
+    matrix = MatrixResult()
+    for case in cases:
+        matrix.results.append(
+            run_case(
+                case, algorithms, shuffles=shuffles, reps=reps,
+                scale=scale, base_seed=base_seed, progress=progress,
+            )
+        )
+    return matrix

@@ -1,0 +1,60 @@
+"""Automatic aggregator selection (paper ref [5], Chaarawi & Gabriel).
+
+The heuristic reproduces ompio's behaviour at the level the paper relies
+on: aggregators are spread across nodes (one per node before a second on
+any node) so their NICs and file-system links don't contend, and their
+count adapts to the data volume — at least one, at most one per node (the
+paper's runs are large enough that the per-node cap binds), and no more
+than needed to give every aggregator at least one full collective buffer
+of data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hardware.cluster import Cluster
+
+__all__ = ["select_aggregators"]
+
+
+def select_aggregators(
+    cluster: Cluster,
+    nprocs: int,
+    total_bytes: int,
+    cb_buffer_size: int,
+    num_aggregators: int | None = None,
+) -> list[int]:
+    """Choose the aggregator ranks for a collective write.
+
+    Returns rank ids sorted by (node, rank), one aggregator per node in
+    round-robin node order, which matches the block rank placement: rank
+    ``k * cores_per_node`` is the first rank of node ``k``.
+    """
+    if nprocs < 1:
+        raise ConfigurationError("nprocs must be >= 1")
+    # Candidate order: first rank of each used node, then second, etc.
+    per_node: dict[int, list[int]] = {}
+    for rank in range(nprocs):
+        per_node.setdefault(cluster.node_of_rank(rank), []).append(rank)
+    nodes_used = sorted(per_node)
+    candidates: list[int] = []
+    depth = 0
+    while len(candidates) < nprocs:
+        added = False
+        for node in nodes_used:
+            ranks = per_node[node]
+            if depth < len(ranks):
+                candidates.append(ranks[depth])
+                added = True
+        if not added:
+            break
+        depth += 1
+
+    if num_aggregators is not None:
+        count = min(num_aggregators, nprocs)
+    else:
+        # Enough aggregators to use every node's NIC, but never so many
+        # that an aggregator's domain is smaller than one buffer cycle.
+        by_volume = max(1, total_bytes // max(1, cb_buffer_size))
+        count = max(1, min(len(nodes_used), by_volume, nprocs))
+    return sorted(candidates[:count])

@@ -1,0 +1,243 @@
+"""Public entry points for the collective write.
+
+Two levels:
+
+* :func:`collective_write` — the MPI-style per-rank call (a generator run
+  inside a simulated rank program), analogous to ``MPI_File_write_all``
+  with the fcoll component chosen by ``algorithm``/``shuffle``.
+* :func:`run_collective_write` — one call that builds the world, runs the
+  collective write for a given set of views, optionally verifies the
+  resulting file byte-for-byte, and returns a
+  :class:`CollectiveWriteResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.collio.aggregation import select_aggregators
+from repro.collio.config import CollectiveConfig
+from repro.collio.context import AlgoContext
+from repro.collio.domains import partition_domains
+from repro.collio.overlap import make_algorithm
+from repro.collio.plan import TwoPhasePlan
+from repro.collio.shuffle import make_shuffle
+from repro.collio.view import FileView
+from repro.config import DEFAULT_SEED
+from repro.errors import ConfigurationError
+from repro.fs.presets import FsSpec
+from repro.hardware.cluster import ClusterSpec
+from repro.mpi.world import World
+
+__all__ = [
+    "CollectiveWriteResult",
+    "build_plan",
+    "collective_write",
+    "default_data",
+    "run_collective_write",
+]
+
+
+def default_data(rank: int, nbytes: int) -> np.ndarray:
+    """Deterministic, rank-distinguishable payload bytes."""
+    return ((np.arange(nbytes, dtype=np.int64) * 31 + rank * 65537) % 251).astype(np.uint8)
+
+
+def build_plan(
+    cluster,
+    nprocs: int,
+    views: dict[int, FileView],
+    config: CollectiveConfig,
+    cycle_bytes: int,
+    stripe_size: int | None = None,
+) -> TwoPhasePlan:
+    """Select aggregators, partition domains and schedule all cycles.
+
+    ``cluster`` is a :class:`~repro.hardware.cluster.Cluster` (only its
+    rank placement is used, so a throwaway instance works); the plan is a
+    pure data object reusable across repeated runs of the same case.
+    """
+    total_bytes = sum(v.total_bytes for v in views.values())
+    aggregators = select_aggregators(
+        cluster,
+        nprocs,
+        total_bytes,
+        config.cb_buffer_size,
+        num_aggregators=config.num_aggregators,
+    )
+    starts = [v.file_range[0] for v in views.values() if v.num_extents]
+    ends = [v.file_range[1] for v in views.values() if v.num_extents]
+    lo = min(starts) if starts else 0
+    hi = max(ends) if ends else 0
+    stripe = stripe_size if config.stripe_align_domains else None
+    domains = partition_domains(lo, hi, len(aggregators), stripe_size=stripe)
+    return TwoPhasePlan.build(views, aggregators, domains, cycle_bytes)
+
+
+def collective_write(
+    mpi,
+    fh,
+    view: FileView,
+    data: np.ndarray,
+    plan: TwoPhasePlan,
+    algorithm: str = "write_overlap",
+    shuffle: str = "two_sided",
+    config: CollectiveConfig | None = None,
+    exchange_metadata: bool = True,
+):
+    """Per-rank collective write (generator; run on **every** rank).
+
+    Returns the rank's :class:`~repro.collio.context.PhaseStats`.
+    ``exchange_metadata=False`` skips the planning allgather when the
+    caller already performed it (e.g. ``MPIFile.write_all``).
+    """
+    config = config or CollectiveConfig()
+    algo = make_algorithm(algorithm)
+    engine = make_shuffle(shuffle)
+    ctx = AlgoContext(mpi, fh, plan, view, data, config, nsub=algo.nsub)
+    # Planning phase: exchange view metadata (cost model; the plan itself
+    # is precomputed deterministically, as every rank would compute the
+    # same partitioning from the gathered metadata).
+    if exchange_metadata:
+        yield from mpi.allgather(None, nbytes=view.num_extents * config.meta_bytes_per_extent)
+    yield from engine.setup(ctx)
+    t0 = mpi.now
+    yield from algo.run(ctx, engine)
+    ctx.stats.add_time("total", mpi.now - t0)
+    yield from mpi.barrier()
+    ctx.stats.add_time("total_with_barrier", mpi.now - t0)
+    return ctx.stats
+
+
+@dataclass
+class CollectiveWriteResult:
+    """Outcome of one simulated collective write."""
+
+    algorithm: str
+    shuffle: str
+    nprocs: int
+    num_aggregators: int
+    num_cycles: int
+    cycle_bytes: int
+    total_bytes: int
+    #: End-to-end simulated wall time of the collective write, seconds.
+    elapsed: float
+    #: Effective write bandwidth (total bytes / elapsed), bytes/s.
+    write_bandwidth: float
+    per_rank_stats: list = field(default_factory=list)
+    verified: bool | None = None
+
+    def phase_time(self, phase: str, rank: int | None = None) -> float:
+        """Max (or one rank's) accumulated time in a phase."""
+        if rank is not None:
+            return self.per_rank_stats[rank].time_in(phase)
+        return max(s.time_in(phase) for s in self.per_rank_stats)
+
+    def aggregate_counter(self, counter: str) -> int:
+        return sum(s.counters.get(counter, 0) for s in self.per_rank_stats)
+
+
+def run_collective_write(
+    cluster_spec: ClusterSpec,
+    fs_spec: FsSpec,
+    nprocs: int,
+    views: dict[int, FileView],
+    data_factory: Callable[[int, int], np.ndarray] = default_data,
+    algorithm: str = "write_overlap",
+    shuffle: str = "two_sided",
+    config: CollectiveConfig | None = None,
+    seed: int = DEFAULT_SEED,
+    verify: bool = False,
+    carry_data: bool = True,
+    plan: TwoPhasePlan | None = None,
+    path: str = "/collective.out",
+) -> CollectiveWriteResult:
+    """Build a world, run one collective write, return timing (and verify).
+
+    ``views`` maps every rank to its :class:`FileView`;
+    ``data_factory(rank, nbytes)`` produces each rank's payload.
+
+    ``carry_data=False`` runs in size-only mode: every transfer and write
+    carries only its byte count, producing *identical simulated timing*
+    (all time costs derive from the plan's sizes and piece counts) without
+    touching the host's memory bus — the mode the large benchmark sweeps
+    use.  Verification requires real payloads, so it is incompatible with
+    ``verify=True``.
+    """
+    if set(views) != set(range(nprocs)):
+        raise ConfigurationError("views must cover exactly ranks 0..nprocs-1")
+    config = config or CollectiveConfig()
+    if (verify or config.verify) and not carry_data:
+        raise ConfigurationError("verify=True requires carry_data=True")
+    world = World(cluster_spec, nprocs, fs_spec=fs_spec, seed=seed)
+    algo = make_algorithm(algorithm)
+    if plan is None:
+        plan = build_plan(
+            world.cluster, nprocs, views, config,
+            algo.cycle_bytes(config.cb_buffer_size),
+            stripe_size=fs_spec.stripe_size,
+        )
+    elif plan.cycle_bytes != algo.cycle_bytes(config.cb_buffer_size):
+        raise ConfigurationError(
+            f"supplied plan has cycle_bytes={plan.cycle_bytes}, but algorithm "
+            f"{algorithm!r} needs {algo.cycle_bytes(config.cb_buffer_size)}"
+        )
+    payloads = {
+        r: data_factory(r, views[r].total_bytes) if carry_data else None
+        for r in range(nprocs)
+    }
+
+    def program(mpi):
+        fh = yield from mpi.file_open(path)
+        stats = yield from collective_write(
+            mpi, fh, views[mpi.rank], payloads[mpi.rank], plan,
+            algorithm=algorithm, shuffle=shuffle, config=config,
+        )
+        return stats
+
+    t_start = world.now
+    stats = world.run(program)
+    elapsed = world.now - t_start
+    result = CollectiveWriteResult(
+        algorithm=algorithm,
+        shuffle=shuffle,
+        nprocs=nprocs,
+        num_aggregators=len(plan.aggregators),
+        num_cycles=plan.num_cycles,
+        cycle_bytes=plan.cycle_bytes,
+        total_bytes=plan.total_bytes,
+        elapsed=elapsed,
+        write_bandwidth=plan.total_bytes / elapsed if elapsed > 0 else 0.0,
+        per_rank_stats=stats,
+    )
+    if verify or config.verify:
+        result.verified = _verify_file(world, path, views, payloads)
+    return result
+
+
+def _verify_file(
+    world: World,
+    path: str,
+    views: dict[int, FileView],
+    payloads: dict[int, np.ndarray],
+) -> bool:
+    """Byte-exact check of the written file against the views' expectation."""
+    ends = [v.file_range[1] for v in views.values() if v.num_extents]
+    size = max(ends) if ends else 0
+    expected = np.zeros(size, dtype=np.uint8)
+    for rank, view in views.items():
+        data = payloads[rank]
+        for off, ln, loc in zip(view.offsets, view.lengths, view.local_offsets):
+            expected[off : off + ln] = data[loc : loc + ln]
+    actual = world.pfs.open(path).read(0, size)
+    ok = bool(np.array_equal(actual, expected))
+    if not ok:
+        bad = np.flatnonzero(actual != expected)
+        raise AssertionError(
+            f"collective write corrupted the file: {bad.size} wrong bytes, "
+            f"first at offset {bad[0] if bad.size else '?'}"
+        )
+    return ok

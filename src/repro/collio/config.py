@@ -1,0 +1,76 @@
+"""Tunables of the collective-write implementation (``ompio`` parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import DEFAULT_SCALE, scaled
+from repro.errors import ConfigurationError
+from repro.units import MiB
+
+__all__ = ["CollectiveConfig"]
+
+#: ompio's default collective buffer size (paper, Sec. IV): 32 MB.
+CB_BUFFER_SIZE_UNSCALED: int = 32 * MiB
+
+
+@dataclass(frozen=True)
+class CollectiveConfig:
+    """Parameters of the two-phase implementation.
+
+    Defaults follow the paper's setup: 32 MB collective buffer (scaled),
+    automatic aggregator selection, stripe-aligned file domains.
+    """
+
+    #: Collective buffer size per aggregator, bytes (already scaled).
+    #: Overlap algorithms split this into two half-size sub-buffers.
+    cb_buffer_size: int = CB_BUFFER_SIZE_UNSCALED // DEFAULT_SCALE
+    #: Fixed aggregator count; None = automatic selection (paper ref [5]).
+    num_aggregators: int | None = None
+    #: Align file-domain boundaries down to stripe boundaries.
+    stripe_align_domains: bool = True
+    #: CPU cost of handling one extent while packing at a sender, seconds.
+    pack_overhead_per_extent: float = 8e-8
+    #: CPU cost of scattering one received extent into the collective
+    #: buffer at an aggregator, seconds.
+    unpack_overhead_per_extent: float = 8e-8
+    #: Per-cycle bookkeeping cost (offset computation etc.), seconds.
+    cycle_planning_overhead: float = 1.5e-6
+    #: Bytes of view metadata exchanged per extent during planning.
+    meta_bytes_per_extent: int = 16
+    #: How many full-size extents one modeled extent stands for (see
+    #: Workload.extent_cost_factor).  Multiplies per-piece CPU costs
+    #: (pack/unpack) and the per-put posting cost of one-sided shuffles.
+    extent_cost_factor: float = 1.0
+    #: Verify written bytes against expectations after the run (tests).
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cb_buffer_size < 2:
+            raise ConfigurationError("cb_buffer_size must be >= 2 bytes")
+        if self.num_aggregators is not None and self.num_aggregators < 1:
+            raise ConfigurationError("num_aggregators must be >= 1 or None")
+        for field_name in (
+            "pack_overhead_per_extent",
+            "unpack_overhead_per_extent",
+            "cycle_planning_overhead",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+
+    @classmethod
+    def for_scale(cls, scale: int = DEFAULT_SCALE, **overrides) -> "CollectiveConfig":
+        """Config with the paper's 32 MB buffer and per-extent CPU costs
+        scaled by ``scale`` (time constants compress with data sizes so
+        every ratio matches the full-size run)."""
+        defaults = cls()
+        overrides.setdefault("cb_buffer_size", scaled(CB_BUFFER_SIZE_UNSCALED, scale))
+        overrides.setdefault("pack_overhead_per_extent", defaults.pack_overhead_per_extent / scale)
+        overrides.setdefault(
+            "unpack_overhead_per_extent", defaults.unpack_overhead_per_extent / scale
+        )
+        overrides.setdefault("cycle_planning_overhead", defaults.cycle_planning_overhead / scale)
+        return cls(**overrides)
+
+    def with_(self, **overrides) -> "CollectiveConfig":
+        return replace(self, **overrides)

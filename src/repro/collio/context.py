@@ -1,0 +1,250 @@
+"""Per-rank execution context shared by all overlap algorithms.
+
+An :class:`AlgoContext` packages what one rank needs while executing a
+collective write: its communicator and file handle, the global plan, its
+role (aggregator or not), the collective sub-buffers (plain arrays for
+two-sided shuffles, RMA windows for one-sided ones) and phase timing.
+
+Sub-buffer discipline: cycle ``c`` always uses sub-buffer ``c % nsub``
+(equivalent to the paper's pointer swapping, but index-based so every rank
+agrees without communication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.collio.config import CollectiveConfig
+from repro.collio.plan import TwoPhasePlan
+from repro.collio.view import FileView
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+    from repro.mpi.mpiio import MPIFile
+    from repro.mpi.window import WindowHandle
+
+__all__ = ["AlgoContext", "PhaseStats"]
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated per-phase wall time and counters for one rank."""
+
+    times: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def add_time(self, phase: str, seconds: float) -> None:
+        self.times[phase] = self.times.get(phase, 0.0) + seconds
+
+    def bump(self, counter: str, by: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + by
+
+    def time_in(self, phase: str) -> float:
+        return self.times.get(phase, 0.0)
+
+
+class AlgoContext:
+    """One rank's working state during a collective write."""
+
+    def __init__(
+        self,
+        mpi: "Communicator",
+        fh: "MPIFile",
+        plan: TwoPhasePlan,
+        view: FileView,
+        data: np.ndarray,
+        config: CollectiveConfig,
+        nsub: int,
+    ) -> None:
+        if nsub not in (1, 2):
+            raise ConfigurationError(f"nsub must be 1 or 2, got {nsub}")
+        if data is not None:
+            if data.dtype != np.uint8:
+                raise ConfigurationError("local data must be uint8")
+            if data.size != view.total_bytes:
+                raise ConfigurationError(
+                    f"local data has {data.size} bytes but the view covers {view.total_bytes}"
+                )
+        self.mpi = mpi
+        self.fh = fh
+        self.plan = plan
+        self.view = view
+        self.data = data
+        self.config = config
+        self.nsub = nsub
+        self.rank = mpi.rank
+        self.agg_index = plan.agg_index_of_rank.get(mpi.rank)
+        self.stats = PhaseStats()
+        # Plain-array sub-buffers (two-sided shuffle); RMA windows replace
+        # them for one-sided shuffles.
+        self._buffers: list[np.ndarray] | None = None
+        self._windows: list["WindowHandle"] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_aggregator(self) -> bool:
+        return self.agg_index is not None
+
+    @property
+    def carries_data(self) -> bool:
+        """False in size-only timing mode (no payload bytes move)."""
+        return self.data is not None
+
+    @property
+    def memory_bandwidth(self) -> float:
+        return self.mpi.world.cluster.spec.memory_bandwidth
+
+    def sub_of_cycle(self, cycle: int) -> int:
+        return cycle % self.nsub
+
+    # ------------------------------------------------------------------
+    # Buffer / window setup
+    # ------------------------------------------------------------------
+    def allocate_buffers(self) -> None:
+        """Plain collective sub-buffers (aggregators only hold real memory)."""
+        size = self.plan.cycle_bytes
+        if self.is_aggregator:
+            self._buffers = [np.zeros(size, dtype=np.uint8) for _ in range(self.nsub)]
+        else:
+            self._buffers = []
+
+    def allocate_windows(self):
+        """Collectively create one RMA window per sub-buffer (paper III-B2).
+
+        Window size is the sub-buffer size on aggregators and zero on
+        non-aggregators, matching the paper's ``MPI_Win_allocate`` use.
+        """
+        size = self.plan.cycle_bytes if self.is_aggregator else 0
+        windows = []
+        for _ in range(self.nsub):
+            win = yield from self.mpi.win_allocate(size)
+            windows.append(win)
+        self._windows = windows
+
+    def buffer(self, sub: int) -> np.ndarray:
+        """The sub-buffer an aggregator assembles cycle data in."""
+        if self._windows is not None:
+            return self._windows[sub].local_buffer
+        if self._buffers is None:
+            raise ConfigurationError("buffers not allocated")
+        if not self.is_aggregator:
+            raise ConfigurationError("non-aggregators have no collective buffer")
+        return self._buffers[sub]
+
+    def window(self, sub: int) -> "WindowHandle":
+        if self._windows is None:
+            raise ConfigurationError("windows not allocated")
+        return self._windows[sub]
+
+    @property
+    def uses_windows(self) -> bool:
+        return self._windows is not None
+
+    # ------------------------------------------------------------------
+    # File access helpers (the algorithms' ``write`` / ``write_init`` /
+    # ``write_wait`` steps)
+    # ------------------------------------------------------------------
+    def _write_slice(self, cycle: int) -> tuple[int, np.ndarray | None, int] | None:
+        if not self.is_aggregator:
+            return None
+        rng = self.plan.write_range(self.agg_index, cycle)
+        if rng is None:
+            return None
+        crange = self.plan.cycle_range(self.agg_index, cycle)
+        assert crange is not None
+        base = crange[0]
+        lo, hi = rng
+        if not self.carries_data:
+            return lo, None, hi - lo
+        buf = self.buffer(self.sub_of_cycle(cycle))
+        return lo, buf[lo - base : hi - base], hi - lo
+
+    def write_blocking(self, cycle: int):
+        """Blocking file-access phase for ``cycle`` (no MPI progress)."""
+        sliced = self._write_slice(cycle)
+        if sliced is None:
+            return
+        t0 = self.mpi.now
+        offset, payload, nbytes = sliced
+        yield from self.fh.write_at(offset, payload, size=nbytes)
+        self.stats.add_time("write", self.mpi.now - t0)
+        self.stats.bump("writes")
+
+    def write_init(self, cycle: int):
+        """Post an asynchronous write for ``cycle``; returns a handle."""
+        sliced = self._write_slice(cycle)
+        if sliced is None:
+            return None
+        t0 = self.mpi.now
+        offset, payload, nbytes = sliced
+        req = yield from self.fh.iwrite_at(offset, payload, size=nbytes)
+        self.stats.add_time("write_post", self.mpi.now - t0)
+        self.stats.bump("writes")
+        return req
+
+    def write_wait(self, handle):
+        """Complete a previously posted asynchronous write."""
+        if handle is None:
+            return
+        t0 = self.mpi.now
+        yield from self.mpi.wait(handle)
+        self.stats.add_time("write", self.mpi.now - t0)
+
+    # ------------------------------------------------------------------
+    def planning_tick(self):
+        """Per-cycle offset bookkeeping cost (charged to every rank)."""
+        cost = self.config.cycle_planning_overhead
+        if cost:
+            yield from self.mpi.compute(cost)
+
+    def pack_cost(self, nbytes: int, npieces: int) -> float:
+        """Sender-side gather cost.
+
+        A single-piece (contiguous) contribution is sent straight from
+        the user buffer — zero copy, zero cost — exactly as ompio's
+        vulcan does; only scattered contributions pay the per-extent
+        handling plus the memcpy into the pack buffer.
+        """
+        if npieces <= 1:
+            return 0.0
+        per_piece = self.config.pack_overhead_per_extent * self.config.extent_cost_factor
+        return npieces * per_piece + nbytes / self.memory_bandwidth
+
+    def unpack_cost(self, nbytes: int, npieces: int) -> float:
+        """Aggregator-side scatter cost.
+
+        A single-piece contribution is received directly into its final
+        collective-buffer position (the receive is posted at the right
+        offset) — no unpack; scattered contributions are received into a
+        bounce buffer and copied piecewise.
+        """
+        if npieces <= 1:
+            return 0.0
+        per_piece = self.config.unpack_overhead_per_extent * self.config.extent_cost_factor
+        return npieces * per_piece + nbytes / self.memory_bandwidth
+
+    def local_copy_cost(self, nbytes: int, npieces: int) -> float:
+        """An aggregator copying its *own* contribution into the buffer.
+
+        Always one real memcpy (user buffer -> collective buffer), plus
+        per-extent handling when scattered.
+        """
+        per_piece = self.config.unpack_overhead_per_extent * self.config.extent_cost_factor
+        return npieces * per_piece + nbytes / self.memory_bandwidth
+
+    def extra_put_cost(self, nputs: int) -> float:
+        """Compensation when one modeled put stands for several real puts.
+
+        Charges the posting overhead of the ``factor - 1`` puts that were
+        folded into each modeled one (their payload bytes are already in
+        the modeled put's transfer).
+        """
+        factor = self.config.extent_cost_factor
+        if factor <= 1.0 or nputs == 0:
+            return 0.0
+        spec = self.mpi.world.cluster.spec
+        return nputs * (factor - 1.0) * (spec.mpi_call_overhead + spec.rma_put_overhead)

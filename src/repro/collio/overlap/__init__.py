@@ -1,0 +1,54 @@
+"""The five collective-write algorithms evaluated by the paper.
+
+===================  ====  =========================================
+name                 Alg.  overlap structure
+===================  ====  =========================================
+``no_overlap``       —     classic two-phase baseline (full buffer)
+``comm_overlap``     1     non-blocking shuffle + blocking write
+``write_overlap``    2     blocking shuffle + asynchronous write
+``write_comm``       3     both non-blocking, joint ``wait_all``
+``write_comm2``      4     both non-blocking, data-flow ordering
+===================  ====  =========================================
+
+All overlap algorithms split the collective buffer into two half-size
+sub-buffers (so their internal cycles are half as large and twice as
+many as the baseline's), exactly as Sec. III-A describes.
+"""
+
+from repro.collio.overlap.base import OverlapAlgorithm
+from repro.collio.overlap.no_overlap import NoOverlap
+from repro.collio.overlap.comm_overlap import CommOverlap
+from repro.collio.overlap.write_overlap import WriteOverlap
+from repro.collio.overlap.write_comm import WriteCommOverlap
+from repro.collio.overlap.write_comm2 import WriteComm2Overlap
+
+ALGORITHMS = {
+    cls.name: cls
+    for cls in (NoOverlap, CommOverlap, WriteOverlap, WriteCommOverlap, WriteComm2Overlap)
+}
+
+#: Algorithms whose file-access phase is asynchronous (aio-based).
+ASYNC_WRITE_ALGORITHMS = frozenset(
+    cls.name for cls in (WriteOverlap, WriteCommOverlap, WriteComm2Overlap)
+)
+
+
+def make_algorithm(name: str) -> OverlapAlgorithm:
+    """Instantiate an overlap algorithm by name."""
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}") from None
+
+
+__all__ = [
+    "OverlapAlgorithm",
+    "NoOverlap",
+    "CommOverlap",
+    "WriteOverlap",
+    "WriteCommOverlap",
+    "WriteComm2Overlap",
+    "ALGORITHMS",
+    "ASYNC_WRITE_ALGORITHMS",
+    "make_algorithm",
+]

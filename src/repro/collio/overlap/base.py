@@ -1,0 +1,36 @@
+"""Common interface of the overlap algorithms."""
+
+from __future__ import annotations
+
+from repro.collio.context import AlgoContext
+
+__all__ = ["OverlapAlgorithm"]
+
+
+class OverlapAlgorithm:
+    """One strategy for scheduling the shuffle and file-access phases.
+
+    Subclasses implement :meth:`run` as a generator executed by every
+    rank (SPMD): aggregator-only steps are internally empty on other
+    ranks, but collective synchronization (barriers/fences inside RMA
+    shuffles) stays aligned because all ranks walk the same call
+    sequence.
+    """
+
+    #: Registry name (also used on the command line and in benchmarks).
+    name: str = ""
+    #: Number of collective sub-buffers (1 = full buffer, 2 = double buffering).
+    nsub: int = 2
+    #: Whether the file-access phase uses asynchronous (aio) writes.
+    uses_async_write: bool = False
+
+    def cycle_bytes(self, cb_buffer_size: int) -> int:
+        """Bytes one internal cycle covers, given the collective buffer size."""
+        return max(1, cb_buffer_size // self.nsub)
+
+    def run(self, ctx: AlgoContext, shuffle):
+        """Execute the collective write on this rank.  Generator."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"

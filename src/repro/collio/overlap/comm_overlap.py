@@ -1,0 +1,48 @@
+"""Algorithm 1 — Communication Overlap.
+
+Non-blocking shuffle, blocking write: while the aggregator writes
+sub-buffer ``p1``, the next cycle's shuffle proceeds "in the background"
+into ``p2``.  The catch the paper evaluates: without a progress thread,
+rendezvous traffic addressed to an aggregator makes **no** progress while
+that aggregator sits in a blocking ``write()`` — so the overlap this
+algorithm promises largely fails to materialize for large messages.
+
+::
+
+    shuffle_init(p1)
+    for i = 1 .. NumberOfCycles-1:
+        shuffle_init(p2)
+        shuffle_wait(p1)
+        write(p1)              # blocking
+        swap(p1, p2)
+    shuffle_wait(p1)
+    write(p1)
+"""
+
+from __future__ import annotations
+
+from repro.collio.context import AlgoContext
+from repro.collio.overlap.base import OverlapAlgorithm
+
+__all__ = ["CommOverlap"]
+
+
+class CommOverlap(OverlapAlgorithm):
+    name = "comm_overlap"
+    nsub = 2
+    uses_async_write = False
+
+    def run(self, ctx: AlgoContext, shuffle):
+        ncycles = ctx.plan.num_cycles
+        if ncycles == 0:
+            return
+        yield from ctx.planning_tick()
+        pending = yield from shuffle.init(ctx, 0)
+        for cycle in range(1, ncycles):
+            yield from ctx.planning_tick()
+            nxt = yield from shuffle.init(ctx, cycle)
+            yield from shuffle.wait(ctx, pending)
+            yield from ctx.write_blocking(cycle - 1)
+            pending = nxt
+        yield from shuffle.wait(ctx, pending)
+        yield from ctx.write_blocking(ncycles - 1)

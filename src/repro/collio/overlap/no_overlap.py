@@ -1,0 +1,27 @@
+"""The baseline: classic two-phase I/O, no overlap (paper's reference).
+
+Each internal cycle is strictly sequential: shuffle the cycle's data to
+the aggregators, then write it.  The full collective buffer backs a
+single cycle (no sub-buffer split), so this baseline runs *half as many,
+twice as large* cycles as the overlap algorithms — exactly the trade the
+paper's Sec. III-A sets up.
+"""
+
+from __future__ import annotations
+
+from repro.collio.context import AlgoContext
+from repro.collio.overlap.base import OverlapAlgorithm
+
+__all__ = ["NoOverlap"]
+
+
+class NoOverlap(OverlapAlgorithm):
+    name = "no_overlap"
+    nsub = 1
+    uses_async_write = False
+
+    def run(self, ctx: AlgoContext, shuffle):
+        for cycle in range(ctx.plan.num_cycles):
+            yield from ctx.planning_tick()
+            yield from shuffle.blocking(ctx, cycle)
+            yield from ctx.write_blocking(cycle)

@@ -1,0 +1,63 @@
+"""Algorithm 4 — Write-Communication-2 Overlap (data-flow ordering).
+
+A revision of Algorithm 3 that avoids letting the non-blocking shuffle
+and non-blocking write complete "approximately at the same time": instead
+of one joint ``wait_all``, each non-blocking completion is immediately
+followed by posting its successor — completion of a sub-buffer's shuffle
+posts that sub-buffer's write; completion of a sub-buffer's write posts
+its next shuffle.  (The paper's Listing 4 contains an evident typo —
+``write_init(p1)`` appears on two consecutive lines — so this
+implementation follows the prose description of the data-flow model;
+unrolled by two cycles it matches the listing's two-shuffles/two-writes
+per iteration shape.)
+
+::
+
+    shuffle(p1)                 # cycle 0
+    write_init(p1)              # -> w_prev
+    shuffle_init(p2)            # cycle 1 -> h
+    for k = 1 .. NumberOfCycles-1:
+        shuffle_wait(h)         # cycle k data ready
+        write_init(p[k])        # post its write immediately
+        write_wait(w_prev)      # cycle k-1 write done
+        shuffle_init(p[k+1])    # post next shuffle immediately
+        w_prev = ...
+    shuffle/write drain
+"""
+
+from __future__ import annotations
+
+from repro.collio.context import AlgoContext
+from repro.collio.overlap.base import OverlapAlgorithm
+
+__all__ = ["WriteComm2Overlap"]
+
+
+class WriteComm2Overlap(OverlapAlgorithm):
+    name = "write_comm2"
+    nsub = 2
+    uses_async_write = True
+
+    def run(self, ctx: AlgoContext, shuffle):
+        ncycles = ctx.plan.num_cycles
+        if ncycles == 0:
+            return
+        yield from ctx.planning_tick()
+        yield from shuffle.blocking(ctx, 0)
+        pending_write = yield from ctx.write_init(0)
+        if ncycles == 1:
+            yield from ctx.write_wait(pending_write)
+            return
+        handle = yield from shuffle.init(ctx, 1)
+        for cycle in range(1, ncycles):
+            yield from ctx.planning_tick()
+            # Data for `cycle` is ready -> immediately post its write.
+            yield from shuffle.wait(ctx, handle)
+            next_write = yield from ctx.write_init(cycle)
+            # Previous cycle's write is done -> its sub-buffer is free ->
+            # immediately post the next shuffle into it.
+            yield from ctx.write_wait(pending_write)
+            pending_write = next_write
+            if cycle + 1 < ncycles:
+                handle = yield from shuffle.init(ctx, cycle + 1)
+        yield from ctx.write_wait(pending_write)

@@ -1,0 +1,312 @@
+"""The three shuffle data-transfer primitives (paper Sec. III-B).
+
+Each engine exposes the paper's ``shuffle_init`` / ``shuffle_wait`` split
+(plus blocking ``shuffle`` = init + wait):
+
+:class:`TwoSidedShuffle`
+    Non-blocking ``Isend``/``Irecv``.  Senders *pack* their pieces into
+    one contiguous message per (aggregator, cycle); aggregators post one
+    receive per expected sender and *unpack* (scatter) the received bytes
+    into the collective sub-buffer at ``shuffle_wait`` — CPU work charged
+    to the aggregator, the busiest rank.  Contributions an aggregator owes
+    itself are a local memcpy.
+
+:class:`OneSidedFenceShuffle`
+    ``MPI_Put`` with active-target synchronization: a ``Win_fence`` opens
+    the epoch in ``shuffle_init`` and a second fence in ``shuffle_wait``
+    guarantees completion (paper III-B2a).  Puts go *directly* to their
+    final position in the remote sub-buffer — one Put per contiguous
+    piece, no pack, no unpack, no matching at the target.
+
+:class:`OneSidedLockShuffle`
+    ``MPI_Put`` with passive-target synchronization:
+    ``Win_lock(SHARED)`` / puts / ``Win_unlock`` per target, with the
+    ``MPI_Barrier`` the paper had to add so (a) aggregators know all
+    inbound puts have finished and (b) no origin writes a sub-buffer the
+    aggregator is still flushing to disk (paper III-B2b).
+
+Every engine's calls are *collectively balanced*: all ranks execute the
+same sequence (with empty bodies when they have no data), so the
+collective synchronization inside the RMA variants lines up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.collio.context import AlgoContext
+from repro.collio.plan import SendAssignment
+
+__all__ = [
+    "ShuffleHandle",
+    "TwoSidedShuffle",
+    "OneSidedFenceShuffle",
+    "OneSidedLockShuffle",
+    "SHUFFLE_PRIMITIVES",
+    "make_shuffle",
+]
+
+
+@dataclass
+class ShuffleHandle:
+    """In-flight state of one cycle's shuffle on one rank."""
+
+    cycle: int
+    requests: list = field(default_factory=list)
+    #: (src_rank, recv_buffer, assignments) tuples to scatter at wait time.
+    unpacks: list = field(default_factory=list)
+    #: Local (self-contribution) assignments to copy at wait time.
+    local_copies: list = field(default_factory=list)
+    extra: Any = None
+
+
+def _pack(data: np.ndarray | None, sa: SendAssignment) -> np.ndarray | None:
+    """Gather a send assignment's pieces into one contiguous message.
+
+    Returns ``None`` in size-only mode (timing is unchanged; the pack CPU
+    cost is charged by the caller either way).
+    """
+    if data is None:
+        return None
+    if sa.npieces == 1:
+        lo = int(sa.local_offsets[0])
+        return data[lo : lo + int(sa.lengths[0])]
+    parts = [
+        data[int(lo) : int(lo) + int(ln)]
+        for lo, ln in zip(sa.local_offsets, sa.lengths)
+    ]
+    return np.concatenate(parts)
+
+
+def _scatter(ctx: AlgoContext, cycle: int, sa: SendAssignment, payload: np.ndarray | None) -> None:
+    """Place a contribution's pieces at their final sub-buffer positions."""
+    if payload is None:
+        return
+    crange = ctx.plan.cycle_range(sa.agg_index, cycle)
+    assert crange is not None
+    base = crange[0]
+    buf = ctx.buffer(ctx.sub_of_cycle(cycle))
+    pos = 0
+    for off, ln in zip(sa.offsets, sa.lengths):
+        buf[int(off) - base : int(off) - base + int(ln)] = payload[pos : pos + int(ln)]
+        pos += int(ln)
+
+
+class TwoSidedShuffle:
+    """Non-blocking two-sided shuffle (the production default)."""
+
+    name = "two_sided"
+    context_tag = "shuffle"
+
+    def setup(self, ctx: AlgoContext):
+        ctx.allocate_buffers()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def init(self, ctx: AlgoContext, cycle: int):
+        """Post this cycle's sends and (on aggregators) receives."""
+        t0 = ctx.mpi.now
+        handle = ShuffleHandle(cycle)
+        plan = ctx.plan
+        # Receives first, so self-sends (modelled as local copies) and fast
+        # eager senders find a posted receive more often — as real
+        # aggregator code does.
+        if ctx.is_aggregator:
+            for exp in plan.recvs_for(ctx.agg_index, cycle):
+                if exp.src_rank == ctx.rank:
+                    continue
+                buf = np.empty(exp.nbytes, dtype=np.uint8) if ctx.carries_data else None
+                req = yield from ctx.mpi.irecv(
+                    exp.src_rank, tag=cycle, buffer=buf, size=exp.nbytes,
+                    context=self.context_tag,
+                )
+                handle.requests.append(req)
+                handle.unpacks.append((exp.src_rank, buf))
+        for sa in plan.sends_for(ctx.rank, cycle):
+            agg_rank = plan.aggregators[sa.agg_index]
+            if agg_rank == ctx.rank:
+                handle.local_copies.append(sa)
+                continue
+            payload = _pack(ctx.data, sa)
+            cost = ctx.pack_cost(sa.nbytes, sa.npieces)
+            if cost:
+                yield from ctx.mpi.compute(cost)
+            req = yield from ctx.mpi.isend(
+                agg_rank, tag=cycle, data=payload, size=sa.nbytes,
+                context=self.context_tag,
+            )
+            handle.requests.append(req)
+            ctx.stats.bump("messages_sent")
+        ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
+        return handle
+
+    def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
+        """Complete the cycle's transfers, then unpack at aggregators."""
+        t0 = ctx.mpi.now
+        if handle.requests:
+            yield from ctx.mpi.waitall(handle.requests)
+        yield from self.finish(ctx, handle)
+        ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
+
+    def finish(self, ctx: AlgoContext, handle: ShuffleHandle):
+        """The post-transfer unpack/scatter step (aggregator CPU)."""
+        cycle = handle.cycle
+        if handle.unpacks and ctx.is_aggregator:
+            by_src = {
+                sa_src: [
+                    sa
+                    for sa in ctx.plan.sends_for(sa_src, cycle)
+                    if sa.agg_index == ctx.agg_index
+                ]
+                for sa_src, _ in handle.unpacks
+            }
+            total_bytes = 0
+            total_pieces = 0
+            for src, buf in handle.unpacks:
+                pos = 0
+                for sa in by_src[src]:
+                    payload = buf[pos : pos + sa.nbytes] if buf is not None else None
+                    _scatter(ctx, cycle, sa, payload)
+                    pos += sa.nbytes
+                    total_bytes += sa.nbytes
+                    total_pieces += sa.npieces
+            cost = ctx.unpack_cost(total_bytes, total_pieces)
+            if cost:
+                yield from ctx.mpi.compute(cost)
+        for sa in handle.local_copies:
+            _scatter(ctx, cycle, sa, _pack(ctx.data, sa))
+            yield from ctx.mpi.compute(ctx.local_copy_cost(sa.nbytes, sa.npieces))
+
+    def blocking(self, ctx: AlgoContext, cycle: int):
+        handle = yield from self.init(ctx, cycle)
+        yield from self.wait(ctx, handle)
+
+    @property
+    def combinable(self) -> bool:
+        """Whether wait() reduces to a request list (for joint wait_all)."""
+        return True
+
+
+class _OneSidedBase:
+    """Common machinery of the Put-based shuffles."""
+
+    def setup(self, ctx: AlgoContext):
+        yield from ctx.allocate_windows()
+
+    def _issue_puts(self, ctx: AlgoContext, cycle: int):
+        plan = ctx.plan
+        win = ctx.window(ctx.sub_of_cycle(cycle))
+        nputs = 0
+        for sa in plan.sends_for(ctx.rank, cycle):
+            agg_rank = plan.aggregators[sa.agg_index]
+            crange = plan.cycle_range(sa.agg_index, cycle)
+            assert crange is not None
+            base = crange[0]
+            for off, ln, loc in zip(sa.offsets, sa.lengths, sa.local_offsets):
+                piece = ctx.data[int(loc) : int(loc) + int(ln)] if ctx.carries_data else None
+                yield from win.put(agg_rank, piece, int(off) - base, size=int(ln))
+                nputs += 1
+        extra = ctx.extra_put_cost(nputs)
+        if extra:
+            yield from ctx.mpi.compute(extra)
+        ctx.stats.bump("puts_issued", nputs)
+
+    def blocking(self, ctx: AlgoContext, cycle: int):
+        handle = yield from self.init(ctx, cycle)
+        yield from self.wait(ctx, handle)
+
+    def finish(self, ctx: AlgoContext, handle: ShuffleHandle):
+        """No unpack needed: puts land in place."""
+        return
+        yield  # pragma: no cover
+
+    @property
+    def combinable(self) -> bool:
+        return False
+
+
+class OneSidedFenceShuffle(_OneSidedBase):
+    """Put + ``MPI_Win_fence`` (active-target) shuffle."""
+
+    name = "one_sided_fence"
+
+    def init(self, ctx: AlgoContext, cycle: int):
+        t0 = ctx.mpi.now
+        win = ctx.window(ctx.sub_of_cycle(cycle))
+        # Opening fence: also guarantees the target's previous write on
+        # this sub-buffer has completed before any put can land (every
+        # rank — including the aggregator — must pass it).
+        yield from win.fence()
+        yield from self._issue_puts(ctx, cycle)
+        ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
+        return ShuffleHandle(cycle)
+
+    def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
+        t0 = ctx.mpi.now
+        win = ctx.window(ctx.sub_of_cycle(handle.cycle))
+        yield from win.fence()
+        ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
+        ctx.stats.bump("fences", 2)
+
+
+class OneSidedLockShuffle(_OneSidedBase):
+    """Put + ``MPI_Win_lock(SHARED)``/``unlock`` (passive-target) shuffle."""
+
+    name = "one_sided_lock"
+
+    def init(self, ctx: AlgoContext, cycle: int):
+        t0 = ctx.mpi.now
+        # The paper's extra barrier: no origin may put into a sub-buffer
+        # before the aggregator finished writing its previous contents.
+        # Aggregators reach this barrier only after their write_wait.
+        yield from ctx.mpi.barrier()
+        plan = ctx.plan
+        win = ctx.window(ctx.sub_of_cycle(cycle))
+        targets: dict[int, list[SendAssignment]] = {}
+        for sa in plan.sends_for(ctx.rank, cycle):
+            targets.setdefault(plan.aggregators[sa.agg_index], []).append(sa)
+        nputs = 0
+        for agg_rank in sorted(targets):
+            yield from win.lock(agg_rank, exclusive=False)
+            for sa in targets[agg_rank]:
+                crange = plan.cycle_range(sa.agg_index, cycle)
+                assert crange is not None
+                base = crange[0]
+                for off, ln, loc in zip(sa.offsets, sa.lengths, sa.local_offsets):
+                    piece = ctx.data[int(loc) : int(loc) + int(ln)] if ctx.carries_data else None
+                    yield from win.put(agg_rank, piece, int(off) - base, size=int(ln))
+                    nputs += 1
+            yield from win.unlock(agg_rank, exclusive=False)
+        extra = ctx.extra_put_cost(nputs)
+        if extra:
+            yield from ctx.mpi.compute(extra)
+        ctx.stats.bump("puts_issued", nputs)
+        ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
+        return ShuffleHandle(cycle)
+
+    def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
+        t0 = ctx.mpi.now
+        # Target-side completion knowledge (paper III-B2b).
+        yield from ctx.mpi.barrier()
+        ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
+        ctx.stats.bump("barriers", 2)
+
+
+SHUFFLE_PRIMITIVES = {
+    "two_sided": TwoSidedShuffle,
+    "one_sided_fence": OneSidedFenceShuffle,
+    "one_sided_lock": OneSidedLockShuffle,
+}
+
+
+def make_shuffle(name: str):
+    """Instantiate a shuffle primitive by name."""
+    try:
+        return SHUFFLE_PRIMITIVES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown shuffle primitive {name!r}; known: {sorted(SHUFFLE_PRIMITIVES)}"
+        ) from None

@@ -1,0 +1,118 @@
+"""Per-rank file views: sorted, coalesced byte-extent lists.
+
+A :class:`FileView` is what ``MPI_File_set_view`` + a write call reduce to:
+the list of file byte ranges this rank writes, in file order.  The rank's
+local buffer maps onto the extents in order (MPI's canonical pack order),
+so ``local_offsets[i]`` is where extent ``i``'s bytes live in the local
+buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.mpi.datatypes import Datatype
+
+__all__ = ["FileView"]
+
+
+class FileView:
+    """The file footprint of one rank in a collective write."""
+
+    __slots__ = ("offsets", "lengths", "local_offsets", "total_bytes")
+
+    def __init__(self, offsets: np.ndarray, lengths: np.ndarray) -> None:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if offsets.shape != lengths.shape or offsets.ndim != 1:
+            raise WorkloadError("offsets and lengths must be equal-length 1-D arrays")
+        if len(offsets):
+            if (lengths <= 0).any():
+                raise WorkloadError("extent lengths must be positive")
+            if (offsets < 0).any():
+                raise WorkloadError("extent offsets must be >= 0")
+            ends = offsets + lengths
+            if (offsets[1:] < ends[:-1]).any():
+                raise WorkloadError("extents must be sorted and non-overlapping")
+        self.offsets = offsets
+        self.lengths = lengths
+        self.local_offsets = np.concatenate(([0], np.cumsum(lengths)[:-1])) if len(offsets) else np.zeros(0, np.int64)
+        self.total_bytes = int(lengths.sum()) if len(lengths) else 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_datatype(cls, dtype: Datatype, disp: int = 0, count: int = 1) -> "FileView":
+        """Build a view from an MPI datatype at file displacement ``disp``."""
+        flat = dtype.flatten(offset=disp, count=count)
+        return cls(flat[:, 0], flat[:, 1])
+
+    @classmethod
+    def contiguous(cls, offset: int, nbytes: int) -> "FileView":
+        """A single contiguous range (the IOR 1-D pattern)."""
+        if nbytes == 0:
+            return cls(np.zeros(0, np.int64), np.zeros(0, np.int64))
+        return cls(np.array([offset]), np.array([nbytes]))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_extents(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def file_range(self) -> tuple[int, int]:
+        """``(min_offset, max_end)`` of the view; ``(0, 0)`` if empty."""
+        if not len(self.offsets):
+            return (0, 0)
+        return int(self.offsets[0]), int(self.offsets[-1] + self.lengths[-1])
+
+    def clip(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Intersect the view with ``[lo, hi)``.
+
+        Returns ``(offsets, lengths, local_offsets)`` of the clipped
+        pieces; extents straddling a boundary are trimmed and their local
+        offsets adjusted so each piece still maps to the right local
+        bytes.
+        """
+        if hi <= lo or not len(self.offsets):
+            z = np.zeros(0, np.int64)
+            return z, z, z
+        ends = self.offsets + self.lengths
+        first = int(np.searchsorted(ends, lo, side="right"))
+        last = int(np.searchsorted(self.offsets, hi, side="left"))
+        if first >= last:
+            z = np.zeros(0, np.int64)
+            return z, z, z
+        offs = self.offsets[first:last].copy()
+        lens = self.lengths[first:last].copy()
+        locs = self.local_offsets[first:last].copy()
+        # Trim the first piece's head.
+        head_cut = lo - offs[0]
+        if head_cut > 0:
+            offs[0] += head_cut
+            lens[0] -= head_cut
+            locs[0] += head_cut
+        # Trim the last piece's tail.
+        tail_cut = (offs[-1] + lens[-1]) - hi
+        if tail_cut > 0:
+            lens[-1] -= tail_cut
+        return offs, lens, locs
+
+    def bytes_in(self, lo: int, hi: int) -> int:
+        """Total view bytes inside ``[lo, hi)``."""
+        _, lens, _ = self.clip(lo, hi)
+        return int(lens.sum()) if len(lens) else 0
+
+    def expected_file_bytes(self, data: np.ndarray, file_size: int) -> np.ndarray:
+        """Scatter ``data`` through the view into a ``file_size`` byte image.
+
+        Test helper: what the file region should contain if only this
+        rank wrote.
+        """
+        out = np.zeros(file_size, dtype=np.uint8)
+        for off, ln, loc in zip(self.offsets, self.lengths, self.local_offsets):
+            out[off : off + ln] = data[loc : loc + ln]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FileView {self.num_extents} extents, {self.total_bytes} bytes>"

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single except clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still waiting.
+
+    Raised by :meth:`repro.sim.engine.Engine.run` when simulation time can
+    no longer advance but at least one process has not terminated — the
+    simulated program is deadlocked (e.g. a receive without a matching
+    send, or an unmatched barrier).
+    """
+
+
+class MPIError(ReproError):
+    """Violation of MPI semantics by the simulated program."""
+
+
+class RMAError(MPIError):
+    """Violation of one-sided communication (RMA) semantics."""
+
+
+class DatatypeError(MPIError):
+    """Invalid datatype construction or use."""
+
+
+class FileSystemError(ReproError):
+    """Error raised by the simulated parallel file system."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration of a cluster, file system or experiment."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""

@@ -1,0 +1,40 @@
+"""Simulated striped parallel file system.
+
+Models a BeeGFS/Lustre-style parallel file system: a file is striped in
+fixed-size chunks round-robin across *storage targets*; each target is a
+serialized server (latency + bandwidth + optional shared-system noise).
+A write of ``(offset, size)`` is split at stripe boundaries into per-target
+requests and completes when the slowest target request drains.
+
+File contents are **byte-accurate**: every write stores real bytes, so the
+test suite can assert that all collective-write algorithm variants produce
+identical files.
+
+The :mod:`repro.fs.aio` engine provides asynchronous writes progressed by
+the simulated OS — independent of the issuing process — which is the
+mechanism behind the paper's Write-Overlap family of algorithms.  Its
+``aio_slots`` / ``aio_extra_overhead`` knobs model file systems where
+``aio_write`` performs poorly (the paper's closing note on Lustre).
+"""
+
+from repro.fs.aio import AioEngine, AioRequest
+from repro.fs.file import SimFile
+from repro.fs.pfs import ParallelFileSystem
+from repro.fs.presets import FsSpec, beegfs_crill, beegfs_ibex, fs_preset, lustre_like, FS_PRESETS
+from repro.fs.striping import StripeLayout
+from repro.fs.target import StorageTarget
+
+__all__ = [
+    "AioEngine",
+    "AioRequest",
+    "SimFile",
+    "ParallelFileSystem",
+    "FsSpec",
+    "beegfs_crill",
+    "beegfs_ibex",
+    "lustre_like",
+    "fs_preset",
+    "FS_PRESETS",
+    "StripeLayout",
+    "StorageTarget",
+]

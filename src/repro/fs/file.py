@@ -1,0 +1,69 @@
+"""Byte-accurate file contents for the simulated file system."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FileSystemError
+
+__all__ = ["SimFile"]
+
+
+class SimFile:
+    """The data of one simulated file.
+
+    Contents are held in a numpy ``uint8`` array that grows geometrically
+    on writes past the current end (like a sparse file, holes read as
+    zero).  This class is pure data — timing lives in
+    :class:`repro.fs.pfs.ParallelFileSystem`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._data = np.zeros(0, dtype=np.uint8)
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        """Current file size in bytes (highest written offset + 1)."""
+        return self._size
+
+    def _ensure_capacity(self, end: int) -> None:
+        if end <= len(self._data):
+            return
+        new_cap = max(end, 2 * len(self._data), 4096)
+        grown = np.zeros(new_cap, dtype=np.uint8)
+        grown[: len(self._data)] = self._data
+        self._data = grown
+
+    def write(self, offset: int, data: np.ndarray | bytes | bytearray) -> None:
+        """Store ``data`` at ``offset`` (extends the file as needed)."""
+        if offset < 0:
+            raise FileSystemError(f"negative write offset: {offset}")
+        buf = np.frombuffer(bytes(data), dtype=np.uint8) if not isinstance(data, np.ndarray) else data
+        if buf.dtype != np.uint8:
+            buf = buf.view(np.uint8)
+        end = offset + len(buf)
+        self._ensure_capacity(end)
+        self._data[offset:end] = buf
+        self._size = max(self._size, end)
+
+    def note_size(self, end: int) -> None:
+        """Record a size-only write's end offset (no bytes stored)."""
+        if end < 0:
+            raise FileSystemError(f"negative size: {end}")
+        self._size = max(self._size, end)
+
+    def read(self, offset: int, size: int) -> np.ndarray:
+        """Return ``size`` bytes at ``offset``; holes/EOF read as zeros."""
+        if offset < 0 or size < 0:
+            raise FileSystemError(f"invalid read: offset={offset} size={size}")
+        out = np.zeros(size, dtype=np.uint8)
+        avail_end = min(offset + size, len(self._data))
+        if avail_end > offset:
+            out[: avail_end - offset] = self._data[offset:avail_end]
+        return out
+
+    def contents(self) -> np.ndarray:
+        """The full file contents as a uint8 array (a copy)."""
+        return self._data[: self._size].copy()

@@ -1,0 +1,129 @@
+"""The parallel file system: striping + storage targets + file store."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FileSystemError
+from repro.sim.engine import Engine, Event
+from repro.sim.primitives import all_of
+from repro.sim.rng import RngStreams
+from repro.fs.file import SimFile
+from repro.fs.presets import FsSpec
+from repro.fs.striping import StripeLayout
+from repro.fs.target import StorageTarget
+
+__all__ = ["ParallelFileSystem"]
+
+
+class ParallelFileSystem:
+    """A striped parallel file system bound to a simulation engine.
+
+    Writes are split at stripe boundaries and queued on the owning
+    targets; a write completes when its slowest piece completes.  The
+    written bytes are copied into the file **at completion time**, which
+    deliberately mirrors the ``aio_write`` contract: if an algorithm reuses
+    a buffer before waiting for the write, the file receives the corrupted
+    contents — exactly the bug the double-buffering algorithms must avoid,
+    and one our correctness tests would catch.
+    """
+
+    def __init__(self, engine: Engine, spec: FsSpec, rng: RngStreams | None = None) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.layout = StripeLayout(stripe_size=spec.stripe_size, num_targets=spec.num_targets)
+        rng = rng or RngStreams(0)
+        self.targets = [
+            StorageTarget(
+                engine,
+                target_id=i,
+                bandwidth=spec.target_bandwidth,
+                latency=spec.target_latency,
+                noise=rng.lognormal_noise(f"fs.{spec.name}.t{i}", spec.noise_sigma),
+            )
+            for i in range(spec.num_targets)
+        ]
+        self._files: dict[str, SimFile] = {}
+        #: Total bytes written through this file system (all files).
+        self.bytes_written = 0
+
+    # -- namespace --------------------------------------------------------
+    def open(self, path: str) -> SimFile:
+        """Open (creating if needed) the file at ``path``."""
+        f = self._files.get(path)
+        if f is None:
+            f = SimFile(path)
+            self._files[path] = f
+        return f
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise FileSystemError(f"no such file: {path}")
+        del self._files[path]
+
+    def files(self) -> list[str]:
+        return sorted(self._files)
+
+    # -- I/O ---------------------------------------------------------------
+    def write(
+        self,
+        file: SimFile,
+        offset: int,
+        data: np.ndarray | None,
+        size: int | None = None,
+    ) -> Event:
+        """Submit a write; returns the completion event.
+
+        ``data`` must be a contiguous ``uint8`` view of the caller's
+        buffer.  The bytes are sampled at *completion* (see class docs), so
+        callers must keep the buffer stable until the event fires.
+
+        Pass ``data=None`` with an explicit ``size`` for *size-only* mode:
+        the timing (striping, queueing, contention) is identical but no
+        bytes are stored — used by large benchmark sweeps where moving
+        real payloads would only exercise the host's memory bus.
+        """
+        if data is None:
+            if size is None:
+                raise FileSystemError("size is required when data is None")
+            size = int(size)
+        else:
+            if data.dtype != np.uint8:
+                raise FileSystemError(f"write data must be uint8, got {data.dtype}")
+            if size is not None and int(size) != data.size:
+                raise FileSystemError(f"size={size} does not match data of {data.size} bytes")
+            size = int(data.size)
+        self.bytes_written += size
+        if size == 0:
+            done = self.engine.event()
+            done.succeed(self.engine.now)
+            return done
+        # One coalesced request per storage target: PFS clients stream all
+        # stripes of a write to a target in a single RPC, so the per-request
+        # latency is paid once per (write, target) pair, not per stripe.
+        per_target = self.layout.bytes_per_target(offset, size)
+        piece_events = [self.targets[t].submit(n) for t, n in sorted(per_target.items())]
+        done = all_of(self.engine, piece_events)
+        if data is not None:
+            done.callbacks.insert(0, lambda _evt: file.write(offset, data))
+        else:
+            done.callbacks.insert(0, lambda _evt: file.note_size(offset + size))
+        return done
+
+    def read(self, file: SimFile, offset: int, size: int) -> tuple[Event, np.ndarray]:
+        """Submit a read; returns ``(completion_event, out_buffer)``.
+
+        The returned buffer is filled immediately (contents cannot change
+        mid-flight in our write-once workloads); the event models timing.
+        """
+        per_target = self.layout.bytes_per_target(offset, size)
+        piece_events = [self.targets[t].submit(n) for t, n in sorted(per_target.items())]
+        done = all_of(self.engine, piece_events)
+        return done, file.read(offset, size)
+
+    # -- accounting ---------------------------------------------------------
+    def per_target_bytes(self) -> list[int]:
+        return [t.bytes_served for t in self.targets]

@@ -1,0 +1,78 @@
+"""Stripe layout arithmetic: mapping byte ranges to storage targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StripeLayout", "StripePiece"]
+
+
+@dataclass(frozen=True)
+class StripePiece:
+    """One contiguous piece of a request that lands on a single target."""
+
+    target: int
+    offset: int  # file offset of the piece
+    size: int
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Round-robin striping of a file across ``num_targets`` targets.
+
+    Byte ``b`` of the file lives in stripe ``b // stripe_size``, which is
+    served by target ``stripe_index % num_targets``.
+    """
+
+    stripe_size: int
+    num_targets: int
+
+    def __post_init__(self) -> None:
+        if self.stripe_size < 1:
+            raise ValueError(f"stripe_size must be >= 1, got {self.stripe_size}")
+        if self.num_targets < 1:
+            raise ValueError(f"num_targets must be >= 1, got {self.num_targets}")
+
+    def target_of(self, offset: int) -> int:
+        """Target serving the stripe containing byte ``offset``."""
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
+        return (offset // self.stripe_size) % self.num_targets
+
+    def split(self, offset: int, size: int) -> list[StripePiece]:
+        """Split request ``[offset, offset+size)`` at stripe boundaries.
+
+        Consecutive stripes on the *same* target (possible when
+        ``num_targets == 1``) are coalesced into a single piece.
+        """
+        if offset < 0 or size < 0:
+            raise ValueError(f"invalid request: offset={offset} size={size}")
+        pieces: list[StripePiece] = []
+        pos = offset
+        end = offset + size
+        while pos < end:
+            stripe_end = (pos // self.stripe_size + 1) * self.stripe_size
+            chunk_end = min(end, stripe_end)
+            target = self.target_of(pos)
+            if pieces and pieces[-1].target == target and pieces[-1].offset + pieces[-1].size == pos:
+                last = pieces[-1]
+                pieces[-1] = StripePiece(target, last.offset, last.size + (chunk_end - pos))
+            else:
+                pieces.append(StripePiece(target, pos, chunk_end - pos))
+            pos = chunk_end
+        return pieces
+
+    def bytes_per_target(self, offset: int, size: int) -> dict[int, int]:
+        """Total bytes of request ``[offset, offset+size)`` per target."""
+        totals: dict[int, int] = {}
+        for piece in self.split(offset, size):
+            totals[piece.target] = totals.get(piece.target, 0) + piece.size
+        return totals
+
+    def align_down(self, offset: int) -> int:
+        """Largest stripe boundary <= ``offset``."""
+        return (offset // self.stripe_size) * self.stripe_size
+
+    def align_up(self, offset: int) -> int:
+        """Smallest stripe boundary >= ``offset``."""
+        return -(-offset // self.stripe_size) * self.stripe_size

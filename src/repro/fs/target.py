@@ -1,0 +1,48 @@
+"""A storage target (OST / BeeGFS storage service): a serialized server."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine, Timeout
+from repro.sim.resources import ServerQueue
+
+__all__ = ["StorageTarget"]
+
+
+class StorageTarget:
+    """One storage server of the parallel file system.
+
+    Requests are served FIFO at the target's bandwidth with a fixed
+    per-request latency (seek/RPC overhead).  ``noise`` models interference
+    from other tenants of a shared storage system.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        target_id: int,
+        bandwidth: float,
+        latency: float,
+        noise: Callable[[], float] | None = None,
+    ) -> None:
+        self.target_id = target_id
+        self.queue = ServerQueue(
+            engine,
+            bandwidth=bandwidth,
+            latency=latency,
+            noise=noise,
+            name=f"ost{target_id}",
+        )
+
+    def submit(self, size: int) -> Timeout:
+        """Enqueue an I/O of ``size`` bytes; returns the completion event."""
+        return self.queue.submit(size)
+
+    @property
+    def bytes_served(self) -> int:
+        return self.queue.bytes_served
+
+    @property
+    def requests_served(self) -> int:
+        return self.queue.requests_served

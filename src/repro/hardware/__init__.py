@@ -1,0 +1,29 @@
+"""Cluster hardware model: nodes, NICs and the network fabric.
+
+The model is deliberately at the LogGP level of abstraction: a message
+from node *A* to node *B* occupies A's injection port and B's reception
+port for ``size / bandwidth`` seconds (cut-through, no store-and-forward
+per switch hop) and arrives one wire latency later.  Intra-node transfers
+go through the node's memory engine instead.  The interconnect core is
+assumed to have full bisection bandwidth (the QDR InfiniBand fat-trees of
+the paper's clusters are close to that), so NIC endpoints are the only
+network contention points.
+"""
+
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.hardware.fabric import Fabric
+from repro.hardware.nic import Nic
+from repro.hardware.node import Node
+from repro.hardware.presets import crill, ibex, preset, PRESETS
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "Fabric",
+    "Nic",
+    "Node",
+    "crill",
+    "ibex",
+    "preset",
+    "PRESETS",
+]

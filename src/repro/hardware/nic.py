@@ -1,0 +1,37 @@
+"""Network interface with independent injection (tx) and reception (rx) ports."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine
+from repro.sim.resources import ServerQueue
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """A full-duplex NIC: one serialized port per direction.
+
+    A point-to-point transfer reserves the sender's ``tx`` port and the
+    receiver's ``rx`` port for the same interval (see
+    :meth:`repro.hardware.fabric.Fabric.transfer`), which models both
+    injection-side and drain-side contention — the latter is what makes a
+    busy aggregator the bottleneck of the shuffle phase.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        bandwidth: float,
+        noise: Callable[[], float] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.bandwidth = float(bandwidth)
+        self.tx = ServerQueue(engine, bandwidth=bandwidth, noise=noise, name=f"nic{node_id}.tx")
+        self.rx = ServerQueue(engine, bandwidth=bandwidth, noise=noise, name=f"nic{node_id}.rx")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic node={self.node_id} bw={self.bandwidth:.3g}>"

@@ -1,0 +1,38 @@
+"""A compute node: cores plus a memory engine for intra-node transfers."""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+from repro.sim.resources import ServerQueue
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One compute node of the cluster.
+
+    ``memory`` is a serialized engine modelling the shared-memory copy
+    bandwidth used by intra-node MPI messages (and by the local buffer
+    packing of the two-phase algorithm if enabled).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        cores: int,
+        memory_bandwidth: float,
+        memory_latency: float,
+    ) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.cores = cores
+        self.memory = ServerQueue(
+            engine,
+            bandwidth=memory_bandwidth,
+            latency=memory_latency,
+            name=f"node{node_id}.mem",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} cores={self.cores}>"

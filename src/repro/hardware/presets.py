@@ -1,0 +1,76 @@
+"""Cluster presets matching the paper's two evaluation platforms.
+
+Section IV of the paper:
+
+*crill* (University of Houston): 16 nodes, 4x 12-core AMD Opteron
+(Magny-Cours) per node (48 cores/node, 768 total), 64 GB/node, QDR
+InfiniBand + UCX 1.6.1 with ~2.6 GB/s measured inter-node bandwidth, used
+**dedicated** (very low run-to-run variance).  Its BeeGFS is built from two
+extra HDDs in each of the 16 compute nodes — slow storage, so collective
+writes are heavily I/O-dominated (93% I/O at 576 procs for Tile-1M).
+
+*Ibex* (KAUST): Skylake partition, 108 nodes with 40-core Xeon Gold 6148,
+376 GB/node, same QDR+UCX fabric but ~3.4 GB/s measured inter-node
+bandwidth, **shared** with other users (larger variance).  Its BeeGFS is a
+large dedicated storage system (3.6 PB, 16 storage targets) with far higher
+write bandwidth, so the communication share is larger (~23% at 576 procs)
+— which is exactly why overlap helps more there.
+
+The UCX eager→rendezvous switch at 512 KiB is scaled along with all data
+sizes (:mod:`repro.config`).
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_SCALE, scaled
+from repro.hardware.cluster import ClusterSpec
+from repro.units import GiB, KiB, MB, US
+
+__all__ = ["crill", "ibex", "preset", "PRESETS"]
+
+#: UCX switches from eager to rendezvous at 512 KiB (paper, Sec. III-B1).
+EAGER_THRESHOLD_UNSCALED: int = 512 * KiB
+
+
+def crill(scale: int = DEFAULT_SCALE) -> ClusterSpec:
+    """The dedicated *crill* cluster at the University of Houston."""
+    return ClusterSpec(
+        name="crill",
+        num_nodes=16,
+        cores_per_node=48,
+        network_bandwidth=2_600 * MB,
+        network_latency=1.9 * US,  # older Magny-Cours hosts: slightly higher
+        memory_bandwidth=5_000 * MB,
+        eager_threshold=scaled(EAGER_THRESHOLD_UNSCALED, scale),
+        network_noise_sigma=0.02,  # dedicated system: near-deterministic
+        storage_noise_sigma=0.05,
+        memory_per_node=64 * GiB,
+    ).with_time_scale(scale)
+
+
+def ibex(scale: int = DEFAULT_SCALE) -> ClusterSpec:
+    """The shared *Ibex* Skylake partition at KAUST."""
+    return ClusterSpec(
+        name="ibex",
+        num_nodes=108,
+        cores_per_node=40,
+        network_bandwidth=3_400 * MB,
+        network_latency=1.4 * US,
+        memory_bandwidth=9_000 * MB,
+        eager_threshold=scaled(EAGER_THRESHOLD_UNSCALED, scale),
+        network_noise_sigma=0.12,  # shared system: visible variance
+        storage_noise_sigma=0.22,
+        memory_per_node=376 * GiB,
+    ).with_time_scale(scale)
+
+
+PRESETS = {"crill": crill, "ibex": ibex}
+
+
+def preset(name: str, scale: int = DEFAULT_SCALE) -> ClusterSpec:
+    """Look up a cluster preset by name (``'crill'`` or ``'ibex'``)."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown cluster preset {name!r}; known: {sorted(PRESETS)}") from None
+    return factory(scale=scale)

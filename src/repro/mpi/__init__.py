@@ -1,0 +1,66 @@
+"""Simulated MPI.
+
+The layer gives simulated ranks (generator processes) an MPI-flavoured
+API: non-blocking two-sided communication with tag matching and
+eager/rendezvous protocols, blocking wrappers, collectives, one-sided
+communication (RMA windows with active- and passive-target
+synchronization) and MPI-IO file handles backed by the simulated parallel
+file system.
+
+Modelling notes
+---------------
+* **Progress.**  Pending two-sided protocol actions of a rank (rendezvous
+  handshakes in particular) advance only while that rank is *inside an MPI
+  call* — or at any time if the cluster spec sets ``progress_thread=True``.
+  A rank blocked in a POSIX-style file write makes **no** MPI progress.
+  This reproduces the asymmetry at the core of the paper: background
+  writes (``aio``) progress via the OS, background communication needs the
+  MPI library to be driven.
+* **Eager vs rendezvous.**  Messages below the cluster's
+  ``eager_threshold`` are shipped immediately and buffered in the
+  receiver's unexpected-message queue; posting a receive pays a scan cost
+  proportional to that queue's length.  Larger messages perform an
+  RTS/CTS handshake that requires progress on both sides before the data
+  moves.
+* **Collectives** use analytic LogP-style cost models with full
+  synchronization semantics (no rank exits before the last enters): at the
+  scale of the paper's experiments (704 ranks x >1000 cycles) simulating
+  every dissemination-round message would dominate runtime without
+  affecting any studied effect.  Point-to-point traffic — the subject of
+  the paper — is simulated message by message.
+* **RMA.**  ``Put`` transfers need no target-side CPU or progress (RDMA),
+  but ``Win_fence`` costs a barrier plus completion of outstanding
+  operations, and passive-target locks pay per-origin round-trips.  Data
+  lands in real byte buffers.
+"""
+
+from repro.mpi.comm import Communicator
+from repro.mpi.datatypes import (
+    Datatype,
+    contiguous,
+    hindexed,
+    resized,
+    struct_view,
+    subarray,
+    vector,
+)
+from repro.mpi.message import CONTROL_MESSAGE_SIZE, MESSAGE_HEADER_SIZE
+from repro.mpi.request import Request
+from repro.mpi.window import Window
+from repro.mpi.world import World
+
+__all__ = [
+    "Communicator",
+    "Datatype",
+    "contiguous",
+    "vector",
+    "hindexed",
+    "subarray",
+    "resized",
+    "struct_view",
+    "Request",
+    "Window",
+    "World",
+    "MESSAGE_HEADER_SIZE",
+    "CONTROL_MESSAGE_SIZE",
+]

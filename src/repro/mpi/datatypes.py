@@ -1,0 +1,227 @@
+"""MPI-style derived datatypes, flattened to byte-extent lists.
+
+The two-phase algorithm consumes a rank's *file view* as a flat, sorted
+list of ``(file_offset, length)`` byte extents.  This module provides the
+classic MPI type constructors — contiguous, vector, hindexed, subarray,
+resized — and the flattening machinery, implemented on numpy arrays so
+that views with hundreds of thousands of extents stay cheap to build.
+
+A :class:`Datatype` is an immutable typemap: an array of ``(offset, len)``
+segments relative to the type's origin, plus an *extent* (the stride used
+when the type is replicated).  Adjacent/touching segments are coalesced.
+
+>>> t = vector(count=3, blocklength=4, stride=10)
+>>> t.segments.tolist()
+[[0, 4], [10, 4], [20, 4]]
+>>> t.extent
+24
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DatatypeError
+
+__all__ = [
+    "Datatype",
+    "contiguous",
+    "vector",
+    "hindexed",
+    "subarray",
+    "resized",
+    "struct_view",
+]
+
+
+def _coalesce(segments: np.ndarray) -> np.ndarray:
+    """Sort segments by offset and merge touching/adjacent ones."""
+    if len(segments) == 0:
+        return segments.reshape(0, 2)
+    order = np.argsort(segments[:, 0], kind="stable")
+    segs = segments[order]
+    offs, lens = segs[:, 0], segs[:, 1]
+    ends = offs + lens
+    # A segment starts a new run if it does not touch the previous run's end.
+    run_end = np.maximum.accumulate(ends)
+    new_run = np.ones(len(segs), dtype=bool)
+    new_run[1:] = offs[1:] > run_end[:-1]
+    run_ids = np.cumsum(new_run) - 1
+    n_runs = run_ids[-1] + 1
+    out = np.empty((n_runs, 2), dtype=np.int64)
+    starts_idx = np.flatnonzero(new_run)
+    out[:, 0] = offs[starts_idx]
+    last_idx = np.empty(n_runs, dtype=np.int64)
+    last_idx[run_ids] = np.arange(len(segs))
+    out[:, 1] = run_end[last_idx] - out[:, 0]
+    return out
+
+
+class Datatype:
+    """An immutable byte-level typemap.
+
+    ``segments`` is an ``(n, 2)`` int64 array of (relative offset, length)
+    pairs, sorted and coalesced; ``extent`` is the replication stride.
+    """
+
+    __slots__ = ("segments", "extent")
+
+    def __init__(self, segments: np.ndarray | Sequence[tuple[int, int]], extent: int | None = None):
+        segs = np.asarray(segments, dtype=np.int64).reshape(-1, 2)
+        if len(segs) and (segs[:, 1] <= 0).any():
+            raise DatatypeError("all segment lengths must be positive")
+        if len(segs) and (segs[:, 0] < 0).any():
+            raise DatatypeError("all segment offsets must be >= 0")
+        self.segments = _coalesce(segs)
+        if extent is None:
+            extent = int(self.segments[-1, 0] + self.segments[-1, 1]) if len(self.segments) else 0
+        if extent < 0:
+            raise DatatypeError(f"extent must be >= 0, got {extent}")
+        self.extent = int(extent)
+        self.segments.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total payload bytes (sum of segment lengths)."""
+        return int(self.segments[:, 1].sum()) if len(self.segments) else 0
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.num_segments <= 1 and self.extent == self.size
+
+    # ------------------------------------------------------------------
+    def replicate(self, count: int) -> "Datatype":
+        """``count`` copies laid out every ``extent`` bytes (MPI count)."""
+        if count < 0:
+            raise DatatypeError(f"count must be >= 0, got {count}")
+        if count == 0 or self.num_segments == 0:
+            return Datatype(np.empty((0, 2), dtype=np.int64), extent=self.extent * count)
+        if count == 1:
+            return self
+        reps = np.arange(count, dtype=np.int64) * self.extent
+        segs = np.tile(self.segments, (count, 1))
+        segs[:, 0] += np.repeat(reps, self.num_segments)
+        return Datatype(segs, extent=self.extent * count)
+
+    def flatten(self, offset: int = 0, count: int = 1) -> np.ndarray:
+        """Absolute ``(offset, length)`` extents of ``count`` replicas at ``offset``."""
+        t = self.replicate(count) if count != 1 else self
+        out = t.segments.copy()
+        out[:, 0] += int(offset)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Datatype):
+            return NotImplemented
+        return self.extent == other.extent and np.array_equal(self.segments, other.segments)
+
+    def __hash__(self) -> int:
+        return hash((self.extent, self.segments.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Datatype {self.num_segments} segs, size={self.size}, extent={self.extent}>"
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+
+def contiguous(nbytes: int) -> Datatype:
+    """``nbytes`` contiguous bytes."""
+    if nbytes < 0:
+        raise DatatypeError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes == 0:
+        return Datatype(np.empty((0, 2), dtype=np.int64), extent=0)
+    return Datatype([(0, nbytes)])
+
+
+def vector(count: int, blocklength: int, stride: int) -> Datatype:
+    """``count`` blocks of ``blocklength`` bytes every ``stride`` bytes."""
+    if count < 1 or blocklength < 1:
+        raise DatatypeError("count and blocklength must be >= 1")
+    if stride < blocklength:
+        raise DatatypeError(f"stride {stride} smaller than blocklength {blocklength}")
+    offs = np.arange(count, dtype=np.int64) * stride
+    segs = np.column_stack([offs, np.full(count, blocklength, dtype=np.int64)])
+    return Datatype(segs)
+
+
+def hindexed(blocks: Iterable[tuple[int, int]]) -> Datatype:
+    """Explicit ``(displacement, length)`` blocks (byte displacements)."""
+    return Datatype(list(blocks))
+
+
+def subarray(
+    sizes: Sequence[int],
+    subsizes: Sequence[int],
+    starts: Sequence[int],
+    elem_size: int = 1,
+) -> Datatype:
+    """A C-order rectangular subarray of a larger array (MPI_Type_create_subarray).
+
+    ``sizes`` is the full array shape, ``subsizes`` the selected block's
+    shape, ``starts`` its origin, all in *elements* of ``elem_size`` bytes.
+    The extent is the full array's byte size, so replication tiles whole
+    arrays (as MPI-IO file views do).
+    """
+    sizes = list(sizes)
+    subsizes = list(subsizes)
+    starts = list(starts)
+    if not (len(sizes) == len(subsizes) == len(starts)):
+        raise DatatypeError("sizes, subsizes and starts must have equal rank")
+    if not sizes:
+        raise DatatypeError("rank-0 subarray")
+    for full, sub, start in zip(sizes, subsizes, starts):
+        if sub < 1 or start < 0 or start + sub > full:
+            raise DatatypeError(
+                f"invalid subarray: sizes={sizes} subsizes={subsizes} starts={starts}"
+            )
+    if elem_size < 1:
+        raise DatatypeError(f"elem_size must be >= 1, got {elem_size}")
+    # Rows along the last axis are contiguous runs.
+    row_len = subsizes[-1] * elem_size
+    lead_shape = subsizes[:-1]
+    n_rows = int(np.prod(lead_shape)) if lead_shape else 1
+    # Strides (in bytes) of the full array, C order.
+    strides = np.empty(len(sizes), dtype=np.int64)
+    strides[-1] = elem_size
+    for d in range(len(sizes) - 2, -1, -1):
+        strides[d] = strides[d + 1] * sizes[d + 1]
+    base = int(np.dot(np.asarray(starts, dtype=np.int64), strides))
+    if n_rows == 1:
+        offs = np.array([base], dtype=np.int64)
+    else:
+        grids = np.indices(lead_shape).reshape(len(lead_shape), -1)
+        offs = base + (grids * strides[:-1, None]).sum(axis=0)
+    segs = np.column_stack([offs, np.full(n_rows, row_len, dtype=np.int64)])
+    return Datatype(segs, extent=int(np.prod(sizes)) * elem_size)
+
+
+def resized(dtype: Datatype, extent: int) -> Datatype:
+    """Copy of ``dtype`` with its extent overridden (MPI_Type_create_resized)."""
+    return Datatype(dtype.segments.copy(), extent=extent)
+
+
+def struct_view(fields: Iterable[tuple[int, Datatype]], extent: int | None = None) -> Datatype:
+    """Concatenate member datatypes at byte displacements (MPI_Type_create_struct)."""
+    parts = []
+    max_end = 0
+    for disp, member in fields:
+        if disp < 0:
+            raise DatatypeError(f"negative displacement {disp}")
+        segs = member.segments.copy()
+        segs[:, 0] += disp
+        parts.append(segs)
+        max_end = max(max_end, disp + member.extent)
+    if not parts:
+        return contiguous(0)
+    merged = np.concatenate(parts, axis=0)
+    return Datatype(merged, extent=extent if extent is not None else max_end)

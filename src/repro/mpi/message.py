@@ -1,0 +1,56 @@
+"""Message envelope and wire constants for the two-sided protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Message", "MatchKey", "MESSAGE_HEADER_SIZE", "CONTROL_MESSAGE_SIZE", "Protocol"]
+
+#: Bytes of envelope shipped with every message (tag, source, length, ...).
+MESSAGE_HEADER_SIZE: int = 64
+#: Size of RTS/CTS control messages of the rendezvous protocol.
+CONTROL_MESSAGE_SIZE: int = 64
+
+
+class Protocol:
+    """Wire protocol chosen for a message (by size against the threshold)."""
+
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+
+@dataclass(frozen=True)
+class MatchKey:
+    """The (context, source, tag) triple receives are matched on.
+
+    ``context`` separates communication planes (point-to-point traffic vs.
+    internal traffic) like MPI communicator context ids do.
+    """
+
+    context: str
+    source: int
+    tag: int
+
+
+@dataclass
+class Message:
+    """One in-flight point-to-point message."""
+
+    src: int
+    dst: int
+    tag: int
+    context: str
+    size: int
+    payload: np.ndarray | None = None
+    protocol: str = Protocol.EAGER
+    #: Set for eager messages once the payload is fully at the receiver.
+    arrived: bool = False
+    #: Sender-side bookkeeping (the SendOp driving this message).
+    send_op: Any = None
+
+    @property
+    def key(self) -> MatchKey:
+        return MatchKey(self.context, self.src, self.tag)

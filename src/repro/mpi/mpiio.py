@@ -1,0 +1,219 @@
+"""MPI-IO file handles over the simulated parallel file system.
+
+Two write paths matter to the paper:
+
+* :meth:`MPIFile.write_at` — the blocking POSIX-style path.  The rank is
+  stuck in the system call: **no MPI progress** (rendezvous handshakes
+  addressed to it stall until it returns).
+* :meth:`MPIFile.iwrite_at` — the ``aio_write``/``MPI_File_iwrite`` path.
+  The request is handed to the OS's aio engine and progresses in the
+  background regardless of what the rank does; completion is consumed
+  with the communicator's ``wait`` (which *is* an MPI call and therefore
+  also drives communication progress while blocked).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.mpi.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+
+__all__ = ["MPIFile"]
+
+
+def _as_bytes(data: np.ndarray | None, size: int | None) -> tuple[np.ndarray | None, int]:
+    if data is None:
+        if size is None:
+            raise ValueError("either data or size is required")
+        return None, int(size)
+    view = data.reshape(-1).view(np.uint8)
+    return view, view.size
+
+
+class MPIFile:
+    """One rank's handle on a shared file (open via ``comm.file_open``).
+
+    Write calls accept either real ``data`` (bytes are stored — the
+    default for correctness tests) or ``data=None`` with ``size`` for
+    size-only timing runs.
+    """
+
+    def __init__(self, comm: "Communicator", path: str) -> None:
+        self.comm = comm
+        self.path = path
+        world = comm.world
+        self.pfs = world.pfs
+        self.file = world.pfs.open(path)
+        self.aio = world.aio_engine(comm.rank)
+        self._view = None  # set by set_view; used by write_all/read_all
+        self._coll_count = 0
+        # Accounting (per handle, i.e. per rank).
+        self.bytes_written = 0
+        self.sync_writes = 0
+        self.async_writes = 0
+
+    def write_at(self, offset: int, data: np.ndarray | None = None, size: int | None = None):
+        """Blocking write; the rank makes no MPI progress while it runs."""
+        view, nbytes = _as_bytes(data, size)
+        self.bytes_written += nbytes
+        self.sync_writes += 1
+        done = self.pfs.write(self.file, offset, view, size=nbytes)
+        yield from self.comm.io_wait(done, setup_cost=self.pfs.spec.client_overhead)
+
+    def iwrite_at(self, offset: int, data: np.ndarray | None = None, size: int | None = None):
+        """Asynchronous write; returns a :class:`Request` immediately.
+
+        The posting cost is an MPI call (progress window); the I/O itself
+        is progressed by the simulated OS.
+        """
+        view, nbytes = _as_bytes(data, size)
+        self.bytes_written += nbytes
+        self.async_writes += 1
+        world = self.comm.world
+        rt = world.runtime(self.comm.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(
+                world.cluster.spec.mpi_call_overhead + self.pfs.spec.client_overhead
+            )
+            req = self.aio.submit(self.file, offset, view, size=nbytes)
+        finally:
+            rt.exit_progress()
+        return Request(req.event, "iwrite", req)
+
+    def read_at(self, offset: int, size: int):
+        """Blocking read; returns the bytes (zeros past EOF)."""
+        done, out = self.pfs.read(self.file, offset, size)
+        yield from self.comm.io_wait(done, setup_cost=self.pfs.spec.client_overhead)
+        return out
+
+    def iread_at(self, offset: int, size: int):
+        """Asynchronous read; returns ``(Request, buffer)``.
+
+        The buffer is filled once the request completes (wait on it with
+        the communicator's ``wait``, which also drives MPI progress).
+        """
+        world = self.comm.world
+        rt = world.runtime(self.comm.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(
+                world.cluster.spec.mpi_call_overhead + self.pfs.spec.client_overhead
+            )
+            req, out = self.aio.submit_read(self.file, offset, size)
+        finally:
+            rt.exit_progress()
+        return Request(req.event, "iread", req), out
+
+    # ------------------------------------------------------------------
+    # Collective I/O (MPI_File_set_view + Write_all / Read_all)
+    # ------------------------------------------------------------------
+    def set_view(self, datatype=None, disp: int = 0, count: int = 1, view=None) -> None:
+        """Declare this rank's file view for collective I/O.
+
+        Pass either an MPI :class:`~repro.mpi.datatypes.Datatype` (with a
+        file displacement and replication count, like
+        ``MPI_File_set_view`` + an element count) or a ready
+        :class:`~repro.collio.view.FileView`.
+        """
+        from repro.collio.view import FileView
+
+        if view is not None:
+            self._view = view
+        elif datatype is not None:
+            self._view = FileView.from_datatype(datatype, disp=disp, count=count)
+        else:
+            raise ValueError("set_view needs a datatype or a FileView")
+
+    def _collective_plan(self, views: dict, config, cycle_bytes: int):
+        """Build (or fetch) the shared plan for one collective operation."""
+        from repro.collio.api import build_plan
+
+        world = self.comm.world
+        self._coll_count += 1
+        key = (self.path, self._coll_count, cycle_bytes, config.cb_buffer_size)
+        plan = world.plan_cache.get(key)
+        if plan is None:
+            plan = build_plan(
+                world.cluster, world.nprocs, views, config, cycle_bytes,
+                stripe_size=self.pfs.spec.stripe_size,
+            )
+            world.plan_cache[key] = plan
+        return plan
+
+    def write_all(
+        self,
+        data: np.ndarray | None = None,
+        algorithm: str = "write_overlap",
+        shuffle: str = "two_sided",
+        config=None,
+    ):
+        """Collective write through the declared view (``MPI_File_write_all``).
+
+        Every rank must call this with its own data after ``set_view``.
+        Returns the rank's phase statistics.
+        """
+        from repro.collio.api import collective_write
+        from repro.collio.config import CollectiveConfig
+        from repro.collio.overlap import make_algorithm
+
+        if self._view is None:
+            raise ValueError("write_all requires a prior set_view()")
+        config = config or CollectiveConfig()
+        view = self._view
+        # Real collective metadata exchange: every rank contributes its
+        # view; the gathered result lets each rank derive the same plan.
+        gathered = yield from self.comm.allgather(
+            view, nbytes=view.num_extents * config.meta_bytes_per_extent
+        )
+        views = dict(enumerate(gathered))
+        cycle_bytes = make_algorithm(algorithm).cycle_bytes(config.cb_buffer_size)
+        plan = self._collective_plan(views, config, cycle_bytes)
+        stats = yield from collective_write(
+            self.comm, self, view, data, plan,
+            algorithm=algorithm, shuffle=shuffle, config=config,
+            exchange_metadata=False,
+        )
+        return stats
+
+    def read_all(
+        self,
+        out: np.ndarray | None = None,
+        algorithm: str = "read_ahead",
+        scatter: str = "two_sided",
+        config=None,
+    ):
+        """Collective read through the declared view (``MPI_File_read_all``).
+
+        Fills ``out`` (or runs size-only when ``out is None``); returns
+        the rank's phase statistics.
+        """
+        from repro.collio.config import CollectiveConfig
+        from repro.collio.read import READ_ALGORITHMS, collective_read
+
+        if self._view is None:
+            raise ValueError("read_all requires a prior set_view()")
+        config = config or CollectiveConfig()
+        view = self._view
+        gathered = yield from self.comm.allgather(
+            view, nbytes=view.num_extents * config.meta_bytes_per_extent
+        )
+        views = dict(enumerate(gathered))
+        nsub = READ_ALGORITHMS[algorithm].nsub
+        cycle_bytes = max(1, config.cb_buffer_size // nsub)
+        plan = self._collective_plan(views, config, cycle_bytes)
+        stats = yield from collective_read(
+            self.comm, self, view, out, plan,
+            algorithm=algorithm, scatter=scatter, config=config,
+            exchange_metadata=False,
+        )
+        return stats
+
+    @property
+    def size(self) -> int:
+        return self.file.size

@@ -1,0 +1,34 @@
+"""Request handles for non-blocking operations."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.engine import Event
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for a non-blocking operation (send, receive, RMA sync, I/O).
+
+    Completion is signalled through :attr:`event`; the MPI layer's ``wait``
+    family is the intended way to consume it (waiting constitutes an MPI
+    call and therefore drives progress).
+    """
+
+    __slots__ = ("event", "kind", "detail")
+
+    def __init__(self, event: Event, kind: str, detail: Any = None) -> None:
+        self.event = event
+        self.kind = kind
+        self.detail = detail
+
+    @property
+    def done(self) -> bool:
+        """True once the operation has completed (event processed)."""
+        return self.event.processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return f"<Request {self.kind} {state}>"

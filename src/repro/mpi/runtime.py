@@ -1,0 +1,302 @@
+"""Per-rank MPI library state: matching queues, progress, wire protocols.
+
+This module is the mechanistic heart of the simulated MPI.  For every rank
+it keeps the posted-receive and unexpected-message queues and drives the
+eager and rendezvous protocols:
+
+Eager (size < ``eager_threshold``)
+    The payload is copied out of the user buffer and injected immediately
+    (send completes locally).  On arrival it either completes a matching
+    posted receive or is parked in the unexpected queue.  Posting a
+    receive pays a scan cost proportional to the unexpected queue length —
+    the effect the paper calls out for aggregators receiving from many
+    processes.
+
+Rendezvous (size >= threshold)
+    The sender injects a small RTS.  Handling the RTS at the receiver
+    (matching + CTS) and handling the CTS at the sender both require the
+    respective rank to be *making progress* — i.e. inside an MPI call, or
+    owning a progress thread.  Once the CTS is handled, the payload moves
+    as an RDMA-style transfer needing no further CPU.  This is how a
+    sender gets coupled to a busy aggregator ("slow down to the speed of
+    the aggregator"), and why communication initiated before a blocking
+    write does not complete *during* that write.
+
+Matching is exact on ``(context, source, tag)``; wildcard receives are not
+needed by the two-phase algorithm and are not provided.  Non-overtaking
+order is guaranteed per key by FIFO queues (callers use distinct tags per
+cycle, so eager/rendezvous interleaving on one key does not arise).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import MPIError
+from repro.mpi.message import (
+    CONTROL_MESSAGE_SIZE,
+    MESSAGE_HEADER_SIZE,
+    MatchKey,
+    Message,
+    Protocol,
+)
+from repro.sim.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import World
+
+__all__ = ["RankRuntime", "RecvOp", "SendOp"]
+
+
+class SendOp:
+    """Sender-side state of one message."""
+
+    __slots__ = ("message", "event", "posted_at")
+
+    def __init__(self, message: Message, event: Event, posted_at: float) -> None:
+        self.message = message
+        self.event = event
+        self.posted_at = posted_at
+
+
+class RecvOp:
+    """Receiver-side state of one posted receive."""
+
+    __slots__ = ("key", "size", "buffer", "event", "posted_at")
+
+    def __init__(
+        self,
+        key: MatchKey,
+        size: int,
+        buffer: np.ndarray | None,
+        event: Event,
+        posted_at: float,
+    ) -> None:
+        self.key = key
+        self.size = size
+        self.buffer = buffer
+        self.event = event
+        self.posted_at = posted_at
+
+    def deliver_payload(self, payload: np.ndarray | None) -> None:
+        """Copy an arrived payload into the user buffer (byte-accurate)."""
+        if payload is None or self.buffer is None:
+            return
+        n = min(len(payload), len(self.buffer))
+        self.buffer[:n] = payload[:n]
+
+
+class RankRuntime:
+    """The MPI library instance of one rank."""
+
+    def __init__(self, world: "World", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.node = world.cluster.node_of_rank(rank)
+        spec = world.cluster.spec
+        self.eager_threshold = spec.eager_threshold
+        self._progress_thread = spec.progress_thread
+        self._progress_depth = 0
+        self._on_progress: list[Callable[[], None]] = []
+        self.posted: dict[MatchKey, deque[RecvOp]] = {}
+        self.unexpected: dict[MatchKey, deque[Message]] = {}
+        self.unexpected_total = 0
+        self.tracer = world.cluster.tracer
+        # Counters for tests/analysis.
+        self.eager_sent = 0
+        self.rendezvous_sent = 0
+        self.progress_deferrals = 0
+
+    # ------------------------------------------------------------------
+    # Progress engine
+    # ------------------------------------------------------------------
+    @property
+    def progress_active(self) -> bool:
+        """True while this rank can advance pending MPI protocol work."""
+        return self._progress_thread or self._progress_depth > 0
+
+    def enter_progress(self) -> None:
+        """Mark the rank as inside an MPI call; drains deferred work."""
+        self._progress_depth += 1
+        self._drain_progress_work()
+
+    def exit_progress(self) -> None:
+        if self._progress_depth <= 0:
+            raise MPIError("exit_progress without matching enter_progress")
+        self._progress_depth -= 1
+
+    def _drain_progress_work(self) -> None:
+        while self._on_progress:
+            work, self._on_progress = self._on_progress, []
+            for fn in work:
+                fn()
+
+    def when_progress(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` now if progressing, else at the next MPI call."""
+        if self.progress_active:
+            fn()
+        else:
+            self.progress_deferrals += 1
+            self.tracer.emit(self.world.engine.now, "progress.deferred", rank=self.rank)
+            self._on_progress.append(fn)
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def start_send(
+        self,
+        dst: int,
+        tag: int,
+        size: int,
+        payload: np.ndarray | None,
+        context: str,
+    ) -> SendOp:
+        """Initiate a message; returns the sender-side op (non-blocking).
+
+        Called from inside an MPI call (the communicator charges call
+        overhead and holds a progress window around this).
+        """
+        eng = self.world.engine
+        event = eng.event()
+        protocol = Protocol.EAGER if size < self.eager_threshold else Protocol.RENDEZVOUS
+        msg = Message(
+            src=self.rank, dst=dst, tag=tag, context=context, size=size,
+            payload=None, protocol=protocol,
+        )
+        op = SendOp(msg, event, eng.now)
+        msg.send_op = op
+        dst_rt = self.world.runtime(dst)
+        fabric = self.world.cluster.fabric
+        self.tracer.emit(
+            eng.now, f"send.{protocol}", src=self.rank, dst=dst, tag=tag, size=size
+        )
+        if protocol == Protocol.EAGER:
+            self.eager_sent += 1
+            # Buffered semantics: payload snapshot now, send completes locally.
+            msg.payload = np.array(payload, dtype=np.uint8, copy=True) if payload is not None else None
+            transfer = fabric.transfer(self.node, dst_rt.node, size + MESSAGE_HEADER_SIZE)
+            transfer.callbacks.append(lambda _evt: dst_rt._eager_arrived(msg))
+            event.succeed(eng.now)
+        else:
+            self.rendezvous_sent += 1
+            # Keep a *reference*: the payload is sampled when the data
+            # transfer completes, so reusing the buffer early corrupts data
+            # (as it would in a real zero-copy rendezvous).
+            msg.payload = payload
+            rts = fabric.transfer(self.node, dst_rt.node, CONTROL_MESSAGE_SIZE)
+            rts.callbacks.append(lambda _evt: dst_rt._rts_arrived(msg))
+        return op
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def match_cost(self) -> float:
+        """CPU cost of scanning the unexpected queue for one posted receive."""
+        return self.unexpected_total * self.world.cluster.spec.match_cost_per_entry
+
+    def post_recv(
+        self,
+        src: int,
+        tag: int,
+        size: int,
+        buffer: np.ndarray | None,
+        context: str,
+    ) -> RecvOp:
+        """Post a receive; match against the unexpected queue first."""
+        eng = self.world.engine
+        key = MatchKey(context, src, tag)
+        op = RecvOp(key, size, buffer, eng.event(), eng.now)
+        queue = self.unexpected.get(key)
+        if queue:
+            msg = queue.popleft()
+            if not queue:
+                del self.unexpected[key]
+            self.unexpected_total -= 1
+            if msg.protocol == Protocol.EAGER:
+                op.deliver_payload(msg.payload)
+                op.event.succeed(eng.now)
+            else:
+                # RTS was parked here; we are inside an MPI call, so the
+                # CTS can go out immediately.
+                self._send_cts(msg, op)
+            return op
+        self.posted.setdefault(key, deque()).append(op)
+        return op
+
+    # ------------------------------------------------------------------
+    # Protocol internals (run in "library land", via event callbacks)
+    # ------------------------------------------------------------------
+    def _eager_arrived(self, msg: Message) -> None:
+        """Eager payload fully at this rank: match or park.
+
+        Eager delivery is modelled as not needing receiver progress
+        (hardware tag-matching / firmware copies into the bounce buffer).
+        """
+        queue = self.posted.get(msg.key)
+        if queue:
+            op = queue.popleft()
+            if not queue:
+                del self.posted[msg.key]
+            op.deliver_payload(msg.payload)
+            op.event.succeed(self.world.engine.now)
+        else:
+            msg.arrived = True
+            self.unexpected.setdefault(msg.key, deque()).append(msg)
+            self.unexpected_total += 1
+            self.tracer.emit(
+                self.world.engine.now, "recv.unexpected",
+                rank=self.rank, src=msg.src, queue_length=self.unexpected_total,
+            )
+
+    def _rts_arrived(self, msg: Message) -> None:
+        """Rendezvous RTS at the receiver: needs receiver progress."""
+        self.when_progress(lambda: self._handle_rts(msg))
+
+    def _handle_rts(self, msg: Message) -> None:
+        queue = self.posted.get(msg.key)
+        if queue:
+            op = queue.popleft()
+            if not queue:
+                del self.posted[msg.key]
+            self._send_cts(msg, op)
+        else:
+            self.unexpected.setdefault(msg.key, deque()).append(msg)
+            self.unexpected_total += 1
+
+    def _send_cts(self, msg: Message, op: RecvOp) -> None:
+        """Receiver grants the transfer; sender handles CTS under progress."""
+        fabric = self.world.cluster.fabric
+        src_rt = self.world.runtime(msg.src)
+        cts = fabric.transfer(self.node, src_rt.node, CONTROL_MESSAGE_SIZE)
+        cts.callbacks.append(
+            lambda _evt: src_rt.when_progress(lambda: src_rt._start_rndv_data(msg, op))
+        )
+
+    def _start_rndv_data(self, msg: Message, op: RecvOp) -> None:
+        """Sender-side CTS handling: start the RDMA-style payload transfer."""
+        fabric = self.world.cluster.fabric
+        dst_rt = self.world.runtime(msg.dst)
+        data = fabric.transfer(self.node, dst_rt.node, msg.size + MESSAGE_HEADER_SIZE)
+
+        def complete(_evt) -> None:
+            # Payload sampled at completion: zero-copy semantics.
+            op.deliver_payload(msg.payload)
+            now = self.world.engine.now
+            msg.send_op.event.succeed(now)
+            op.event.succeed(now)
+
+        data.callbacks.append(complete)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def pending_counts(self) -> dict[str, int]:
+        """Posted/unexpected queue sizes (for tests and debugging)."""
+        return {
+            "posted": sum(len(q) for q in self.posted.values()),
+            "unexpected": self.unexpected_total,
+            "deferred_progress_work": len(self._on_progress),
+        }

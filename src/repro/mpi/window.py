@@ -1,0 +1,326 @@
+"""One-sided communication: RMA windows, Put, fence and lock synchronization.
+
+Model summary (and how it carries the paper's physics):
+
+* ``put`` costs the origin a small fixed overhead and moves the data over
+  the fabric with **no target-side CPU or progress** — the RDMA advantage
+  over two-sided messaging (no matching, no unexpected queue).
+* ``fence`` (active target) is collective: each rank first completes its
+  own outstanding puts, then joins a barrier.  Its cost is what usually
+  erases the Put advantage (paper, Fig. 4).
+* ``lock``/``unlock`` (passive target) pay a round-trip per origin-target
+  pair plus FIFO queueing on the target's lock state;
+  ``MPI_LOCK_SHARED`` allows concurrent holders (the paper's choice for
+  the shuffle, since writers touch disjoint bytes), exclusive serializes.
+  Target-side completion knowledge still requires an ``MPI_Barrier`` in
+  the calling algorithm, exactly as the paper describes.
+
+Window memory is byte-accurate: puts land in real numpy buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import RMAError
+from repro.mpi.message import MESSAGE_HEADER_SIZE
+from repro.sim.engine import Event
+from repro.sim.primitives import all_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Communicator
+    from repro.mpi.world import World
+
+__all__ = ["Window", "WindowHandle", "WindowRegistry"]
+
+
+class _TargetLock:
+    """FIFO readers-writer lock guarding one rank's window exposure."""
+
+    def __init__(self, world: "World") -> None:
+        self._world = world
+        self._active_shared = 0
+        self._active_exclusive = False
+        self._queue: deque[tuple[bool, Event]] = deque()
+
+    def acquire(self, exclusive: bool) -> Event:
+        grant = self._world.engine.event()
+        if not self._queue and self._compatible(exclusive):
+            self._admit(exclusive, grant)
+        else:
+            self._queue.append((exclusive, grant))
+        return grant
+
+    def _compatible(self, exclusive: bool) -> bool:
+        if self._active_exclusive:
+            return False
+        return not (exclusive and self._active_shared > 0)
+
+    def _admit(self, exclusive: bool, grant: Event) -> None:
+        if exclusive:
+            self._active_exclusive = True
+        else:
+            self._active_shared += 1
+        grant.succeed(None)
+
+    def release(self, exclusive: bool) -> None:
+        if exclusive:
+            if not self._active_exclusive:
+                raise RMAError("exclusive unlock without a held exclusive lock")
+            self._active_exclusive = False
+        else:
+            if self._active_shared <= 0:
+                raise RMAError("shared unlock without a held shared lock")
+            self._active_shared -= 1
+        while self._queue and self._compatible(self._queue[0][0]):
+            exclusive_next, grant = self._queue.popleft()
+            self._admit(exclusive_next, grant)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class Window:
+    """Shared state of one RMA window across all ranks."""
+
+    def __init__(self, world: "World", win_id: int, sizes: dict[int, int]) -> None:
+        self.world = world
+        self.win_id = win_id
+        self.sizes = sizes
+        self.buffers: dict[int, np.ndarray] = {
+            rank: np.zeros(size, dtype=np.uint8) for rank, size in sizes.items() if size > 0
+        }
+        #: outstanding put completion events: (origin, target) -> [Event]
+        self._outstanding: dict[tuple[int, int], list[Event]] = {}
+        self.locks: dict[int, _TargetLock] = {}
+        self.puts_issued = 0
+        self.gets_issued = 0
+
+    def buffer(self, rank: int) -> np.ndarray:
+        buf = self.buffers.get(rank)
+        if buf is None:
+            raise RMAError(f"rank {rank} exposes a zero-size window")
+        return buf
+
+    def lock_state(self, target: int) -> _TargetLock:
+        lock = self.locks.get(target)
+        if lock is None:
+            lock = _TargetLock(self.world)
+            self.locks[target] = lock
+        return lock
+
+    def track(self, origin: int, target: int, event: Event) -> None:
+        self._outstanding.setdefault((origin, target), []).append(event)
+
+    def drain_events(self, origin: int, target: int | None = None) -> list[Event]:
+        """Pop outstanding put events of ``origin`` (optionally one target)."""
+        if target is not None:
+            return self._outstanding.pop((origin, target), [])
+        events: list[Event] = []
+        for key in [k for k in self._outstanding if k[0] == origin]:
+            events.extend(self._outstanding.pop(key))
+        return events
+
+    def outstanding_count(self, origin: int) -> int:
+        return sum(len(v) for k, v in self._outstanding.items() if k[0] == origin)
+
+
+class WindowHandle:
+    """One rank's view of a window (the object ``win_allocate`` returns)."""
+
+    def __init__(self, window: Window, comm: "Communicator") -> None:
+        self.window = window
+        self.comm = comm
+        self.rank = comm.rank
+
+    # -- local memory ------------------------------------------------------
+    @property
+    def local_buffer(self) -> np.ndarray:
+        """This rank's exposed memory (raises if size 0)."""
+        return self.window.buffer(self.rank)
+
+    @property
+    def local_size(self) -> int:
+        return self.window.sizes.get(self.rank, 0)
+
+    # -- communication -----------------------------------------------------
+    def put(
+        self,
+        target: int,
+        data: np.ndarray | None,
+        target_offset: int,
+        size: int | None = None,
+    ):
+        """Non-blocking Put into ``target``'s window.  ``yield from``.
+
+        Returns the completion :class:`~repro.sim.engine.Event` (also
+        tracked in the window's epoch state for fence/unlock).  No
+        target-side progress is needed; the bytes are sampled when the
+        transfer completes (zero-copy semantics — keep the source buffer
+        stable until the closing synchronization).  ``data=None`` +
+        ``size`` selects size-only mode (same timing, no bytes land).
+        """
+        world = self.comm.world
+        spec = world.cluster.spec
+        if data is None:
+            if size is None:
+                raise RMAError("size is required when data is None")
+            view = None
+            nbytes = int(size)
+        else:
+            view = data.reshape(-1).view(np.uint8)
+            nbytes = view.size
+        target_buf = self.window.buffer(target)
+        if target_offset < 0 or target_offset + nbytes > target_buf.size:
+            raise RMAError(
+                f"put of {nbytes} bytes at offset {target_offset} exceeds "
+                f"window of {target_buf.size} bytes on rank {target}"
+            )
+        rt = world.runtime(self.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(spec.mpi_call_overhead + spec.rma_put_overhead)
+            transfer = world.cluster.fabric.transfer(
+                rt.node,
+                world.runtime(target).node,
+                nbytes + MESSAGE_HEADER_SIZE,
+            )
+            self.window.puts_issued += 1
+            if view is not None:
+
+                def land(_evt, view=view, off=int(target_offset)) -> None:
+                    target_buf[off : off + view.size] = view
+
+                transfer.callbacks.append(land)
+            self.window.track(self.rank, target, transfer)
+        finally:
+            rt.exit_progress()
+        return transfer
+
+    def get(
+        self,
+        target: int,
+        local_buffer: np.ndarray | None,
+        target_offset: int,
+        size: int | None = None,
+    ):
+        """Non-blocking Get from ``target``'s window.  ``yield from``.
+
+        The mirror of :meth:`put`: bytes flow target -> origin with no
+        target-side CPU; the local buffer is filled when the transfer
+        completes.  Returns the completion event (tracked in the epoch
+        state like puts, so fence/unlock flush it).
+        """
+        world = self.comm.world
+        spec = world.cluster.spec
+        if local_buffer is None:
+            if size is None:
+                raise RMAError("size is required when local_buffer is None")
+            nbytes = int(size)
+        else:
+            nbytes = int(local_buffer.size) if size is None else int(size)
+        target_buf = self.window.buffer(target)
+        if target_offset < 0 or target_offset + nbytes > target_buf.size:
+            raise RMAError(
+                f"get of {nbytes} bytes at offset {target_offset} exceeds "
+                f"window of {target_buf.size} bytes on rank {target}"
+            )
+        rt = world.runtime(self.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(spec.mpi_call_overhead + spec.rma_put_overhead)
+            transfer = world.cluster.fabric.transfer(
+                world.runtime(target).node,
+                rt.node,
+                nbytes + MESSAGE_HEADER_SIZE,
+            )
+            self.window.gets_issued += 1
+            if local_buffer is not None:
+
+                def land(_evt, buf=local_buffer, off=int(target_offset), n=nbytes) -> None:
+                    buf[:n] = target_buf[off : off + n]
+
+                transfer.callbacks.append(land)
+            self.window.track(self.rank, target, transfer)
+        finally:
+            rt.exit_progress()
+        return transfer
+
+    # -- active-target synchronization --------------------------------------
+    def fence(self):
+        """``MPI_Win_fence``: complete own puts, then a collective barrier."""
+        world = self.comm.world
+        rt = world.runtime(self.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(world.cluster.spec.mpi_call_overhead)
+            own = self.window.drain_events(self.rank)
+            if own:
+                yield all_of(world.engine, own)
+        finally:
+            rt.exit_progress()
+        yield from self.comm.barrier()
+
+    # -- passive-target synchronization --------------------------------------
+    def lock(self, target: int, exclusive: bool = False):
+        """``MPI_Win_lock``: a round-trip to the target plus queueing.
+
+        Lock arbitration is hardware-offloaded (RDMA atomics): it does
+        **not** require target-side progress.
+        """
+        world = self.comm.world
+        spec = world.cluster.spec
+        rt = world.runtime(self.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(spec.mpi_call_overhead + spec.rma_lock_overhead)
+            if world.runtime(target).node != rt.node:
+                yield world.engine.timeout(2 * spec.network_latency)
+            yield self.window.lock_state(target).acquire(exclusive)
+        finally:
+            rt.exit_progress()
+
+    def unlock(self, target: int, exclusive: bool = False):
+        """``MPI_Win_unlock``: flush puts to ``target``, release, round-trip."""
+        world = self.comm.world
+        spec = world.cluster.spec
+        rt = world.runtime(self.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(spec.mpi_call_overhead)
+            pending = self.window.drain_events(self.rank, target)
+            if pending:
+                yield all_of(world.engine, pending)
+            self.window.lock_state(target).release(exclusive)
+            if world.runtime(target).node != rt.node:
+                yield world.engine.timeout(2 * spec.network_latency)
+        finally:
+            rt.exit_progress()
+
+
+class WindowRegistry:
+    """Creates/joins shared :class:`Window` objects during ``win_allocate``."""
+
+    def __init__(self, world: "World") -> None:
+        self.world = world
+        self._windows: dict[int, Window] = {}
+        self._declared: dict[int, dict[int, int]] = {}
+
+    def attach(self, win_id: int, rank: int, size: int) -> WindowHandle:
+        sizes = self._declared.setdefault(win_id, {})
+        if rank in sizes:
+            raise RMAError(f"rank {rank} attached window {win_id} twice")
+        sizes[rank] = size
+        window = self._windows.get(win_id)
+        if window is None:
+            window = Window(self.world, win_id, sizes)
+            self._windows[win_id] = window
+        else:
+            # Late-arriving ranks with nonzero windows get buffers too.
+            if size > 0 and rank not in window.buffers:
+                window.buffers[rank] = np.zeros(size, dtype=np.uint8)
+        return WindowHandle(window, self.world.comm(rank))

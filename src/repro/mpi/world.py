@@ -1,0 +1,106 @@
+"""The World: a cluster + file system + ``nprocs`` MPI ranks.
+
+This is the top-level container a simulated MPI program runs in::
+
+    world = World(crill(), nprocs=16, fs_spec=beegfs_crill())
+
+    def program(mpi):
+        yield from mpi.barrier()
+        return mpi.rank
+
+    results = world.run(program)   # [0, 1, ..., 15]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.config import DEFAULT_SEED
+from repro.errors import ConfigurationError
+from repro.fs.aio import AioEngine
+from repro.fs.pfs import ParallelFileSystem
+from repro.fs.presets import FsSpec
+from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.mpi.collops import CollectiveEngine, CollectiveModel
+from repro.mpi.comm import Communicator
+from repro.mpi.runtime import RankRuntime
+from repro.mpi.window import WindowRegistry
+from repro.sim.engine import Engine
+
+__all__ = ["World"]
+
+
+class World:
+    """A complete simulated machine with ``nprocs`` MPI ranks."""
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        nprocs: int,
+        fs_spec: FsSpec | None = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        if nprocs < 1:
+            raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+        if nprocs > cluster_spec.total_cores:
+            raise ConfigurationError(
+                f"{nprocs} ranks exceed the cluster's {cluster_spec.total_cores} cores"
+            )
+        self.engine = Engine()
+        self.nprocs = nprocs
+        self.cluster = Cluster(self.engine, cluster_spec, seed=seed)
+        self.pfs = (
+            ParallelFileSystem(self.engine, fs_spec, rng=self.cluster.rng)
+            if fs_spec is not None
+            else None
+        )
+        self.coll = CollectiveEngine(
+            self.engine,
+            nprocs,
+            CollectiveModel(
+                latency=cluster_spec.network_latency,
+                bandwidth=cluster_spec.network_bandwidth,
+                call_overhead=cluster_spec.mpi_call_overhead,
+            ),
+        )
+        self.window_registry = WindowRegistry(self)
+        #: Shared cache of two-phase plans built by MPIFile.write_all /
+        #: read_all (first rank to need a plan builds it; peers reuse it).
+        self.plan_cache: dict = {}
+        self._runtimes = [RankRuntime(self, r) for r in range(nprocs)]
+        self._comms = [Communicator(self, r) for r in range(nprocs)]
+        self._aio: dict[int, AioEngine] = {}
+
+    # ------------------------------------------------------------------
+    def runtime(self, rank: int) -> RankRuntime:
+        return self._runtimes[rank]
+
+    def comm(self, rank: int) -> Communicator:
+        return self._comms[rank]
+
+    def aio_engine(self, rank: int) -> AioEngine:
+        """The per-rank aio context (created lazily; needs a file system)."""
+        if self.pfs is None:
+            raise ConfigurationError("this world has no file system")
+        engine = self._aio.get(rank)
+        if engine is None:
+            engine = AioEngine(self.engine, self.pfs)
+            self._aio[rank] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    def run(self, program: Callable, *args: Any, **kwargs: Any) -> list[Any]:
+        """Run ``program(comm, *args, **kwargs)`` on every rank to completion.
+
+        Returns the per-rank return values, ordered by rank.  Propagates
+        the first failure (including deadlocks detected by the kernel).
+        """
+        procs = [
+            self.engine.process(program(self._comms[r], *args, **kwargs), name=f"rank{r}")
+            for r in range(self.nprocs)
+        ]
+        return self.engine.run_until_complete(procs)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now

@@ -1,0 +1,322 @@
+"""The discrete-event engine: events, processes and the simulation clock.
+
+The model follows the classic event-scheduling world view:
+
+* An :class:`Event` is a one-shot occurrence.  It is *triggered* when its
+  outcome (success value or failure exception) is decided, and *processed*
+  when the engine pops it off the queue and runs its callbacks.
+* A :class:`Process` wraps a generator.  Each ``yield`` hands the engine an
+  event to wait for; the generator is resumed with the event's value (or
+  the event's exception is thrown into it).  A process is itself an event
+  that triggers when the generator terminates, so processes can wait for
+  each other.
+* The :class:`Engine` owns the clock and the event heap.  Two events
+  scheduled for the same instant are processed in the order they were
+  scheduled (FIFO), which makes runs bit-for-bit reproducible.
+
+The kernel knows nothing about MPI, networks or file systems; those layers
+are built on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import DeadlockError, SimulationError
+
+__all__ = ["Engine", "Event", "Process", "Timeout"]
+
+# Sentinel for "event outcome not yet decided".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it and schedules it for processing at the current simulated
+    time; when the engine processes it, every callback in
+    :attr:`callbacks` is invoked with the event as its only argument.
+
+    Waiting is expressed by appending a callback (processes do this
+    automatically when they ``yield`` an event).
+    """
+
+    __slots__ = ("engine", "callbacks", "_outcome", "_ok", "_processed", "defused")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._outcome: Any = _PENDING
+        self._ok: bool = True
+        self._processed: bool = False
+        #: A failed event whose exception was delivered to a waiter is
+        #: "defused"; an un-defused failure surfaces from :meth:`Engine.run`.
+        self.defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the outcome (value or exception) has been decided."""
+        return self._outcome is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception of a triggered event."""
+        if self._outcome is _PENDING:
+            raise SimulationError("event value read before it was triggered")
+        return self._outcome
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._outcome is not _PENDING:
+            raise SimulationError("event triggered twice")
+        self._outcome = value
+        self._ok = True
+        self.engine._push(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._outcome is not _PENDING:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._outcome = exception
+        self._ok = False
+        self.engine._push(self)
+        return self
+
+    def _process(self) -> None:
+        """Run callbacks.  Called exactly once by the engine."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if not self._ok and not self.defused:
+            # Nobody is handling this failure: abort the simulation run.
+            raise self._outcome
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` seconds after creation.
+
+    The outcome is decided up front, but the event only *triggers* when
+    its fire time arrives — ``triggered`` is False until then, so waiters
+    (including :class:`~repro.sim.primitives.AllOf`) see it as pending.
+    """
+
+    __slots__ = ("delay", "_pending_value")
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._pending_value = value
+        engine._push(self, delay=delay)
+
+    def _process(self) -> None:
+        self._outcome = self._pending_value
+        self._ok = True
+        super()._process()
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Process(Event):
+    """A simulated activity driven by a generator.
+
+    The generator may ``yield`` any :class:`Event`; it is resumed with the
+    event's value once the event is processed.  If the awaited event
+    failed, its exception is thrown into the generator (which may catch
+    it).  When the generator returns, the process event succeeds with the
+    return value; an uncaught exception fails the process event.
+    """
+
+    __slots__ = ("_generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you call a plain function instead of a generator function?"
+            )
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        engine._active_processes += 1
+        # Bootstrap: first resumption at the current time.
+        start = Event(engine)
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        engine = self.engine
+        engine._current = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                event.defused = True
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            engine._active_processes -= 1
+            engine._current = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            engine._active_processes -= 1
+            engine._current = None
+            self.fail(exc)
+            return
+        engine._current = None
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+            engine._active_processes -= 1
+            self.fail(error)
+            return
+        self._waiting_on = target
+        if target.processed:
+            # The event already ran its callbacks; resume on a fresh tick so
+            # ordering stays heap-mediated and deterministic.
+            bridge = Event(engine)
+            bridge.callbacks.append(self._resume)
+            if target.ok:
+                bridge.succeed(target.value)
+            else:
+                target.defused = True
+                bridge.fail(target.value)
+                bridge.defused = True  # re-armed via _resume's throw path
+        else:
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class Engine:
+    """The simulation clock and event queue.
+
+    Typical use::
+
+        eng = Engine()
+
+        def worker(eng):
+            yield eng.timeout(1.5)
+            return "done"
+
+        proc = eng.process(worker(eng))
+        eng.run()
+        assert eng.now == 1.5 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._active_processes: int = 0
+        self._current: Process | None = None
+
+    # -- factory helpers --------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._current
+
+    # -- scheduling --------------------------------------------------------
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        event._process()
+
+    def run(self, until: float | None = None) -> None:
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        Raises :class:`~repro.errors.DeadlockError` if the queue empties
+        while processes are still alive (and no ``until`` bound was hit),
+        because in a closed simulation that means the modelled program can
+        never make progress again.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+        if self._active_processes > 0:
+            raise DeadlockError(
+                f"event queue drained with {self._active_processes} process(es) "
+                "still waiting — the simulated program is deadlocked"
+            )
+
+    def run_until_complete(self, processes: Iterable[Process]) -> list[Any]:
+        """Run until every process in ``processes`` has terminated.
+
+        Returns their values in order.  Any process failure propagates.
+        """
+        processes = list(processes)
+        self.run()
+        results = []
+        for proc in processes:
+            if not proc.triggered:
+                raise DeadlockError(f"process {proc.name!r} never terminated")
+            if not proc.ok:
+                raise proc.value
+            results.append(proc.value)
+        return results

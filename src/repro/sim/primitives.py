@@ -1,0 +1,98 @@
+"""Composite wait conditions: wait for *all* or *any* of a set of events.
+
+These mirror MPI's ``Waitall`` / ``Waitany`` shapes and are used by the
+overlap algorithms (e.g. Algorithm 3's ``wait_all(p1, p2)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.sim.engine import Engine, Event
+
+__all__ = ["AllOf", "AnyOf", "all_of", "any_of"]
+
+
+class _Condition(Event):
+    """Base for composite events over a fixed set of child events."""
+
+    __slots__ = ("_children", "_pending_count")
+
+    def __init__(self, engine: Engine, children: Sequence[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(children)
+        for child in self._children:
+            if child.engine is not engine:
+                raise ValueError("all events of a condition must share one engine")
+        self._pending_count = 0
+        if not self._children:
+            self.succeed(self._collect())
+            return
+        for child in self._children:
+            if child.processed:
+                self._on_child(child)
+            else:
+                self._pending_count += 1
+                child.callbacks.append(self._on_child)
+            if self.triggered:
+                break
+
+    def _collect(self) -> list[Any]:
+        return [c.value for c in self._children if c.triggered and c.ok]
+
+    def _on_child(self, child: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds once every child event has succeeded.
+
+    The value is the list of child values, in the order the children were
+    given.  Fails as soon as any child fails (with that child's exception).
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            if not child.ok:
+                child.defused = True
+            return
+        if not child.ok:
+            child.defused = True
+            self.fail(child.value)
+            return
+        done = sum(1 for c in self._children if c.processed and c.ok)
+        if done == len(self._children):
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any child event succeeds.
+
+    The value is a ``(index, value)`` pair identifying the first completed
+    child.  Fails if a child fails before any succeeds.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            if not child.ok:
+                child.defused = True
+            return
+        if not child.ok:
+            child.defused = True
+            self.fail(child.value)
+            return
+        self.succeed((self._children.index(child), child.value))
+
+
+def all_of(engine: Engine, events: Iterable[Event]) -> AllOf:
+    """Convenience constructor for :class:`AllOf`."""
+    return AllOf(engine, list(events))
+
+
+def any_of(engine: Engine, events: Iterable[Event]) -> AnyOf:
+    """Convenience constructor for :class:`AnyOf`."""
+    return AnyOf(engine, list(events))

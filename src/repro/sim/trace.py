@@ -1,0 +1,53 @@
+"""Lightweight event tracing and counters.
+
+Tracing is off by default (zero overhead beyond one branch); when enabled
+it records ``(time, category, detail)`` tuples that tests and the analysis
+layer can inspect.  Counters are always on — they are plain dict bumps and
+are used for cheap assertions (e.g. "how many rendezvous handshakes
+happened?").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    detail: dict[str, Any]
+
+
+@dataclass
+class Tracer:
+    """Collects counters and (optionally) a full trace of a simulation."""
+
+    enabled: bool = False
+    records: list[TraceRecord] = field(default_factory=list)
+    counters: Counter = field(default_factory=Counter)
+
+    def emit(self, time: float, category: str, **detail: Any) -> None:
+        """Bump the category counter; store a record if tracing is enabled."""
+        self.counters[category] += 1
+        if self.enabled:
+            self.records.append(TraceRecord(time, category, detail))
+
+    def count(self, category: str) -> int:
+        """Number of times ``category`` was emitted."""
+        return self.counters.get(category, 0)
+
+    def of_category(self, category: str) -> list[TraceRecord]:
+        """All stored records of a category (requires ``enabled=True``)."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        """Drop all records and counters."""
+        self.records.clear()
+        self.counters.clear()

@@ -1,0 +1,56 @@
+"""Unit constants and helpers.
+
+Simulated time is measured in **seconds** (floats), data sizes in **bytes**
+(ints) and bandwidths in **bytes per second**.  These constants exist so
+that calling code reads like the paper: ``32 * MiB``, ``1 * GiB``,
+``bw = 2600 * MB`` (the paper quotes MB/s in decimal units).
+"""
+
+from __future__ import annotations
+
+# Binary data sizes (bytes).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# Decimal data sizes / bandwidths, as commonly quoted for networks & disks.
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+# Time (seconds).
+SECOND: float = 1.0
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+NANOSECOND: float = 1e-9
+
+US = MICROSECOND
+MS = MILLISECOND
+
+
+def fmt_bytes(n: int | float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``fmt_bytes(2048) == '2.0 KiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(t: float) -> str:
+    """Format a duration in seconds with an appropriate SI suffix."""
+    if t >= 1.0:
+        return f"{t:.3f} s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f} ms"
+    if t >= 1e-6:
+        return f"{t * 1e6:.3f} us"
+    return f"{t * 1e9:.1f} ns"
+
+
+def fmt_bandwidth(bw: float) -> str:
+    """Format a bandwidth in bytes/second as MB/s or GB/s (decimal)."""
+    if bw >= GB:
+        return f"{bw / GB:.2f} GB/s"
+    return f"{bw / MB:.1f} MB/s"

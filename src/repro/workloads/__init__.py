@@ -1,0 +1,47 @@
+"""The paper's three I/O benchmarks as workload generators.
+
+A workload maps every rank to a :class:`~repro.collio.view.FileView` (its
+file footprint) and a deterministic payload, reproducing the access
+patterns of:
+
+* **IOR** (:mod:`repro.workloads.ior`) — 1-D contiguous blocks
+  (paper: transfer size = block size = 1 GB, one segment);
+* **MPI-Tile-IO** (:mod:`repro.workloads.tileio`) — a 2-D dense dataset
+  decomposed into one tile per process (256-byte and 1 MB elements);
+* **FLASH-IO** (:mod:`repro.workloads.flashio`) — the FLASH checkpoint
+  file (24 unknowns on 8^3-zone AMR blocks, variable-major layout).
+
+All sizes are scaled by :mod:`repro.config`'s factor; see each module's
+docstring for what the scaled defaults correspond to at full size.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.ior import IorWorkload
+from repro.workloads.tileio import TileIoWorkload
+from repro.workloads.flashio import FlashIoWorkload
+
+WORKLOADS = {
+    "ior": IorWorkload,
+    "tile_256": lambda nprocs, scale=64, **kw: TileIoWorkload.config_256(nprocs, scale=scale, **kw),
+    "tile_1m": lambda nprocs, scale=64, **kw: TileIoWorkload.config_1m(nprocs, scale=scale, **kw),
+    "flash": FlashIoWorkload,
+}
+
+
+def make_workload(name: str, nprocs: int, scale: int = 64, **kwargs) -> Workload:
+    """Instantiate a workload by registry name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+    return factory(nprocs, scale=scale, **kwargs)
+
+
+__all__ = [
+    "Workload",
+    "IorWorkload",
+    "TileIoWorkload",
+    "FlashIoWorkload",
+    "WORKLOADS",
+    "make_workload",
+]

@@ -1,0 +1,60 @@
+"""Workload interface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collio.api import default_data
+from repro.collio.view import FileView
+from repro.errors import WorkloadError
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """Maps ranks to file views and payloads for one benchmark run."""
+
+    name: str = ""
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs < 1:
+            raise WorkloadError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        #: How many full-size file extents one modeled extent stands for.
+        #: 1.0 for workloads whose extents scale by size; >1 when a
+        #: workload shrinks its extent *count* for tractability (the
+        #: collective-write config multiplies per-piece CPU costs by it).
+        self.extent_cost_factor: float = 1.0
+
+    # -- to implement -------------------------------------------------------
+    def view(self, rank: int) -> FileView:
+        """The file footprint of ``rank``."""
+        raise NotImplementedError
+
+    # -- provided -----------------------------------------------------------
+    def views(self) -> dict[int, FileView]:
+        """All ranks' views (rank -> view)."""
+        return {r: self.view(r) for r in range(self.nprocs)}
+
+    def data(self, rank: int) -> np.ndarray:
+        """Deterministic payload for ``rank`` (uint8, view-sized)."""
+        return default_data(rank, self.view(rank).total_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.view(r).total_bytes for r in range(self.nprocs))
+
+    def describe(self) -> dict:
+        """Human-readable parameter summary (for experiment records)."""
+        return {"name": self.name, "nprocs": self.nprocs}
+
+    def check_disjoint(self) -> None:
+        """Assert no two ranks write the same byte (test helper)."""
+        intervals = []
+        for r in range(self.nprocs):
+            v = self.view(r)
+            intervals.extend(zip(v.offsets.tolist(), (v.offsets + v.lengths).tolist()))
+        intervals.sort()
+        for (a_lo, a_hi), (b_lo, _b_hi) in zip(intervals, intervals[1:]):
+            if b_lo < a_hi:
+                raise WorkloadError(f"overlapping extents: [{a_lo},{a_hi}) and [{b_lo},..)")

@@ -1,0 +1,91 @@
+"""FLASH-IO-like checkpoint workload (paper Sec. IV, benchmark 3).
+
+The FLASH I/O kernel writes the checkpoint of a block-structured adaptive
+mesh hydrodynamics code: ``nvar = 24`` unknowns (density, pressure,
+velocities, ...) on ``nxb x nyb x nzb = 8^3``-zone blocks, ~80 blocks per
+process, in double precision.  The checkpoint stores each *variable* as
+one global array over all blocks (variable-major layout, as the
+HDF5/PnetCDF paths produce), so every process contributes one contiguous
+run per variable — 24 medium-sized, widely separated extents per rank.
+
+Scaled defaults keep 24 variables and the block structure while shrinking
+blocks-per-process and zones-per-block so that per-process checkpoint
+data matches the paper's ~8 MB divided by the scale factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collio.view import FileView
+from repro.config import DEFAULT_SCALE
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+
+__all__ = ["FlashIoWorkload"]
+
+
+class FlashIoWorkload(Workload):
+    """Variable-major AMR checkpoint pattern."""
+
+    name = "flash"
+
+    #: FLASH checkpoint unknowns per zone.
+    DEFAULT_NVAR = 24
+
+    def __init__(
+        self,
+        nprocs: int,
+        scale: int = DEFAULT_SCALE,
+        nvar: int = DEFAULT_NVAR,
+        blocks_per_proc: int | None = None,
+        zones_per_block: int | None = None,
+        bytes_per_zone: int = 8,
+    ) -> None:
+        super().__init__(nprocs)
+        if nvar < 1 or bytes_per_zone < 1:
+            raise WorkloadError("nvar and bytes_per_zone must be >= 1")
+        # Full size: 80 blocks/proc x 8^3 zones x 8 B = ~4 MB per variable
+        # contribution is 80*512*8 = 320 KiB; scaled down via blocks & zones.
+        if blocks_per_proc is None:
+            blocks_per_proc = max(1, 80 // max(1, scale // 8))
+        if zones_per_block is None:
+            zones_per_block = max(1, 512 // max(1, min(scale, 8)))
+        if blocks_per_proc < 1 or zones_per_block < 1:
+            raise WorkloadError("blocks_per_proc and zones_per_block must be >= 1")
+        self.nvar = nvar
+        self.blocks_per_proc = blocks_per_proc
+        self.zones_per_block = zones_per_block
+        self.bytes_per_zone = bytes_per_zone
+        self.scale = scale
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_proc_per_var(self) -> int:
+        return self.blocks_per_proc * self.zones_per_block * self.bytes_per_zone
+
+    @property
+    def var_stride(self) -> int:
+        """File bytes of one variable's global array."""
+        return self.nprocs * self.bytes_per_proc_per_var
+
+    def view(self, rank: int) -> FileView:
+        if rank < 0 or rank >= self.nprocs:
+            raise WorkloadError(f"rank {rank} out of range")
+        per = self.bytes_per_proc_per_var
+        offs = (
+            np.arange(self.nvar, dtype=np.int64) * self.var_stride + rank * per
+        )
+        lens = np.full(self.nvar, per, dtype=np.int64)
+        return FileView(offs, lens)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "nprocs": self.nprocs,
+            "nvar": self.nvar,
+            "blocks_per_proc": self.blocks_per_proc,
+            "zones_per_block": self.zones_per_block,
+            "bytes_per_zone": self.bytes_per_zone,
+            "file_size": self.nvar * self.var_stride,
+        }

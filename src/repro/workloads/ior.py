@@ -1,0 +1,85 @@
+"""IOR-like 1-D workload (paper Sec. IV, benchmark 1).
+
+The paper configures IOR with transfer size = block size = 1 GB and one
+segment, i.e. every process writes one contiguous 1 GB block at offset
+``rank * 1 GB`` — files of 16-704 GB for 16-704 processes.  At the default
+scale of 64 the block is 16 MiB.
+
+The general IOR file layout is supported too: with ``segment_count = S``,
+segment ``s`` holds every rank's block in rank order, so rank ``r`` writes
+at ``(s * nprocs + r) * block_size`` for each ``s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collio.view import FileView
+from repro.config import DEFAULT_SCALE, scaled
+from repro.errors import WorkloadError
+from repro.units import GiB
+from repro.workloads.base import Workload
+
+__all__ = ["IorWorkload"]
+
+#: The paper's IOR block size (per process, per segment): 1 GiB.
+BLOCK_SIZE_UNSCALED: int = 1 * GiB
+
+
+class IorWorkload(Workload):
+    """1-D contiguous-block pattern (``IOR -t 1g -b 1g -s 1`` analogue)."""
+
+    name = "ior"
+
+    def __init__(
+        self,
+        nprocs: int,
+        scale: int = DEFAULT_SCALE,
+        block_size: int | None = None,
+        segment_count: int = 1,
+        random_offsets: bool = False,
+        random_seed: int = 0,
+    ) -> None:
+        super().__init__(nprocs)
+        if segment_count < 1:
+            raise WorkloadError("segment_count must be >= 1")
+        self.block_size = block_size if block_size is not None else scaled(BLOCK_SIZE_UNSCALED, scale)
+        if self.block_size < 1:
+            raise WorkloadError("block_size must be >= 1")
+        self.segment_count = segment_count
+        self.scale = scale
+        self.random_offsets = random_offsets
+        self.random_seed = random_seed
+        # IOR's "Random" mode: a global permutation of block slots, so a
+        # rank's blocks land at arbitrary (block-aligned) file offsets.
+        # Deterministic per (nprocs, segments, seed); disjointness holds
+        # because it is a permutation.
+        if random_offsets:
+            nblocks = nprocs * segment_count
+            rng = np.random.default_rng(np.random.SeedSequence((random_seed, nblocks)))
+            self._slot_of_block = rng.permutation(nblocks).astype(np.int64)
+        else:
+            self._slot_of_block = None
+
+    def view(self, rank: int) -> FileView:
+        if rank < 0 or rank >= self.nprocs:
+            raise WorkloadError(f"rank {rank} out of range")
+        blocks = np.arange(self.segment_count, dtype=np.int64) * self.nprocs + rank
+        if self._slot_of_block is not None:
+            slots = np.sort(self._slot_of_block[blocks])
+        else:
+            slots = blocks
+        offs = slots * self.block_size
+        lens = np.full(self.segment_count, self.block_size, dtype=np.int64)
+        return FileView(offs, lens)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "nprocs": self.nprocs,
+            "block_size": self.block_size,
+            "segment_count": self.segment_count,
+            "random_offsets": self.random_offsets,
+            "scale": self.scale,
+            "file_size": self.nprocs * self.block_size * self.segment_count,
+        }

@@ -1,0 +1,157 @@
+"""MPI-Tile-IO-like 2-D dense workload (paper Sec. IV, benchmark 2).
+
+The dataset is a dense 2-D array of fixed-size *elements*; each process
+owns one rectangular tile of it.  The paper sets the tile grid so each
+dimension is ``sqrt(nprocs)`` and uses two configurations:
+
+* **Tile I/O 256**: 256-byte elements, 2048 x 1024 elements per process —
+  many small, discontiguous file runs; and
+* **Tile I/O 1M**: 1 MB elements, 32 x 16 elements per process — fewer,
+  large runs.
+
+Both are 512 MB per process at full size.  Scaling preserves each
+configuration's *granularity identity* (the property the primitive
+comparison of Fig. 4 turns on):
+
+* Tile-256 keeps its 256-byte elements and shrinks the per-process
+  element count 2048x1024 -> 256x128 (scale 64), so the many-small-runs
+  character survives;
+* Tile-1M keeps its 32x16 element count and shrinks the element
+  1 MB -> 16 KiB, preserving the few-large-runs character.
+
+For non-square process counts the grid is the factorization of ``nprocs``
+closest to square (e.g. 704 = 22 x 32), matching how mpi-tile-io is
+usually parameterized.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.collio.view import FileView
+from repro.config import DEFAULT_SCALE
+from repro.errors import WorkloadError
+from repro.mpi.datatypes import subarray
+from repro.units import KiB, MiB
+from repro.workloads.base import Workload
+
+__all__ = ["TileIoWorkload", "near_square_grid"]
+
+
+def near_square_grid(nprocs: int) -> tuple[int, int]:
+    """The factorization ``(py, px)`` of ``nprocs`` closest to square."""
+    best = (1, nprocs)
+    for py in range(1, int(math.isqrt(nprocs)) + 1):
+        if nprocs % py == 0:
+            best = (py, nprocs // py)
+    return best
+
+
+class TileIoWorkload(Workload):
+    """One 2-D tile per process over a global dense array."""
+
+    name = "tileio"
+
+    def __init__(
+        self,
+        nprocs: int,
+        element_size: int,
+        elements_y: int,
+        elements_x: int,
+        variant: str = "custom",
+    ) -> None:
+        super().__init__(nprocs)
+        if element_size < 1 or elements_x < 1 or elements_y < 1:
+            raise WorkloadError("element_size and element counts must be >= 1")
+        self.element_size = element_size
+        self.elements_y = elements_y
+        self.elements_x = elements_x
+        self.variant = variant
+        self.grid_y, self.grid_x = near_square_grid(nprocs)
+
+    # -- the paper's two configurations -------------------------------------
+    @classmethod
+    def config_256(
+        cls,
+        nprocs: int,
+        scale: int = DEFAULT_SCALE,
+        rows: int | None = None,
+        row_elements: int | None = None,
+    ) -> "TileIoWorkload":
+        """256-byte elements; 2048x1024 per process at scale 1.
+
+        Scaling note: this configuration's identity is its *extent count*
+        (one file run per local row — 2048 per process at full size).  To
+        keep the simulation affordable the row count shrinks by
+        ``scale**(1/3)`` (4 at scale 64) and the row length by the rest;
+        the resulting under-count of per-extent CPU work is compensated by
+        :attr:`extent_cost_factor`, which the collective-write config uses
+        to multiply per-piece pack/unpack/put costs.  ``rows`` /
+        ``row_elements`` override the per-process shape (quick benchmark
+        matrices use smaller ones); the cost factor adapts.
+        """
+        if rows is None:
+            shrink_y = max(1, round(scale ** (1 / 3)))
+            rows = max(1, 2048 // shrink_y)
+        if row_elements is None:
+            # Keep total bytes per process at (512 MB / scale): the full
+            # 2048x1024 element grid divided by the scale factor.
+            row_elements = max(1, (2048 * 1024) // (scale * rows))
+        w = cls(
+            nprocs,
+            element_size=256,
+            elements_y=rows,
+            elements_x=row_elements,
+            variant="tile_256",
+        )
+        w.extent_cost_factor = float(max(1, 2048 // rows))
+        return w
+
+    @classmethod
+    def config_1m(
+        cls,
+        nprocs: int,
+        scale: int = DEFAULT_SCALE,
+        element_size: int | None = None,
+    ) -> "TileIoWorkload":
+        """1 MB elements (scaled) in a 32x16 per-process grid."""
+        return cls(
+            nprocs,
+            element_size=element_size if element_size is not None else max(1, MiB // scale),
+            elements_y=32,
+            elements_x=16,
+            variant="tile_1m",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def global_elements(self) -> tuple[int, int]:
+        return (self.grid_y * self.elements_y, self.grid_x * self.elements_x)
+
+    def tile_of(self, rank: int) -> tuple[int, int]:
+        """Tile coordinates ``(ty, tx)`` of a rank (row-major tiles)."""
+        return divmod(rank, self.grid_x)
+
+    def view(self, rank: int) -> FileView:
+        if rank < 0 or rank >= self.nprocs:
+            raise WorkloadError(f"rank {rank} out of range")
+        ty, tx = self.tile_of(rank)
+        gy, gx = self.global_elements
+        dtype = subarray(
+            sizes=[gy, gx],
+            subsizes=[self.elements_y, self.elements_x],
+            starts=[ty * self.elements_y, tx * self.elements_x],
+            elem_size=self.element_size,
+        )
+        return FileView.from_datatype(dtype)
+
+    def describe(self) -> dict:
+        gy, gx = self.global_elements
+        return {
+            "name": self.variant,
+            "nprocs": self.nprocs,
+            "element_size": self.element_size,
+            "per_process_elements": (self.elements_y, self.elements_x),
+            "tile_grid": (self.grid_y, self.grid_x),
+            "file_size": gy * gx * self.element_size,
+        }

@@ -1,0 +1,101 @@
+"""Tests for the paper's summary statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    Series,
+    average_positive_improvement,
+    best_algorithm,
+    relative_improvement,
+    winner_counts,
+)
+
+
+def series(algo, *times):
+    s = Series(key=("case",), algorithm=algo)
+    for t in times:
+        s.add(t)
+    return s
+
+
+class TestSeries:
+    def test_point_is_min(self):
+        assert series("a", 3.0, 1.0, 2.0).point == 1.0
+
+    def test_mean(self):
+        assert series("a", 1.0, 3.0).mean == 2.0
+
+    def test_empty_series_point_raises(self):
+        with pytest.raises(ValueError):
+            _ = series("a").point
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            series("a", -1.0)
+
+
+class TestWinners:
+    def test_best_algorithm(self):
+        case = {"a": series("a", 2.0), "b": series("b", 1.0), "c": series("c", 3.0)}
+        assert best_algorithm(case) == "b"
+
+    def test_tie_breaks_by_name(self):
+        case = {"b": series("b", 1.0), "a": series("a", 1.0)}
+        assert best_algorithm(case) == "a"
+
+    def test_min_of_series_decides(self):
+        """A noisy series with one great run wins under min-of-series."""
+        case = {"steady": series("steady", 2.0, 2.0), "spiky": series("spiky", 5.0, 1.9)}
+        assert best_algorithm(case) == "spiky"
+
+    def test_empty_case_raises(self):
+        with pytest.raises(ValueError):
+            best_algorithm({})
+
+    def test_winner_counts(self):
+        cases = [
+            {"a": series("a", 1.0), "b": series("b", 2.0)},
+            {"a": series("a", 3.0), "b": series("b", 2.0)},
+            {"a": series("a", 1.0), "b": series("b", 2.0)},
+        ]
+        assert winner_counts(cases) == {"a": 2, "b": 1}
+
+
+class TestImprovement:
+    def test_relative_improvement(self):
+        assert relative_improvement(2.0, 1.0) == 0.5
+        assert relative_improvement(1.0, 2.0) == -1.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_improvement(0.0, 1.0)
+
+    def test_average_positive_excludes_losses(self):
+        """The paper's Figs. 2-3 metric drops negative improvements."""
+        cases = [
+            {"no_overlap": series("no_overlap", 10.0), "x": series("x", 9.0)},   # +10%
+            {"no_overlap": series("no_overlap", 10.0), "x": series("x", 12.0)},  # loss
+            {"no_overlap": series("no_overlap", 10.0), "x": series("x", 7.0)},   # +30%
+        ]
+        assert average_positive_improvement(cases, "x") == pytest.approx(0.2)
+
+    def test_never_winning_returns_none(self):
+        cases = [{"no_overlap": series("no_overlap", 1.0), "x": series("x", 2.0)}]
+        assert average_positive_improvement(cases, "x") is None
+
+    def test_missing_algorithm_skipped(self):
+        cases = [
+            {"no_overlap": series("no_overlap", 10.0)},
+            {"no_overlap": series("no_overlap", 10.0), "x": series("x", 5.0)},
+        ]
+        assert average_positive_improvement(cases, "x") == pytest.approx(0.5)
+
+
+@given(times=st.lists(st.floats(0.001, 1000), min_size=1, max_size=9))
+def test_point_estimate_bounds(times):
+    s = series("a", *times)
+    assert s.point == min(times)
+    # Mean stays within the sample range up to float summation rounding.
+    eps = 1e-9 * max(times)
+    assert s.point - eps <= s.mean <= max(times) + eps

@@ -1,0 +1,121 @@
+"""Tests for the text renderers."""
+
+from repro.bench.experiments import (
+    BreakdownResult,
+    Fig1Result,
+    Fig4Result,
+    ImprovementResult,
+    LustreResult,
+    Table1Result,
+)
+from repro.bench.reporting import (
+    render_breakdown,
+    render_fig1,
+    render_fig4,
+    render_improvements,
+    render_lustre,
+    render_table1,
+)
+
+
+def test_render_table1_contains_rows_and_totals():
+    r = Table1Result()
+    r.rows = {
+        b: {a: 1 for a in ("no_overlap", "comm_overlap", "write_overlap",
+                           "write_comm", "write_comm2")}
+        for b in ("ior", "tile_256", "tile_1m", "flash")
+    }
+    text = render_table1(r)
+    assert "TABLE I" in text
+    assert "Tile I/O 256" in text
+    assert "Total:" in text
+    assert "20" not in text.split("Total:")[0]  # totals only in the total row
+
+
+def test_render_fig1():
+    r = Fig1Result(nprocs_list=[100])
+    for cluster in ("crill", "ibex"):
+        for algo in ("no_overlap", "comm_overlap", "write_overlap",
+                     "write_comm", "write_comm2"):
+            r.points[(cluster, 100, algo)] = 0.5
+    text = render_fig1(r)
+    assert "FIG. 1" in text and "crill" in text and "ibex" in text
+
+
+def test_render_improvements_handles_missing_values():
+    r = ImprovementResult("crill")
+    r.values[("write_overlap", "ior")] = 0.092
+    r.values[("comm_overlap", "ior")] = None
+    text = render_improvements(r, "FIG. 2")
+    assert "9.2%" in text
+    assert "—" in text
+
+
+def test_render_fig4():
+    r = Fig4Result()
+    r.rows = {
+        "ior": {"two_sided": 4, "one_sided_fence": 0, "one_sided_lock": 0},
+        "tile_256": {"two_sided": 1, "one_sided_fence": 3, "one_sided_lock": 0},
+        "tile_1m": {"two_sided": 3, "one_sided_fence": 1, "one_sided_lock": 0},
+    }
+    text = render_fig4(r)
+    assert "FIG. 4" in text
+    assert "two-sided share: 67%" in text
+
+
+def test_render_breakdown():
+    r = BreakdownResult()
+    r.shares[("crill", 576)] = (0.07, 0.93)
+    text = render_breakdown(r)
+    assert "93%" in text and "7%" in text
+
+
+class TestCsvExports:
+    def test_table1_csv(self):
+        from repro.bench.reporting import table1_csv
+
+        r = Table1Result()
+        r.rows = {"ior": {"no_overlap": 2, "write_overlap": 3}}
+        csv = table1_csv(r)
+        assert csv.splitlines()[0] == "benchmark,algorithm,wins"
+        assert "ior,write_overlap,3" in csv
+
+    def test_fig1_csv(self):
+        from repro.bench.reporting import fig1_csv
+
+        r = Fig1Result(nprocs_list=[100])
+        r.points[("crill", 100, "no_overlap")] = 0.123456789
+        csv = fig1_csv(r)
+        assert "crill,100,no_overlap,0.123456789" in csv
+
+    def test_improvements_csv_handles_none(self):
+        from repro.bench.reporting import improvements_csv
+
+        r = ImprovementResult("ibex")
+        r.values[("write_overlap", "ior")] = 0.25
+        r.values[("comm_overlap", "ior")] = None
+        csv = improvements_csv(r)
+        assert "ibex,write_overlap,ior,0.250000" in csv
+        assert "ibex,comm_overlap,ior,\n" in csv or "ibex,comm_overlap,ior," in csv
+
+    def test_fig4_csv(self):
+        from repro.bench.reporting import fig4_csv
+
+        r = Fig4Result()
+        r.rows = {"tile_256": {"two_sided": 1, "one_sided_fence": 3}}
+        csv = fig4_csv(r)
+        assert "tile_256,one_sided_fence,3" in csv
+
+    def test_csv_quotes_commas(self):
+        from repro.bench.reporting import _csv
+
+        out = _csv(["a"], [["x,y"]])
+        assert '"x,y"' in out
+
+
+def test_render_lustre():
+    r = LustreResult()
+    r.entries["beegfs"] = (1.0, 0.8, 0.2)
+    r.entries["lustre"] = (1.0, 1.01, -0.01)
+    text = render_lustre(r)
+    assert "+20.0%" in text and "-1.0%" in text

@@ -1,0 +1,103 @@
+"""Tests for the experiment runner and matrix plumbing (small cases)."""
+
+import pytest
+
+from repro.bench.experiments import fig4_cases, table1_cases
+from repro.bench.runner import Case, run_case, run_matrix, specs_for
+from repro.units import MiB
+
+
+TINY = (("block_size", 1 * MiB),)
+
+
+class TestCase:
+    def test_label(self):
+        c = Case("ior", "crill", 96, TINY)
+        assert "ior@crill" in c.label and "96" in c.label
+
+    def test_hashable_and_frozen(self):
+        c = Case("ior", "crill", 96, TINY)
+        assert hash(c) == hash(Case("ior", "crill", 96, TINY))
+        with pytest.raises(Exception):
+            c.nprocs = 12  # type: ignore[misc]
+
+
+class TestSpecs:
+    def test_specs_for_known_clusters(self):
+        for name in ("crill", "ibex"):
+            cluster, fs = specs_for(name, 64)
+            assert cluster.name == name
+            assert fs.num_targets == 16
+
+    def test_unknown_cluster(self):
+        with pytest.raises(KeyError):
+            specs_for("summit", 64)
+
+
+class TestRunCase:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_case(
+            Case("ior", "crill", 96, TINY),
+            ["no_overlap", "write_overlap"],
+            reps=2,
+        )
+
+    def test_series_per_algorithm(self, result):
+        assert set(result.series) == {
+            ("no_overlap", "two_sided"),
+            ("write_overlap", "two_sided"),
+        }
+
+    def test_reps_recorded(self, result):
+        for s in result.series.values():
+            assert len(s.times) == 2
+
+    def test_metadata(self, result):
+        assert result.num_aggregators == 2  # 96 ranks = 2 crill nodes
+        assert result.total_bytes == 96 * MiB
+
+    def test_by_algorithm_view(self, result):
+        by_algo = result.by_algorithm()
+        assert set(by_algo) == {"no_overlap", "write_overlap"}
+
+    def test_deterministic_given_seed(self):
+        a = run_case(Case("ior", "crill", 96, TINY), ["no_overlap"], reps=1, base_seed=5)
+        b = run_case(Case("ior", "crill", 96, TINY), ["no_overlap"], reps=1, base_seed=5)
+        assert a.series[("no_overlap", "two_sided")].times == b.series[
+            ("no_overlap", "two_sided")
+        ].times
+
+    def test_different_seeds_differ(self):
+        a = run_case(Case("ior", "ibex", 96, TINY), ["no_overlap"], reps=1, base_seed=5)
+        b = run_case(Case("ior", "ibex", 96, TINY), ["no_overlap"], reps=1, base_seed=6)
+        assert a.series[("no_overlap", "two_sided")].times != b.series[
+            ("no_overlap", "two_sided")
+        ].times
+
+
+class TestMatrices:
+    def test_table1_quick_case_set(self):
+        cases = table1_cases("quick")
+        benchmarks = {c.benchmark for c in cases}
+        clusters = {c.cluster for c in cases}
+        assert benchmarks == {"ior", "tile_256", "tile_1m", "flash"}
+        assert clusters == {"crill", "ibex"}
+        assert len(cases) == 16  # 4 benchmarks x 2 clusters x 2 counts
+
+    def test_table1_full_has_size_variants(self):
+        cases = table1_cases("full")
+        ior_sizes = {c.size for c in cases if c.benchmark == "ior"}
+        assert len(ior_sizes) == 3
+
+    def test_fig4_case_set(self):
+        cases = fig4_cases("quick")
+        assert {c.benchmark for c in cases} == {"ior", "tile_256", "tile_1m"}
+
+    def test_run_matrix_filters(self):
+        cases = [Case("ior", "crill", 96, TINY), Case("ior", "ibex", 96, TINY)]
+        matrix = run_matrix(cases, ["no_overlap"], reps=1)
+        assert len(matrix.cases(cluster="crill")) == 1
+        assert matrix.find("ior", "ibex", 96).case.cluster == "ibex"
+        with pytest.raises(KeyError):
+            matrix.find("ior", "ibex", 128)

@@ -1,0 +1,92 @@
+"""Tests for CollectiveConfig validation and scaling."""
+
+import pytest
+
+from repro.collio.config import CB_BUFFER_SIZE_UNSCALED, CollectiveConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = CollectiveConfig()
+        assert cfg.cb_buffer_size == CB_BUFFER_SIZE_UNSCALED // 64
+
+    def test_buffer_too_small(self):
+        with pytest.raises(ConfigurationError):
+            CollectiveConfig(cb_buffer_size=1)
+
+    def test_aggregator_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            CollectiveConfig(num_aggregators=0)
+        assert CollectiveConfig(num_aggregators=None).num_aggregators is None
+
+    def test_negative_overheads_rejected(self):
+        for field in ("pack_overhead_per_extent", "unpack_overhead_per_extent",
+                      "cycle_planning_overhead"):
+            with pytest.raises(ConfigurationError):
+                CollectiveConfig(**{field: -1e-9})
+
+
+class TestForScale:
+    def test_buffer_scales(self):
+        assert CollectiveConfig.for_scale(1).cb_buffer_size == 32 * 1024 * 1024
+        assert CollectiveConfig.for_scale(64).cb_buffer_size == 512 * 1024
+
+    def test_cpu_costs_scale(self):
+        full = CollectiveConfig.for_scale(1)
+        scaled = CollectiveConfig.for_scale(64)
+        assert scaled.pack_overhead_per_extent == pytest.approx(
+            full.pack_overhead_per_extent / 64
+        )
+        assert scaled.cycle_planning_overhead == pytest.approx(
+            full.cycle_planning_overhead / 64
+        )
+
+    def test_overrides_win(self):
+        cfg = CollectiveConfig.for_scale(64, cb_buffer_size=4096, extent_cost_factor=8.0)
+        assert cfg.cb_buffer_size == 4096
+        assert cfg.extent_cost_factor == 8.0
+
+    def test_with_copies(self):
+        a = CollectiveConfig()
+        b = a.with_(num_aggregators=3)
+        assert b.num_aggregators == 3 and a.num_aggregators is None
+        assert a.cb_buffer_size == b.cb_buffer_size
+
+
+class TestExtentCostFactor:
+    def test_factor_multiplies_pack_cost(self):
+        from repro.collio.context import AlgoContext  # noqa: F401 (import check)
+        # Behavioural check lives in the context: factor > 1 raises the
+        # per-piece cost; verify the arithmetic through a real context.
+        from repro.collio.plan import TwoPhasePlan
+        from repro.collio.view import FileView
+        from repro.fs import FsSpec
+        from repro.hardware import ClusterSpec
+        from repro.mpi import World
+        from repro.units import MB
+        import numpy as np
+
+        world = World(
+            ClusterSpec(name="t", num_nodes=2, cores_per_node=2,
+                        network_bandwidth=1000 * MB),
+            nprocs=2,
+            fs_spec=FsSpec(name="f", num_targets=1, target_bandwidth=100 * MB,
+                           target_latency=0, stripe_size=1024),
+        )
+        view = FileView.contiguous(0, 1000)
+        plan = TwoPhasePlan.build({0: view, 1: FileView.contiguous(1000, 1000)},
+                                  [0], [(0, 2000)], 500)
+
+        def ctx_for(factor):
+            from repro.mpi.mpiio import MPIFile
+            cfg = CollectiveConfig(cb_buffer_size=500, extent_cost_factor=factor)
+            fh = MPIFile(world.comm(0), "/x")
+            return AlgoContext(world.comm(0), fh, plan, view,
+                               np.zeros(1000, np.uint8), cfg, nsub=1)
+
+        base = ctx_for(1.0).pack_cost(100, 5)
+        boosted = ctx_for(4.0).pack_cost(100, 5)
+        assert boosted > base
+        # Single-piece contributions stay free regardless of the factor.
+        assert ctx_for(4.0).pack_cost(100, 1) == 0.0

@@ -1,0 +1,180 @@
+"""Tests for aggregator selection, domain partitioning and cycle planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collio.aggregation import select_aggregators
+from repro.collio.domains import partition_domains
+from repro.collio.plan import TwoPhasePlan
+from repro.collio.view import FileView
+from repro.hardware import Cluster, ClusterSpec
+from repro.sim import Engine
+from repro.units import MB
+
+
+def make_cluster(nodes=4, cores=4):
+    spec = ClusterSpec(name="t", num_nodes=nodes, cores_per_node=cores,
+                       network_bandwidth=1000 * MB)
+    return Cluster(Engine(), spec)
+
+
+class TestAggregatorSelection:
+    def test_one_per_node_with_enough_data(self):
+        cl = make_cluster(nodes=4, cores=4)
+        aggs = select_aggregators(cl, nprocs=16, total_bytes=100 * MB, cb_buffer_size=MB)
+        assert aggs == [0, 4, 8, 12]  # first rank of each node
+
+    def test_small_data_fewer_aggregators(self):
+        cl = make_cluster()
+        aggs = select_aggregators(cl, nprocs=16, total_bytes=1000, cb_buffer_size=MB)
+        assert aggs == [0]
+
+    def test_explicit_count(self):
+        cl = make_cluster()
+        aggs = select_aggregators(cl, 16, 100 * MB, MB, num_aggregators=2)
+        assert aggs == [0, 4]
+
+    def test_count_capped_at_nprocs(self):
+        cl = make_cluster()
+        aggs = select_aggregators(cl, 3, 100 * MB, MB, num_aggregators=10)
+        assert aggs == [0, 1, 2]
+
+    def test_partial_node_usage(self):
+        cl = make_cluster(nodes=4, cores=4)
+        aggs = select_aggregators(cl, nprocs=6, total_bytes=100 * MB, cb_buffer_size=MB)
+        # Ranks 0-3 on node 0, ranks 4-5 on node 1: one agg per used node.
+        assert aggs == [0, 4]
+
+
+class TestDomains:
+    def test_even_split(self):
+        assert partition_domains(0, 100, 4) == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_remainder_spread(self):
+        doms = partition_domains(0, 10, 3)
+        assert doms == [(0, 4), (4, 7), (7, 10)]
+        assert sum(hi - lo for lo, hi in doms) == 10
+
+    def test_stripe_alignment(self):
+        doms = partition_domains(0, 100, 3, stripe_size=16)
+        # Interior boundaries land on multiples of 16.
+        assert doms[0][1] % 16 == 0 and doms[1][1] % 16 == 0
+        assert doms[0][0] == 0 and doms[-1][1] == 100
+
+    def test_domains_tile_range(self):
+        doms = partition_domains(37, 1234, 5, stripe_size=64)
+        assert doms[0][0] == 37 and doms[-1][1] == 1234
+        for (a, b), (c, d) in zip(doms, doms[1:]):
+            assert b == c and a <= b
+
+    def test_more_aggs_than_stripes(self):
+        doms = partition_domains(0, 32, 8, stripe_size=16)
+        assert doms[0][0] == 0 and doms[-1][1] == 32
+        for lo, hi in doms:
+            assert lo <= hi
+
+    def test_empty_range(self):
+        assert partition_domains(5, 5, 2) == [(5, 5), (5, 5)]
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            partition_domains(10, 5, 2)
+        with pytest.raises(ConfigurationError):
+            partition_domains(0, 10, 0)
+
+
+class TestPlan:
+    def build_simple(self, nprocs=4, per_rank=1000, cycle_bytes=500, naggs=2):
+        views = {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+        total = nprocs * per_rank
+        domains = partition_domains(0, total, naggs)
+        aggs = list(range(naggs))
+        return views, TwoPhasePlan.build(views, aggs, domains, cycle_bytes)
+
+    def test_cycle_count(self):
+        _, plan = self.build_simple()
+        # Each domain is 2000 bytes, cycles of 500 -> 4 cycles.
+        assert plan.num_cycles == 4
+        assert plan.cycles_per_agg == [4, 4]
+
+    def test_every_byte_planned_once(self):
+        views, plan = self.build_simple()
+        plan.check_consistency(views)
+
+    def test_send_assignments_point_into_cycle_ranges(self):
+        views, plan = self.build_simple(nprocs=4, per_rank=1000, cycle_bytes=300, naggs=3)
+        plan.check_consistency(views)
+
+    def test_write_range_covers_cycle_data(self):
+        _, plan = self.build_simple()
+        for a in range(2):
+            for c in range(plan.cycles_per_agg[a]):
+                rng = plan.write_range(a, c)
+                crange = plan.cycle_range(a, c)
+                assert rng is not None and crange is not None
+                assert crange[0] <= rng[0] < rng[1] <= crange[1]
+
+    def test_cycle_range_none_past_domain(self):
+        views = {0: FileView.contiguous(0, 1000), 1: FileView.contiguous(1000, 100)}
+        domains = [(0, 1000), (1000, 1100)]
+        plan = TwoPhasePlan.build(views, [0, 1], domains, 400)
+        assert plan.cycles_per_agg == [3, 1]
+        assert plan.cycle_range(1, 1) is None
+        assert plan.cycle_range(1, 0) == (1000, 1100)
+
+    def test_extent_split_across_cycles(self):
+        views = {0: FileView.contiguous(0, 1000)}
+        plan = TwoPhasePlan.build(views, [0], [(0, 1000)], 256)
+        sends = [plan.sends_for(0, c) for c in range(plan.num_cycles)]
+        sizes = [sum(sa.nbytes for sa in s) for s in sends]
+        assert sizes == [256, 256, 256, 232]
+
+    def test_recv_expectations_match_sends(self):
+        views, plan = self.build_simple(nprocs=4, per_rank=997, cycle_bytes=301, naggs=3)
+        for a in range(3):
+            for c in range(plan.num_cycles):
+                expected = {e.src_rank: e.nbytes for e in plan.recvs_for(a, c)}
+                actual = {}
+                for r in range(4):
+                    n = sum(sa.nbytes for sa in plan.sends_for(r, c) if sa.agg_index == a)
+                    if n:
+                        actual[r] = n
+                assert expected == actual
+
+    def test_interleaved_views(self):
+        """Strided (tile-like) views split correctly across cycles."""
+        nprocs, tile, ntiles = 4, 64, 16
+        views = {}
+        for r in range(nprocs):
+            offs = np.arange(ntiles, dtype=np.int64) * (tile * nprocs) + r * tile
+            views[r] = FileView(offs, np.full(ntiles, tile, dtype=np.int64))
+        total = nprocs * tile * ntiles
+        plan = TwoPhasePlan.build(views, [0, 1], partition_domains(0, total, 2), 512)
+        plan.check_consistency(views)
+
+    def test_empty_views_allowed(self):
+        views = {0: FileView.contiguous(0, 100), 1: FileView.contiguous(0, 0)}
+        plan = TwoPhasePlan.build(views, [0], [(0, 100)], 50)
+        plan.check_consistency(views)
+        assert plan.total_bytes == 100
+
+
+@settings(deadline=None, max_examples=50)
+@given(
+    nprocs=st.integers(1, 8),
+    per_rank=st.integers(1, 3000),
+    cycle_bytes=st.integers(1, 2048),
+    naggs=st.integers(1, 4),
+)
+def test_plan_conservation_property(nprocs, per_rank, cycle_bytes, naggs):
+    """Every byte of every view is assigned to exactly one (agg, cycle)."""
+    views = {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+    domains = partition_domains(0, nprocs * per_rank, naggs)
+    plan = TwoPhasePlan.build(views, list(range(naggs)), domains, cycle_bytes)
+    plan.check_consistency(views)
+    planned = sum(
+        sa.nbytes for (_r, _c), sas in plan._send.items() for sa in sas
+    )
+    assert planned == nprocs * per_rank

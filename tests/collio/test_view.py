@@ -1,0 +1,120 @@
+"""Tests for FileView (extent lists and clipping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.collio.view import FileView
+from repro.errors import WorkloadError
+from repro.mpi.datatypes import vector
+
+
+class TestConstruction:
+    def test_contiguous(self):
+        v = FileView.contiguous(100, 50)
+        assert v.num_extents == 1
+        assert v.total_bytes == 50
+        assert v.file_range == (100, 150)
+
+    def test_empty(self):
+        v = FileView.contiguous(0, 0)
+        assert v.num_extents == 0 and v.total_bytes == 0
+        assert v.file_range == (0, 0)
+
+    def test_from_datatype(self):
+        v = FileView.from_datatype(vector(3, 4, 10), disp=100)
+        assert v.offsets.tolist() == [100, 110, 120]
+        assert v.local_offsets.tolist() == [0, 4, 8]
+
+    def test_local_offsets_are_cumulative(self):
+        v = FileView(np.array([0, 100, 200]), np.array([10, 20, 30]))
+        assert v.local_offsets.tolist() == [0, 10, 30]
+
+    def test_rejects_overlap(self):
+        with pytest.raises(WorkloadError):
+            FileView(np.array([0, 5]), np.array([10, 10]))
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(WorkloadError):
+            FileView(np.array([100, 0]), np.array([10, 10]))
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(WorkloadError):
+            FileView(np.array([0]), np.array([0]))
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(WorkloadError):
+            FileView(np.array([-4]), np.array([4]))
+
+
+class TestClip:
+    def setup_method(self):
+        self.v = FileView(np.array([0, 100, 200]), np.array([50, 50, 50]))
+
+    def test_whole_view(self):
+        offs, lens, locs = self.v.clip(0, 1000)
+        assert offs.tolist() == [0, 100, 200]
+        assert locs.tolist() == [0, 50, 100]
+
+    def test_middle_extent_only(self):
+        offs, lens, locs = self.v.clip(100, 150)
+        assert offs.tolist() == [100] and lens.tolist() == [50]
+
+    def test_head_trim(self):
+        offs, lens, locs = self.v.clip(120, 300)
+        assert offs.tolist() == [120, 200]
+        assert lens.tolist() == [30, 50]
+        assert locs.tolist() == [70, 100]  # local offset shifts with the trim
+
+    def test_tail_trim(self):
+        offs, lens, locs = self.v.clip(0, 30)
+        assert offs.tolist() == [0] and lens.tolist() == [30] and locs.tolist() == [0]
+
+    def test_both_trims_single_extent(self):
+        offs, lens, locs = self.v.clip(110, 130)
+        assert offs.tolist() == [110] and lens.tolist() == [20] and locs.tolist() == [60]
+
+    def test_gap_returns_empty(self):
+        offs, lens, locs = self.v.clip(60, 90)
+        assert len(offs) == 0
+
+    def test_empty_range(self):
+        offs, _, _ = self.v.clip(100, 100)
+        assert len(offs) == 0
+
+    def test_bytes_in(self):
+        assert self.v.bytes_in(0, 1000) == 150
+        assert self.v.bytes_in(25, 125) == 50  # 25 tail + 25 head
+
+
+@given(
+    extents=st.lists(st.tuples(st.integers(0, 50), st.integers(1, 30)), min_size=1, max_size=20),
+    lo=st.integers(0, 2000),
+    width=st.integers(0, 2000),
+)
+def test_clip_matches_brute_force(extents, lo, width):
+    """clip() returns exactly the per-byte intersection, preserving the
+    local-buffer mapping."""
+    # Build non-overlapping sorted extents from gap/length pairs.
+    offs, lens, pos = [], [], 0
+    for gap, ln in extents:
+        pos += gap
+        offs.append(pos)
+        lens.append(ln)
+        pos += ln
+    v = FileView(np.array(offs), np.array(lens))
+    hi = lo + width
+    c_offs, c_lens, c_locs = v.clip(lo, hi)
+    # Brute force: map every file byte -> local byte, intersect.
+    expected = {}
+    local = 0
+    for o, ln in zip(offs, lens):
+        for b in range(o, o + ln):
+            if lo <= b < hi:
+                expected[b] = local
+            local += 1
+    got = {}
+    for o, ln, lc in zip(c_offs, c_lens, c_locs):
+        for i in range(ln):
+            got[o + i] = lc + i
+    assert got == expected

@@ -1,0 +1,77 @@
+"""Tests for the byte-accurate file store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FileSystemError
+from repro.fs.file import SimFile
+
+
+def test_empty_file():
+    f = SimFile("x")
+    assert f.size == 0
+    assert f.contents().size == 0
+
+
+def test_write_and_read_back():
+    f = SimFile("x")
+    f.write(0, b"hello")
+    assert bytes(f.read(0, 5)) == b"hello"
+    assert f.size == 5
+
+
+def test_write_at_offset_leaves_hole_of_zeros():
+    f = SimFile("x")
+    f.write(10, b"ab")
+    assert f.size == 12
+    assert bytes(f.read(0, 12)) == b"\0" * 10 + b"ab"
+
+
+def test_overwrite():
+    f = SimFile("x")
+    f.write(0, b"aaaa")
+    f.write(1, b"bb")
+    assert bytes(f.read(0, 4)) == b"abba"
+
+
+def test_read_past_eof_zero_filled():
+    f = SimFile("x")
+    f.write(0, b"xy")
+    assert bytes(f.read(0, 5)) == b"xy\0\0\0"
+
+
+def test_numpy_write():
+    f = SimFile("x")
+    data = np.arange(256, dtype=np.uint8)
+    f.write(3, data)
+    assert np.array_equal(f.read(3, 256), data)
+
+
+def test_invalid_args():
+    f = SimFile("x")
+    with pytest.raises(FileSystemError):
+        f.write(-1, b"a")
+    with pytest.raises(FileSystemError):
+        f.read(-1, 4)
+    with pytest.raises(FileSystemError):
+        f.read(0, -4)
+
+
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 500), st.binary(min_size=0, max_size=100)),
+        max_size=20,
+    )
+)
+def test_matches_reference_model(writes):
+    """SimFile behaves like a simple grow-able bytearray."""
+    f = SimFile("x")
+    ref = bytearray()
+    for offset, data in writes:
+        f.write(offset, data)
+        if offset + len(data) > len(ref):
+            ref.extend(b"\0" * (offset + len(data) - len(ref)))
+        ref[offset : offset + len(data)] = data
+    assert bytes(f.contents()) == bytes(ref)
+    assert f.size == len(ref)

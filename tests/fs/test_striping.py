@@ -1,0 +1,95 @@
+"""Tests for stripe layout arithmetic, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs.striping import StripeLayout, StripePiece
+
+
+class TestBasics:
+    def test_target_of_round_robin(self):
+        lay = StripeLayout(stripe_size=10, num_targets=3)
+        assert [lay.target_of(o) for o in (0, 9, 10, 25, 30)] == [0, 0, 1, 2, 0]
+
+    def test_split_within_one_stripe(self):
+        lay = StripeLayout(stripe_size=100, num_targets=4)
+        assert lay.split(10, 50) == [StripePiece(0, 10, 50)]
+
+    def test_split_across_stripes(self):
+        lay = StripeLayout(stripe_size=100, num_targets=4)
+        pieces = lay.split(50, 200)
+        assert pieces == [
+            StripePiece(0, 50, 50),
+            StripePiece(1, 100, 100),
+            StripePiece(2, 200, 50),
+        ]
+
+    def test_single_target_coalesces(self):
+        lay = StripeLayout(stripe_size=10, num_targets=1)
+        assert lay.split(0, 100) == [StripePiece(0, 0, 100)]
+
+    def test_zero_size(self):
+        lay = StripeLayout(stripe_size=10, num_targets=2)
+        assert lay.split(5, 0) == []
+
+    def test_alignment(self):
+        lay = StripeLayout(stripe_size=100, num_targets=2)
+        assert lay.align_down(150) == 100
+        assert lay.align_up(150) == 200
+        assert lay.align_up(200) == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripeLayout(stripe_size=0, num_targets=1)
+        with pytest.raises(ValueError):
+            StripeLayout(stripe_size=10, num_targets=0)
+        lay = StripeLayout(stripe_size=10, num_targets=2)
+        with pytest.raises(ValueError):
+            lay.split(-1, 10)
+        with pytest.raises(ValueError):
+            lay.target_of(-1)
+
+    def test_bytes_per_target(self):
+        lay = StripeLayout(stripe_size=10, num_targets=2)
+        assert lay.bytes_per_target(0, 40) == {0: 20, 1: 20}
+
+    def test_bytes_per_target_split(self):
+        lay = StripeLayout(stripe_size=10, num_targets=2)
+        # 5..10 lands on target 0, 10..15 on target 1.
+        assert lay.bytes_per_target(5, 10) == {0: 5, 1: 5}
+
+
+@given(
+    stripe=st.integers(1, 1000),
+    ntargets=st.integers(1, 32),
+    offset=st.integers(0, 10_000),
+    size=st.integers(0, 10_000),
+)
+def test_split_partitions_request(stripe, ntargets, offset, size):
+    """Pieces tile [offset, offset+size) exactly, in order, on correct targets."""
+    lay = StripeLayout(stripe_size=stripe, num_targets=ntargets)
+    pieces = lay.split(offset, size)
+    assert sum(p.size for p in pieces) == size
+    pos = offset
+    for p in pieces:
+        assert p.offset == pos
+        assert p.size > 0
+        # every byte of the piece is on the declared target
+        assert lay.target_of(p.offset) == p.target
+        assert lay.target_of(p.offset + p.size - 1) == p.target
+        pos += p.size
+    assert pos == offset + size
+
+
+@given(
+    stripe=st.integers(1, 100),
+    ntargets=st.integers(2, 8),
+    offset=st.integers(0, 1000),
+    size=st.integers(1, 1000),
+)
+def test_piece_never_crosses_stripe_boundary(stripe, ntargets, offset, size):
+    lay = StripeLayout(stripe_size=stripe, num_targets=ntargets)
+    for p in lay.split(offset, size):
+        first_stripe = p.offset // stripe
+        last_stripe = (p.offset + p.size - 1) // stripe
+        assert first_stripe == last_stripe

@@ -1,0 +1,166 @@
+"""Tests for ClusterSpec, Cluster and presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import Cluster, ClusterSpec, crill, ibex, preset
+from repro.sim import Engine
+from repro.units import MB
+
+
+def make_spec(**kw):
+    base = dict(
+        name="test",
+        num_nodes=4,
+        cores_per_node=2,
+        network_bandwidth=1000 * MB,
+    )
+    base.update(kw)
+    return ClusterSpec(**base)
+
+
+class TestClusterSpec:
+    def test_total_cores(self):
+        assert make_spec().total_cores == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(num_nodes=0)
+        with pytest.raises(ConfigurationError):
+            make_spec(cores_per_node=0)
+        with pytest.raises(ConfigurationError):
+            make_spec(network_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            make_spec(eager_threshold=-1)
+
+    def test_with_override(self):
+        spec = make_spec().with_(progress_thread=True)
+        assert spec.progress_thread and spec.name == "test"
+
+
+class TestCluster:
+    def test_block_rank_placement(self):
+        cl = Cluster(Engine(), make_spec())
+        assert [cl.node_of_rank(r) for r in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_rank_out_of_range(self):
+        cl = Cluster(Engine(), make_spec())
+        with pytest.raises(ConfigurationError):
+            cl.node_of_rank(8)
+        with pytest.raises(ValueError):
+            cl.node_of_rank(-1)
+
+    def test_builds_one_nic_per_node(self):
+        cl = Cluster(Engine(), make_spec())
+        assert len(cl.nics) == 4 and len(cl.nodes) == 4
+
+
+class TestPresets:
+    def test_crill_matches_paper(self):
+        spec = crill()
+        assert spec.num_nodes == 16
+        assert spec.cores_per_node == 48
+        assert spec.total_cores == 768
+        assert spec.network_bandwidth == 2600 * MB
+
+    def test_ibex_matches_paper(self):
+        spec = ibex()
+        assert spec.num_nodes == 108
+        assert spec.cores_per_node == 40
+        assert spec.network_bandwidth == 3400 * MB
+
+    def test_ibex_noisier_than_crill(self):
+        assert ibex().network_noise_sigma > crill().network_noise_sigma
+        assert ibex().storage_noise_sigma > crill().storage_noise_sigma
+
+    def test_eager_threshold_scales(self):
+        assert crill(scale=1).eager_threshold == 512 * 1024
+        assert crill(scale=64).eager_threshold == 8 * 1024
+
+    def test_preset_lookup(self):
+        assert preset("crill").name == "crill"
+        assert preset("ibex").name == "ibex"
+        with pytest.raises(KeyError):
+            preset("frontier")
+
+
+class TestFabric:
+    def test_inter_node_transfer_time(self):
+        eng = Engine()
+        cl = Cluster(eng, make_spec(network_latency=1e-6))
+        bw = cl.spec.network_bandwidth
+
+        def proc(eng):
+            yield cl.fabric.transfer(0, 1, 10_000_000)
+            return eng.now
+
+        p = eng.process(proc(eng))
+        eng.run()
+        expected = 10_000_000 / bw + 1e-6
+        assert p.value == pytest.approx(expected, rel=1e-6)
+
+    def test_intra_node_uses_memory_engine(self):
+        eng = Engine()
+        cl = Cluster(eng, make_spec())
+
+        def proc(eng):
+            yield cl.fabric.transfer(2, 2, 1_000_000)
+            return eng.now
+
+        p = eng.process(proc(eng))
+        eng.run()
+        expected = cl.nodes[2].memory.service_time(1_000_000)
+        assert p.value == pytest.approx(expected, rel=1e-6)
+        assert cl.fabric.intra_node_bytes == 1_000_000
+
+    def test_shared_rx_port_serializes(self):
+        """Two senders into one receiver take twice as long as one."""
+        eng = Engine()
+        cl = Cluster(eng, make_spec(network_latency=0.0))
+        size = 10_000_000
+        times = []
+
+        def sender(eng, src):
+            yield cl.fabric.transfer(src, 3, size)
+            times.append(eng.now)
+
+        eng.process(sender(eng, 0))
+        eng.process(sender(eng, 1))
+        eng.run()
+        single = size / cl.spec.network_bandwidth
+        assert max(times) == pytest.approx(2 * single, rel=1e-6)
+
+    def test_disjoint_pairs_run_concurrently(self):
+        eng = Engine()
+        cl = Cluster(eng, make_spec(network_latency=0.0))
+        size = 10_000_000
+        times = []
+
+        def sender(eng, src, dst):
+            yield cl.fabric.transfer(src, dst, size)
+            times.append(eng.now)
+
+        eng.process(sender(eng, 0, 1))
+        eng.process(sender(eng, 2, 3))
+        eng.run()
+        single = size / cl.spec.network_bandwidth
+        assert max(times) == pytest.approx(single, rel=1e-6)
+
+    def test_negative_size_rejected(self):
+        eng = Engine()
+        cl = Cluster(eng, make_spec())
+        with pytest.raises(ValueError):
+            cl.fabric.transfer(0, 1, -1)
+
+    def test_estimate_matches_uncontended_transfer(self):
+        eng = Engine()
+        cl = Cluster(eng, make_spec())
+        est = cl.fabric.transfer_time_estimate(0, 1, 123_456)
+
+        def proc(eng):
+            yield cl.fabric.transfer(0, 1, 123_456)
+            return eng.now
+
+        p = eng.process(proc(eng))
+        eng.run()
+        assert p.value == pytest.approx(est, rel=0.05)

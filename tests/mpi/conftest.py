@@ -1,0 +1,47 @@
+"""Shared fixtures for the MPI-layer tests."""
+
+import pytest
+
+from repro.fs import FsSpec
+from repro.hardware import ClusterSpec
+from repro.mpi import World
+from repro.units import MB
+
+
+def make_cluster_spec(**kw):
+    base = dict(
+        name="test",
+        num_nodes=4,
+        cores_per_node=4,
+        network_bandwidth=1000 * MB,
+        network_latency=1e-6,
+        eager_threshold=1024,
+    )
+    base.update(kw)
+    return ClusterSpec(**base)
+
+
+def make_fs_spec(**kw):
+    base = dict(
+        name="testfs",
+        num_targets=4,
+        target_bandwidth=200 * MB,
+        target_latency=1e-4,
+        stripe_size=4096,
+    )
+    base.update(kw)
+    return FsSpec(**base)
+
+
+def make_world(nprocs=4, fs=False, **kw):
+    fs_kw = kw.pop("fs_kw", {})
+    return World(
+        make_cluster_spec(**kw),
+        nprocs=nprocs,
+        fs_spec=make_fs_spec(**fs_kw) if fs else None,
+    )
+
+
+@pytest.fixture
+def world():
+    return make_world()

@@ -1,0 +1,190 @@
+"""Tests for MPI derived datatypes and flattening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DatatypeError
+from repro.mpi.datatypes import (
+    Datatype,
+    contiguous,
+    hindexed,
+    resized,
+    struct_view,
+    subarray,
+    vector,
+)
+
+
+class TestContiguous:
+    def test_basic(self):
+        t = contiguous(100)
+        assert t.size == 100 and t.extent == 100 and t.is_contiguous
+
+    def test_zero(self):
+        t = contiguous(0)
+        assert t.size == 0 and t.num_segments == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DatatypeError):
+            contiguous(-1)
+
+    def test_replicate(self):
+        t = contiguous(10).replicate(3)
+        assert t.num_segments == 1  # coalesced into one 30-byte run
+        assert t.size == 30 and t.extent == 30
+
+
+class TestVector:
+    def test_basic(self):
+        t = vector(count=3, blocklength=4, stride=10)
+        assert t.segments.tolist() == [[0, 4], [10, 4], [20, 4]]
+        assert t.size == 12 and t.extent == 24
+
+    def test_dense_vector_coalesces(self):
+        t = vector(count=5, blocklength=8, stride=8)
+        assert t.num_segments == 1 and t.size == 40
+
+    def test_validation(self):
+        with pytest.raises(DatatypeError):
+            vector(0, 4, 10)
+        with pytest.raises(DatatypeError):
+            vector(3, 0, 10)
+        with pytest.raises(DatatypeError):
+            vector(3, 10, 4)  # stride < blocklength
+
+    def test_replicated_vector_tiles_by_extent(self):
+        t = vector(count=2, blocklength=2, stride=4)  # extent 6
+        r = t.replicate(2)
+        # Copies at 0 and 6; the blocks at 4 and 6 touch and coalesce.
+        assert r.segments.tolist() == [[0, 2], [4, 4], [10, 2]]
+
+
+class TestHindexed:
+    def test_unordered_input_sorted(self):
+        t = hindexed([(20, 5), (0, 5)])
+        assert t.segments.tolist() == [[0, 5], [20, 5]]
+
+    def test_touching_blocks_coalesce(self):
+        t = hindexed([(0, 5), (5, 5), (20, 2)])
+        assert t.segments.tolist() == [[0, 10], [20, 2]]
+
+    def test_overlapping_blocks_coalesce(self):
+        t = hindexed([(0, 10), (5, 10)])
+        assert t.segments.tolist() == [[0, 15]]
+
+    def test_invalid(self):
+        with pytest.raises(DatatypeError):
+            hindexed([(0, 0)])
+        with pytest.raises(DatatypeError):
+            hindexed([(-1, 5)])
+
+
+class TestSubarray:
+    def test_2d_block(self):
+        # 4x6 array, select 2x3 block at (1, 2), elements of 1 byte
+        t = subarray(sizes=[4, 6], subsizes=[2, 3], starts=[1, 2])
+        assert t.segments.tolist() == [[8, 3], [14, 3]]
+        assert t.extent == 24
+
+    def test_elem_size(self):
+        t = subarray(sizes=[2, 4], subsizes=[2, 2], starts=[0, 0], elem_size=8)
+        assert t.segments.tolist() == [[0, 16], [32, 16]]
+
+    def test_full_selection_is_contiguous(self):
+        t = subarray(sizes=[4, 4], subsizes=[4, 4], starts=[0, 0])
+        assert t.num_segments == 1 and t.size == 16
+
+    def test_1d(self):
+        t = subarray(sizes=[10], subsizes=[3], starts=[4])
+        assert t.segments.tolist() == [[4, 3]]
+
+    def test_3d(self):
+        t = subarray(sizes=[2, 2, 4], subsizes=[2, 1, 2], starts=[0, 1, 1])
+        assert t.segments.tolist() == [[5, 2], [13, 2]]
+
+    def test_matches_numpy_mask(self):
+        """Subarray extents equal the bytes selected by numpy slicing."""
+        sizes, subs, starts = [5, 7, 3], [2, 4, 2], [1, 2, 1]
+        t = subarray(sizes, subs, starts)
+        mask = np.zeros(sizes, dtype=bool)
+        mask[1:3, 2:6, 1:3] = True
+        flat = np.flatnonzero(mask.reshape(-1))
+        covered = np.concatenate([np.arange(o, o + n) for o, n in t.segments])
+        assert np.array_equal(np.sort(covered), flat)
+
+    def test_validation(self):
+        with pytest.raises(DatatypeError):
+            subarray([4], [2, 2], [0])
+        with pytest.raises(DatatypeError):
+            subarray([4], [5], [0])
+        with pytest.raises(DatatypeError):
+            subarray([4], [2], [3])
+        with pytest.raises(DatatypeError):
+            subarray([], [], [])
+        with pytest.raises(DatatypeError):
+            subarray([4], [2], [0], elem_size=0)
+
+
+class TestResizedAndStruct:
+    def test_resized_changes_replication(self):
+        t = resized(contiguous(4), extent=10)
+        r = t.replicate(3)
+        assert r.segments.tolist() == [[0, 4], [10, 4], [20, 4]]
+
+    def test_struct(self):
+        t = struct_view([(0, contiguous(4)), (16, vector(2, 2, 8))])
+        assert t.segments.tolist() == [[0, 4], [16, 2], [24, 2]]
+
+    def test_empty_struct(self):
+        assert struct_view([]).size == 0
+
+    def test_struct_negative_disp(self):
+        with pytest.raises(DatatypeError):
+            struct_view([(-4, contiguous(4))])
+
+
+class TestFlatten:
+    def test_offset_applied(self):
+        t = vector(2, 3, 8)
+        flat = t.flatten(offset=100)
+        assert flat.tolist() == [[100, 3], [108, 3]]
+
+    def test_count_replicates(self):
+        t = resized(contiguous(2), extent=4)
+        flat = t.flatten(offset=10, count=3)
+        assert flat.tolist() == [[10, 2], [14, 2], [18, 2]]
+
+    def test_equality_and_hash(self):
+        assert vector(2, 3, 8) == vector(2, 3, 8)
+        assert vector(2, 3, 8) != vector(2, 3, 9)
+        assert hash(vector(2, 3, 8)) == hash(vector(2, 3, 8))
+
+
+@given(
+    blocks=st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(1, 50)), min_size=1, max_size=30
+    )
+)
+def test_coalescing_preserves_byte_set(blocks):
+    """The set of covered bytes survives sorting/merging exactly."""
+    t = hindexed(blocks)
+    expected = set()
+    for off, ln in blocks:
+        expected.update(range(off, off + ln))
+    covered = set()
+    for off, ln in t.segments:
+        covered.update(range(off, off + ln))
+    assert covered == expected
+    # And segments are sorted, non-adjacent, non-overlapping.
+    segs = t.segments
+    for i in range(1, len(segs)):
+        assert segs[i, 0] > segs[i - 1, 0] + segs[i - 1, 1]
+
+
+@given(count=st.integers(1, 10), blocklength=st.integers(1, 20), gap=st.integers(1, 20))
+def test_vector_replicate_size(count, blocklength, gap):
+    t = vector(count, blocklength, blocklength + gap)
+    r = t.replicate(4)
+    assert r.size == 4 * t.size
+    assert r.extent == 4 * t.extent

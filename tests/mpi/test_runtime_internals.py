@@ -1,0 +1,123 @@
+"""White-box tests of the MPI runtime: queues, counters, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+
+from tests.mpi.conftest import make_world
+
+
+class TestQueues:
+    def test_pending_counts_reflect_state(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, tag=1, size=64)   # eager
+                yield from mpi.barrier()
+                return None
+            rt = mpi.world.runtime(1)
+            req = yield from mpi.irecv(0, tag=2, size=64)  # never matched... yet
+            yield from mpi.compute(0.01)
+            counts = dict(rt.pending_counts())
+            # one posted (tag 2), one unexpected (tag 1)
+            yield from mpi.recv(0, tag=1, size=64)
+            after = dict(rt.pending_counts())
+            yield from mpi.barrier()
+            # satisfy the dangling tag-2 receive to finish cleanly
+            return counts, after, req
+
+        # Send the tag-2 message at the end so the world terminates.
+        def program2(mpi):
+            out = yield from program(mpi)
+            if mpi.rank == 0:
+                yield from mpi.send(1, tag=2, size=64)
+                return None
+            counts, after, req = out
+            yield from mpi.wait(req)
+            return counts, after
+
+        world = make_world(nprocs=2)
+        res = world.run(program2)
+        counts, after = res[1]
+        assert counts == {"posted": 1, "unexpected": 1, "deferred_progress_work": 0}
+        assert after["unexpected"] == 0
+
+    def test_exit_progress_unbalanced_raises(self):
+        world = make_world(nprocs=1)
+        with pytest.raises(MPIError):
+            world.runtime(0).exit_progress()
+
+
+class TestCounters:
+    def test_protocol_counters(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                for _ in range(3):
+                    yield from mpi.send(1, tag=1, size=100)       # eager
+                yield from mpi.send(1, tag=2, size=100_000)       # rendezvous
+            else:
+                for _ in range(3):
+                    yield from mpi.recv(0, tag=1, size=100)
+                yield from mpi.recv(0, tag=2, size=100_000)
+
+        world = make_world(nprocs=2)
+        world.run(program)
+        rt = world.runtime(0)
+        assert rt.eager_sent == 3
+        assert rt.rendezvous_sent == 1
+
+    def test_progress_deferral_counted(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, tag=1, size=100_000)
+                return None
+            req = yield from mpi.irecv(0, tag=1, size=100_000)
+            yield from mpi.compute(0.05)  # RTS arrives while not progressing
+            yield from mpi.wait(req)
+
+        world = make_world(nprocs=2)
+        world.run(program)
+        assert world.runtime(1).progress_deferrals >= 1
+
+
+class TestTracing:
+    def test_counters_always_collected(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, tag=1, size=100)
+                yield from mpi.send(1, tag=2, size=100_000)
+            else:
+                yield from mpi.compute(0.01)
+                yield from mpi.recv(0, tag=1, size=100)
+                yield from mpi.recv(0, tag=2, size=100_000)
+
+        world = make_world(nprocs=2)
+        world.run(program)
+        tracer = world.cluster.tracer
+        assert tracer.count("send.eager") == 1
+        assert tracer.count("send.rendezvous") == 1
+        assert tracer.count("recv.unexpected") == 1  # the eager landed early
+        assert tracer.records == []  # full records need enabled=True
+
+    def test_full_records_when_enabled(self):
+        def program(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(1, tag=1, size=100)
+            else:
+                yield from mpi.recv(0, tag=1, size=100)
+
+        world = make_world(nprocs=2)
+        world.cluster.tracer.enabled = True
+        world.run(program)
+        records = world.cluster.tracer.of_category("send.eager")
+        assert len(records) == 1
+        assert records[0].detail["dst"] == 1 and records[0].detail["size"] == 100
+
+    def test_tracer_clear(self):
+        from repro.sim import Tracer
+
+        t = Tracer(enabled=True)
+        t.emit(1.0, "x", a=1)
+        assert t.count("x") == 1
+        t.clear()
+        assert t.count("x") == 0 and t.records == []

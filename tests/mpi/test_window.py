@@ -1,0 +1,167 @@
+"""Tests for one-sided communication (RMA windows)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RMAError
+
+from tests.mpi.conftest import make_world
+
+
+class TestPutFence:
+    def test_put_lands_after_fence(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(1024 if mpi.rank == 0 else 0)
+            yield from win.fence()
+            if mpi.rank != 0:
+                data = np.full(16, mpi.rank, dtype=np.uint8)
+                yield from win.put(0, data, 16 * mpi.rank)
+            yield from win.fence()
+            if mpi.rank == 0:
+                return win.local_buffer[:64].copy()
+
+        res = make_world(nprocs=4).run(program)
+        buf = res[0]
+        for r in (1, 2, 3):
+            assert (buf[16 * r : 16 * (r + 1)] == r).all()
+        assert (buf[:16] == 0).all()
+
+    def test_put_needs_no_target_progress(self):
+        """Data lands while the target computes (no MPI calls)."""
+
+        def program(mpi):
+            win = yield from mpi.win_allocate(1024 if mpi.rank == 0 else 0)
+            yield from win.fence()
+            if mpi.rank == 1:
+                evt = yield from win.put(0, np.full(100, 9, np.uint8), 0)
+                yield evt  # local completion of the transfer
+                done = mpi.now
+                yield from win.fence()
+                return done
+            if mpi.rank == 0:
+                yield from mpi.compute(0.5)  # no progress at the target
+            yield from win.fence()
+            return None
+
+        res = make_world(nprocs=2).run(program)
+        assert res[1] < 0.01  # put completed during the target's compute
+
+    def test_put_bounds_checked(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(64 if mpi.rank == 0 else 0)
+            yield from win.fence()
+            if mpi.rank == 1:
+                yield from win.put(0, np.zeros(65, np.uint8), 0)
+            yield from win.fence()
+
+        with pytest.raises(RMAError):
+            make_world(nprocs=2).run(program)
+
+    def test_zero_window_buffer_access_raises(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(0)
+            yield from win.fence()
+            _ = win.local_buffer
+            if False:
+                yield
+
+        with pytest.raises(RMAError):
+            make_world(nprocs=1).run(program)
+
+    def test_fence_synchronizes_like_barrier(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(16)
+            yield from mpi.compute(0.1 * mpi.rank)
+            yield from win.fence()
+            return mpi.now
+
+        res = make_world(nprocs=3).run(program)
+        assert min(res) >= 0.2
+
+
+class TestLockUnlock:
+    def test_passive_put_visible_after_barrier(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(256 if mpi.rank == 0 else 0)
+            yield from mpi.barrier()
+            if mpi.rank != 0:
+                yield from win.lock(0)
+                yield from win.put(0, np.full(8, mpi.rank, np.uint8), 8 * mpi.rank)
+                yield from win.unlock(0)
+            yield from mpi.barrier()
+            if mpi.rank == 0:
+                return win.local_buffer[:32].copy()
+
+        res = make_world(nprocs=4).run(program)
+        buf = res[0]
+        for r in (1, 2, 3):
+            assert (buf[8 * r : 8 * (r + 1)] == r).all()
+
+    def test_shared_locks_concurrent(self):
+        """Shared locks don't serialize concurrent origins."""
+
+        def program(mpi):
+            win = yield from mpi.win_allocate(1024 if mpi.rank == 0 else 0)
+            yield from mpi.barrier()
+            if mpi.rank != 0:
+                yield from win.lock(0, exclusive=False)
+                yield from mpi.compute(0.1)  # hold the lock a while
+                yield from win.unlock(0, exclusive=False)
+            yield from mpi.barrier()
+            return mpi.now
+
+        res = make_world(nprocs=4).run(program)
+        assert max(res) < 0.2  # concurrent holds: ~0.1 total, not 0.3
+
+    def test_exclusive_locks_serialize(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(1024 if mpi.rank == 0 else 0)
+            yield from mpi.barrier()
+            if mpi.rank != 0:
+                yield from win.lock(0, exclusive=True)
+                yield from mpi.compute(0.1)
+                yield from win.unlock(0, exclusive=True)
+            yield from mpi.barrier()
+            return mpi.now
+
+        res = make_world(nprocs=4).run(program)
+        assert max(res) > 0.3  # three holders serialized
+
+    def test_unlock_flushes_puts(self):
+        """After unlock, the data is in the target window (origin view)."""
+
+        def program(mpi):
+            win = yield from mpi.win_allocate(64 if mpi.rank == 0 else 0)
+            yield from mpi.barrier()
+            if mpi.rank == 1:
+                yield from win.lock(0)
+                yield from win.put(0, np.full(32, 5, np.uint8), 0)
+                yield from win.unlock(0)
+                # Origin-side completion guarantee: bytes are at the target.
+                assert (win.window.buffer(0)[:32] == 5).all()
+            yield from mpi.barrier()
+
+        make_world(nprocs=2).run(program)
+
+    def test_bad_release_raises(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(64)
+            yield from win.unlock(0)
+
+        with pytest.raises(RMAError):
+            make_world(nprocs=1).run(program)
+
+
+class TestAccounting:
+    def test_puts_counted(self):
+        def program(mpi):
+            win = yield from mpi.win_allocate(64 if mpi.rank == 0 else 0)
+            yield from win.fence()
+            if mpi.rank == 1:
+                yield from win.put(0, np.zeros(8, np.uint8), 0)
+                yield from win.put(0, np.zeros(8, np.uint8), 8)
+            yield from win.fence()
+            return win.window.puts_issued
+
+        res = make_world(nprocs=2).run(program)
+        assert res[0] == 2

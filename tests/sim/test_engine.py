@@ -1,0 +1,253 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(2.0)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert eng.now == 2.0
+
+
+def test_timeout_value_passthrough():
+    eng = Engine()
+    got = []
+
+    def proc(eng):
+        got.append((yield eng.timeout(1.0, value="payload")))
+
+    eng.process(proc(eng))
+    eng.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        return 42
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.ok and p.value == 42
+
+
+def test_process_waits_on_process():
+    eng = Engine()
+
+    def child(eng):
+        yield eng.timeout(3.0)
+        return "child-result"
+
+    def parent(eng, c):
+        val = yield c
+        return (eng.now, val)
+
+    c = eng.process(child(eng))
+    p = eng.process(parent(eng, c))
+    eng.run()
+    assert p.value == (3.0, "child-result")
+
+
+def test_wait_on_already_completed_process():
+    eng = Engine()
+
+    def quick(eng):
+        yield eng.timeout(0.5)
+        return "q"
+
+    q = eng.process(quick(eng))
+
+    def late(eng):
+        yield eng.timeout(5.0)
+        val = yield q  # q finished long ago
+        return (eng.now, val)
+
+    p = eng.process(late(eng))
+    eng.run()
+    assert p.value == (5.0, "q")
+
+
+def test_simultaneous_events_fifo_order():
+    eng = Engine()
+    order = []
+
+    def proc(eng, tag):
+        yield eng.timeout(1.0)
+        order.append(tag)
+
+    for i in range(5):
+        eng.process(proc(eng, i))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_wakes_waiter():
+    eng = Engine()
+    evt = eng.event()
+    seen = []
+
+    def waiter(eng):
+        seen.append((yield evt))
+
+    def firer(eng):
+        yield eng.timeout(1.0)
+        evt.succeed("fired")
+
+    eng.process(waiter(eng))
+    eng.process(firer(eng))
+    eng.run()
+    assert seen == ["fired"] and eng.now == 1.0
+
+
+def test_event_double_trigger_rejected():
+    eng = Engine()
+    evt = eng.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_throws_into_waiter():
+    eng = Engine()
+    evt = eng.event()
+    caught = []
+
+    def waiter(eng):
+        try:
+            yield evt
+        except RuntimeError as e:
+            caught.append(str(e))
+
+    eng.process(waiter(eng))
+
+    def firer(eng):
+        yield eng.timeout(1.0)
+        evt.fail(RuntimeError("boom"))
+
+    eng.process(firer(eng))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_exception_propagates_from_run():
+    eng = Engine()
+
+    def bad(eng):
+        yield eng.timeout(1.0)
+        raise ValueError("kaput")
+
+    eng.process(bad(eng))
+    with pytest.raises(ValueError, match="kaput"):
+        eng.run()
+
+
+def test_waiting_process_receives_child_failure():
+    eng = Engine()
+
+    def bad(eng):
+        yield eng.timeout(1.0)
+        raise ValueError("inner")
+
+    b = eng.process(bad(eng))
+    caught = []
+
+    def parent(eng):
+        try:
+            yield b
+        except ValueError as e:
+            caught.append(str(e))
+
+    eng.process(parent(eng))
+    eng.run()
+    assert caught == ["inner"]
+
+
+def test_deadlock_detection():
+    eng = Engine()
+
+    def stuck(eng):
+        yield eng.event()  # never triggered
+
+    eng.process(stuck(eng))
+    with pytest.raises(DeadlockError):
+        eng.run()
+
+
+def test_run_until_bound_stops_clock():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(100.0)
+
+    eng.process(proc(eng))
+    eng.run(until=10.0)
+    assert eng.now == 10.0
+    eng.run()  # finish the rest
+    assert eng.now == 100.0
+
+
+def test_yield_non_event_fails_process():
+    eng = Engine()
+
+    def bad(eng):
+        yield 42  # type: ignore[misc]
+
+    p = eng.process(bad(eng))
+    with pytest.raises(SimulationError, match="must yield Events"):
+        eng.run()
+    assert not p.ok
+
+
+def test_process_requires_generator():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_run_until_complete_returns_values_in_order():
+    eng = Engine()
+
+    def proc(eng, d):
+        yield eng.timeout(d)
+        return d
+
+    procs = [eng.process(proc(eng, d)) for d in (3.0, 1.0, 2.0)]
+    assert eng.run_until_complete(procs) == [3.0, 1.0, 2.0]
+
+
+def test_nested_process_spawning():
+    eng = Engine()
+    results = []
+
+    def leaf(eng, d):
+        yield eng.timeout(d)
+        return d
+
+    def spawner(eng):
+        children = [eng.process(leaf(eng, d)) for d in (1.0, 2.0)]
+        for c in children:
+            results.append((yield c))
+
+    eng.process(spawner(eng))
+    eng.run()
+    assert results == [1.0, 2.0]

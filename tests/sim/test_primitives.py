@@ -1,0 +1,117 @@
+"""Tests for AllOf / AnyOf composite conditions."""
+
+import pytest
+
+from repro.sim import Engine, all_of, any_of
+
+
+def _sleeper(eng, d, value=None):
+    def proc(eng):
+        yield eng.timeout(d)
+        return value if value is not None else d
+
+    return eng.process(proc(eng))
+
+
+def test_all_of_waits_for_slowest():
+    eng = Engine()
+    ps = [_sleeper(eng, d) for d in (1.0, 4.0, 2.0)]
+    done = []
+
+    def waiter(eng):
+        vals = yield all_of(eng, ps)
+        done.append((eng.now, vals))
+
+    eng.process(waiter(eng))
+    eng.run()
+    assert done == [(4.0, [1.0, 4.0, 2.0])]
+
+
+def test_all_of_empty_succeeds_immediately():
+    eng = Engine()
+    seen = []
+
+    def waiter(eng):
+        seen.append((yield all_of(eng, [])))
+
+    eng.process(waiter(eng))
+    eng.run()
+    assert seen == [[]] and eng.now == 0.0
+
+
+def test_all_of_with_already_completed_children():
+    eng = Engine()
+    ps = [_sleeper(eng, 1.0), _sleeper(eng, 2.0)]
+
+    def late(eng):
+        yield eng.timeout(10.0)
+        vals = yield all_of(eng, ps)
+        return (eng.now, vals)
+
+    p = eng.process(late(eng))
+    eng.run()
+    assert p.value == (10.0, [1.0, 2.0])
+
+
+def test_any_of_returns_first():
+    eng = Engine()
+    ps = [_sleeper(eng, 3.0, "slow"), _sleeper(eng, 1.0, "fast")]
+
+    def waiter(eng):
+        idx, val = yield any_of(eng, ps)
+        return (eng.now, idx, val)
+
+    w = eng.process(waiter(eng))
+    eng.run()
+    assert w.value == (1.0, 1, "fast")
+
+
+def test_all_of_propagates_child_failure():
+    eng = Engine()
+
+    def bad(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("child failed")
+
+    ps = [_sleeper(eng, 5.0), eng.process(bad(eng))]
+    caught = []
+
+    def waiter(eng):
+        try:
+            yield all_of(eng, ps)
+        except RuntimeError as e:
+            caught.append((eng.now, str(e)))
+
+    eng.process(waiter(eng))
+    eng.run()
+    assert caught == [(1.0, "child failed")]
+
+
+def test_condition_rejects_mixed_engines():
+    eng1, eng2 = Engine(), Engine()
+    e1, e2 = eng1.event(), eng2.event()
+    with pytest.raises(ValueError):
+        all_of(eng1, [e1, e2])
+
+
+def test_any_of_late_failure_of_loser_is_defused():
+    eng = Engine()
+
+    def bad(eng):
+        yield eng.timeout(5.0)
+        raise RuntimeError("loser fails late")
+
+    winner = _sleeper(eng, 1.0, "win")
+    loser = eng.process(bad(eng))
+    got = []
+
+    def waiter(eng):
+        got.append((yield any_of(eng, [winner, loser])))
+        # keep living past the loser's failure
+        yield eng.timeout(10.0)
+
+    eng.process(waiter(eng))
+    # The loser's failure is absorbed by the condition (defused) and must
+    # not crash the run.
+    eng.run()
+    assert got == [(0, "win")]

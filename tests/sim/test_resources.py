@@ -1,0 +1,171 @@
+"""Tests for FifoResource, Store and ServerQueue."""
+
+import pytest
+
+from repro.sim import Engine, FifoResource, ServerQueue, Store
+
+
+class TestFifoResource:
+    def test_grants_up_to_capacity(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=2)
+        g1, g2, g3 = res.request(), res.request(), res.request()
+        assert g1.triggered and g2.triggered and not g3.triggered
+        assert res.in_use == 2 and res.queue_length == 1
+
+    def test_release_grants_fifo(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+        res.request()
+        waiters = [res.request() for _ in range(3)]
+        res.release()
+        assert waiters[0].triggered and not waiters[1].triggered
+        res.release()
+        assert waiters[1].triggered and not waiters[2].triggered
+
+    def test_release_without_request_raises(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FifoResource(Engine(), capacity=0)
+
+    def test_end_to_end_mutual_exclusion(self):
+        eng = Engine()
+        res = FifoResource(eng, capacity=1)
+        inside = []
+
+        def proc(eng, tag):
+            yield res.request()
+            inside.append(tag)
+            assert len(inside) == 1  # exclusive section
+            yield eng.timeout(1.0)
+            inside.remove(tag)
+            res.release()
+
+        for i in range(4):
+            eng.process(proc(eng, i))
+        eng.run()
+        assert eng.now == 4.0  # fully serialized
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+        store.put("b")
+        got = []
+
+        def getter(eng):
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        eng.process(getter(eng))
+        eng.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        eng = Engine()
+        store = Store(eng)
+        got = []
+
+        def getter(eng):
+            got.append(((yield store.get()), eng.now))
+
+        def putter(eng):
+            yield eng.timeout(2.0)
+            store.put("late")
+
+        eng.process(getter(eng))
+        eng.process(putter(eng))
+        eng.run()
+        assert got == [("late", 2.0)]
+
+    def test_try_get(self):
+        eng = Engine()
+        store = Store(eng)
+        assert store.try_get() == (False, None)
+        store.put(7)
+        assert store.try_get() == (True, 7)
+        assert len(store) == 0
+
+
+class TestServerQueue:
+    def test_single_request_latency_plus_bandwidth(self):
+        eng = Engine()
+        q = ServerQueue(eng, bandwidth=1000.0, latency=0.5)
+
+        def proc(eng):
+            yield q.submit(1000)
+            return eng.now
+
+        p = eng.process(proc(eng))
+        eng.run()
+        assert p.value == pytest.approx(1.5)
+
+    def test_fifo_serialization(self):
+        eng = Engine()
+        q = ServerQueue(eng, bandwidth=100.0)
+        times = []
+
+        def proc(eng, size):
+            yield q.submit(size)
+            times.append(eng.now)
+
+        eng.process(proc(eng, 100))
+        eng.process(proc(eng, 200))
+        eng.process(proc(eng, 100))
+        eng.run()
+        assert times == [pytest.approx(1.0), pytest.approx(3.0), pytest.approx(4.0)]
+
+    def test_idle_gap_resets_queue(self):
+        eng = Engine()
+        q = ServerQueue(eng, bandwidth=100.0)
+
+        def proc(eng):
+            yield q.submit(100)  # done at t=1
+            yield eng.timeout(10.0)  # idle gap
+            yield q.submit(100)  # served immediately from t=11
+            return eng.now
+
+        p = eng.process(proc(eng))
+        eng.run()
+        assert p.value == pytest.approx(12.0)
+
+    def test_noise_multiplies_service_time(self):
+        eng = Engine()
+        q = ServerQueue(eng, bandwidth=100.0, noise=lambda: 2.0)
+
+        def proc(eng):
+            yield q.submit(100)
+            return eng.now
+
+        p = eng.process(proc(eng))
+        eng.run()
+        assert p.value == pytest.approx(2.0)
+
+    def test_accounting(self):
+        eng = Engine()
+        q = ServerQueue(eng, bandwidth=100.0)
+
+        def proc(eng):
+            yield q.submit(100)
+            yield q.submit(300)
+
+        eng.process(proc(eng))
+        eng.run()
+        assert q.bytes_served == 400 and q.requests_served == 2
+
+    def test_invalid_parameters(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            ServerQueue(eng, bandwidth=0)
+        with pytest.raises(ValueError):
+            ServerQueue(eng, bandwidth=10, latency=-1)
+        q = ServerQueue(eng, bandwidth=10)
+        with pytest.raises(ValueError):
+            q.submit(-5)

@@ -1,0 +1,49 @@
+"""Tests for seeded RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).stream("x").random(5)
+    b = RngStreams(7).stream("x").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_independent():
+    s = RngStreams(7)
+    a = s.stream("x").random(5)
+    b = s.stream("y").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random(5)
+    b = RngStreams(2).stream("x").random(5)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_identity_is_cached():
+    s = RngStreams(7)
+    assert s.stream("x") is s.stream("x")
+
+
+def test_lognormal_noise_zero_sigma_is_unity():
+    draw = RngStreams(7).lognormal_noise("n", sigma=0.0)
+    assert all(draw() == 1.0 for _ in range(10))
+
+
+def test_lognormal_noise_has_spread_and_floor():
+    draw = RngStreams(7).lognormal_noise("n", sigma=0.5, floor=0.25)
+    samples = [draw() for _ in range(1000)]
+    assert min(samples) >= 0.25
+    assert max(samples) > 1.0  # some slowdowns observed
+    # Median of a unit-median lognormal should be near 1.
+    assert 0.8 < float(np.median(samples)) < 1.2
+
+
+def test_lognormal_negative_sigma_rejected():
+    with pytest.raises(ValueError):
+        RngStreams(7).lognormal_noise("n", sigma=-0.1)

@@ -1,0 +1,86 @@
+"""Tests for the units helpers, error hierarchy and global config."""
+
+import pytest
+
+from repro import errors
+from repro.config import DEFAULT_SCALE, scaled
+from repro.units import (
+    GiB,
+    KiB,
+    MB,
+    MiB,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_time,
+)
+
+
+class TestUnits:
+    def test_binary_sizes(self):
+        assert KiB == 1024 and MiB == 1024**2 and GiB == 1024**3
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3 * MiB) == "3.0 MiB"
+        assert fmt_bytes(5 * GiB) == "5.0 GiB"
+
+    def test_fmt_time(self):
+        assert fmt_time(2.5) == "2.500 s"
+        assert fmt_time(3e-3) == "3.000 ms"
+        assert fmt_time(4e-6) == "4.000 us"
+        assert fmt_time(5e-9) == "5.0 ns"
+
+    def test_fmt_bandwidth(self):
+        assert fmt_bandwidth(2600 * MB) == "2.60 GB/s"
+        assert fmt_bandwidth(110 * MB) == "110.0 MB/s"
+
+
+class TestScaled:
+    def test_divides(self):
+        assert scaled(64 * MiB, 64) == MiB
+
+    def test_floors_at_one(self):
+        assert scaled(10, 100) == 1
+
+    def test_scale_one_identity(self):
+        assert scaled(12345, 1) == 12345
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled(100, 0)
+
+    def test_default_scale(self):
+        assert DEFAULT_SCALE == 64
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "SimulationError",
+            "DeadlockError",
+            "MPIError",
+            "RMAError",
+            "DatatypeError",
+            "FileSystemError",
+            "ConfigurationError",
+            "WorkloadError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.RMAError, errors.MPIError)
+        assert issubclass(errors.DatatypeError, errors.MPIError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DeadlockError("stuck")
+
+
+class TestVersion:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

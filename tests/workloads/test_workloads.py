@@ -1,0 +1,205 @@
+"""Tests for the IOR, Tile I/O and FLASH-IO workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import FlashIoWorkload, IorWorkload, TileIoWorkload, make_workload
+from repro.workloads.tileio import near_square_grid
+
+
+class TestIor:
+    def test_paper_config_single_segment(self):
+        w = IorWorkload(nprocs=4, scale=64)
+        v = w.view(2)
+        assert v.num_extents == 1
+        assert v.offsets[0] == 2 * w.block_size
+        assert w.block_size == (1 << 30) // 64
+
+    def test_file_covers_exactly(self):
+        w = IorWorkload(nprocs=4, block_size=1000)
+        w.check_disjoint()
+        assert w.total_bytes == 4000
+
+    def test_segments(self):
+        w = IorWorkload(nprocs=3, block_size=100, segment_count=2)
+        v = w.view(1)
+        assert v.offsets.tolist() == [100, 400]
+        w.check_disjoint()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            IorWorkload(nprocs=0)
+        with pytest.raises(WorkloadError):
+            IorWorkload(nprocs=2, segment_count=0)
+        with pytest.raises(WorkloadError):
+            IorWorkload(nprocs=2, block_size=0)
+        w = IorWorkload(nprocs=2)
+        with pytest.raises(WorkloadError):
+            w.view(2)
+
+    def test_describe(self):
+        d = IorWorkload(nprocs=4, block_size=100).describe()
+        assert d["file_size"] == 400
+
+    def test_random_offsets_disjoint_and_block_aligned(self):
+        w = IorWorkload(nprocs=4, block_size=100, segment_count=3,
+                        random_offsets=True, random_seed=7)
+        w.check_disjoint()
+        for r in range(4):
+            v = w.view(r)
+            assert (v.offsets % 100 == 0).all()
+            assert v.total_bytes == 300
+
+    def test_random_offsets_deterministic(self):
+        a = IorWorkload(4, block_size=100, segment_count=2, random_offsets=True, random_seed=1)
+        b = IorWorkload(4, block_size=100, segment_count=2, random_offsets=True, random_seed=1)
+        c = IorWorkload(4, block_size=100, segment_count=2, random_offsets=True, random_seed=2)
+        assert np.array_equal(a.view(2).offsets, b.view(2).offsets)
+        assert any(
+            not np.array_equal(a.view(r).offsets, c.view(r).offsets) for r in range(4)
+        )
+
+    def test_random_permutes_full_slot_space(self):
+        w = IorWorkload(nprocs=3, block_size=10, segment_count=4,
+                        random_offsets=True, random_seed=3)
+        slots = sorted(
+            int(off) // 10 for r in range(3) for off in w.view(r).offsets
+        )
+        assert slots == list(range(12))
+
+
+class TestNearSquareGrid:
+    def test_perfect_squares(self):
+        assert near_square_grid(16) == (4, 4)
+        assert near_square_grid(729) == (27, 27)
+
+    def test_paper_process_counts(self):
+        assert near_square_grid(704) == (22, 32)
+        assert near_square_grid(576) == (24, 24)
+        assert near_square_grid(256) == (16, 16)
+
+    def test_prime(self):
+        assert near_square_grid(7) == (1, 7)
+
+    def test_product_invariant(self):
+        for n in (1, 2, 12, 36, 100, 704):
+            py, px = near_square_grid(n)
+            assert py * px == n and py <= px
+
+
+class TestTileIo:
+    def test_grid_and_tiles(self):
+        w = TileIoWorkload(nprocs=4, element_size=4, elements_y=2, elements_x=3)
+        assert (w.grid_y, w.grid_x) == (2, 2)
+        assert w.tile_of(3) == (1, 1)
+        assert w.global_elements == (4, 6)
+
+    def test_view_extents_are_rows(self):
+        w = TileIoWorkload(nprocs=4, element_size=4, elements_y=2, elements_x=3)
+        v = w.view(0)
+        # Tile (0,0): rows 0 and 1, each 3 elements of 4 bytes at stride 24.
+        assert v.offsets.tolist() == [0, 24]
+        assert v.lengths.tolist() == [12, 12]
+
+    def test_tiles_cover_file_disjointly(self):
+        w = TileIoWorkload(nprocs=6, element_size=8, elements_y=4, elements_x=2)
+        w.check_disjoint()
+        gy, gx = w.global_elements
+        assert w.total_bytes == gy * gx * 8
+
+    def test_config_256_keeps_small_elements(self):
+        w = TileIoWorkload.config_256(16, scale=64)
+        assert w.element_size == 256
+        # Rows shrink by scale**(1/3) = 4, row length by 16.
+        assert w.elements_y == 512 and w.elements_x == 64
+        # many small runs per rank, each modeled run standing for 4 real ones
+        assert w.view(0).num_extents == 512
+        assert w.extent_cost_factor == 4.0
+
+    def test_config_256_total_bytes_scale(self):
+        w = TileIoWorkload.config_256(16, scale=64)
+        full = TileIoWorkload.config_256(16, scale=1)
+        assert full.view(0).total_bytes == 64 * w.view(0).total_bytes
+        assert full.extent_cost_factor == 1.0
+
+    def test_config_1m_keeps_element_count(self):
+        w = TileIoWorkload.config_1m(16, scale=64)
+        assert (w.elements_y, w.elements_x) == (32, 16)
+        assert w.element_size == (1 << 20) // 64
+
+    def test_256_has_many_more_extents_than_1m(self):
+        a = TileIoWorkload.config_256(16)
+        b = TileIoWorkload.config_1m(16)
+        assert a.view(0).num_extents > 4 * b.view(0).num_extents
+
+    def test_full_scale_matches_paper(self):
+        a = TileIoWorkload.config_256(16, scale=1)
+        assert (a.elements_y, a.elements_x) == (2048, 1024)
+        assert a.view(0).total_bytes == 2048 * 1024 * 256  # 512 MB per process
+        b = TileIoWorkload.config_1m(16, scale=1)
+        assert b.view(0).total_bytes == 32 * 16 * (1 << 20)  # 512 MB per process
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TileIoWorkload(nprocs=4, element_size=0, elements_y=1, elements_x=1)
+
+
+class TestFlashIo:
+    def test_extent_structure(self):
+        w = FlashIoWorkload(nprocs=4, scale=64)
+        v = w.view(1)
+        assert v.num_extents == 24  # one run per variable
+        assert (v.lengths == w.bytes_per_proc_per_var).all()
+        # Variable-major: consecutive extents are one var-stride apart.
+        assert (np.diff(v.offsets) == w.var_stride).all()
+
+    def test_disjoint_full_coverage(self):
+        w = FlashIoWorkload(nprocs=3, scale=64)
+        w.check_disjoint()
+        assert w.total_bytes == 3 * 24 * w.bytes_per_proc_per_var
+
+    def test_custom_parameters(self):
+        w = FlashIoWorkload(nprocs=2, nvar=5, blocks_per_proc=3, zones_per_block=10,
+                            bytes_per_zone=4)
+        assert w.bytes_per_proc_per_var == 120
+        assert w.view(0).num_extents == 5
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            FlashIoWorkload(nprocs=2, nvar=0)
+        with pytest.raises(WorkloadError):
+            FlashIoWorkload(nprocs=2, blocks_per_proc=0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["ior", "tile_256", "tile_1m", "flash"])
+    def test_make_workload(self, name):
+        w = make_workload(name, nprocs=4)
+        assert w.nprocs == 4
+        assert w.total_bytes > 0
+        w.check_disjoint()
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_workload("hpcg", nprocs=4)
+
+    def test_data_is_deterministic_and_sized(self):
+        w = make_workload("ior", nprocs=2)
+        d1, d2 = w.data(1), w.data(1)
+        assert np.array_equal(d1, d2)
+        assert d1.size == w.view(1).total_bytes
+        assert not np.array_equal(w.data(0), w.data(1))
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    nprocs=st.integers(1, 30),
+    name=st.sampled_from(["ior", "tile_256", "tile_1m", "flash"]),
+)
+def test_all_workloads_disjoint_property(nprocs, name):
+    """No workload ever assigns one file byte to two ranks."""
+    w = make_workload(name, nprocs=nprocs, scale=256)
+    w.check_disjoint()
+    assert all(w.view(r).total_bytes > 0 for r in range(nprocs))
