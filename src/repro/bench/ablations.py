@@ -23,6 +23,12 @@ testable predictions:
     buffered asynchronous writes hide on crill; with a noiseless file
     system the Write-Overlap gain should shrink toward the pure
     shuffle-hiding bound.
+``fault_injection``
+    Transient storage faults + bounded retries: how much of each
+    algorithm's advantage survives a flaky file system?  Retried cycles
+    serialize behind their backoff, so overlap algorithms degrade more
+    gracefully than the blocking baseline only while the retry traffic
+    still fits in the shuffle window.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ __all__ = [
     "buffer_size_ablation",
     "aggregator_ablation",
     "storage_noise_ablation",
+    "fault_injection_ablation",
     "ALL_ABLATIONS",
 ]
 
@@ -77,7 +84,8 @@ class AblationResult:
 
 
 def _measure(
-    cluster_spec, fs_spec, nprocs, workload, algorithms, config, reps, seed=DEFAULT_SEED
+    cluster_spec, fs_spec, nprocs, workload, algorithms, config, reps,
+    seed=DEFAULT_SEED, faults=None,
 ) -> dict[str, float]:
     views = workload.views()
     points = {}
@@ -87,6 +95,7 @@ def _measure(
             run = run_collective_write(
                 cluster_spec, fs_spec, nprocs, views, algorithm=algorithm,
                 config=config, carry_data=False, seed=seed + 1000 * rep,
+                faults=faults,
             )
             series.add(run.elapsed)
         points[algorithm] = series.point
@@ -187,10 +196,39 @@ def storage_noise_ablation(
     return result
 
 
+def fault_injection_ablation(
+    nprocs: int = 96, reps: int = 2, scale: int = DEFAULT_SCALE
+) -> AblationResult:
+    """Transient write failures + retries: graceful degradation check.
+
+    Sweeps the per-storage-request failure rate with a fixed retry
+    policy; the 0% row must be bit-identical to a run without the fault
+    subsystem (a disabled FaultSpec never builds an injector).
+    """
+    from repro.faults import FaultSpec, RetryPolicy
+
+    result = AblationResult(
+        "transient write faults + retries", "fail_rate",
+        notes="Per-storage-request failure probability; bounded-backoff retries.",
+    )
+    cluster_spec, fs_spec = specs_for("ibex", scale)
+    workload = make_workload("ior", nprocs, scale=scale, block_size=4 * MiB)
+    config = CollectiveConfig.for_scale(scale).with_(retry=RetryPolicy(max_retries=25))
+    algorithms = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
+    for rate in (0.0, 0.05, 0.10):
+        faults = FaultSpec(write_fail_rate=rate)
+        result.rows[f"{rate:.0%}"] = _measure(
+            cluster_spec, fs_spec, nprocs, workload, algorithms, config, reps,
+            faults=faults if faults.enabled else None,
+        )
+    return result
+
+
 ALL_ABLATIONS = {
     "progress_thread": progress_thread_ablation,
     "eager_threshold": eager_threshold_ablation,
     "buffer_size": buffer_size_ablation,
     "aggregators": aggregator_ablation,
     "storage_noise": storage_noise_ablation,
+    "fault_injection": fault_injection_ablation,
 }

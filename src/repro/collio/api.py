@@ -28,6 +28,8 @@ from repro.collio.shuffle import make_shuffle
 from repro.collio.view import FileView
 from repro.config import DEFAULT_SEED
 from repro.errors import ConfigurationError
+from repro.faults.retry import RetryPolicy
+from repro.faults.spec import FaultSpec
 from repro.fs.presets import FsSpec
 from repro.hardware.cluster import ClusterSpec
 from repro.mpi.world import World
@@ -129,6 +131,9 @@ class CollectiveWriteResult:
     write_bandwidth: float
     per_rank_stats: list = field(default_factory=list)
     verified: bool | None = None
+    #: Snapshot of the world tracer's always-on counters after the run
+    #: (``fault.*`` injections, ``retry.*`` recoveries, protocol events).
+    trace_counters: dict = field(default_factory=dict)
 
     def phase_time(self, phase: str, rank: int | None = None) -> float:
         """Max (or one rank's) accumulated time in a phase."""
@@ -154,6 +159,8 @@ def run_collective_write(
     carry_data: bool = True,
     plan: TwoPhasePlan | None = None,
     path: str = "/collective.out",
+    faults: FaultSpec | None = None,
+    retry: RetryPolicy | None = None,
 ) -> CollectiveWriteResult:
     """Build a world, run one collective write, return timing (and verify).
 
@@ -166,13 +173,22 @@ def run_collective_write(
     touching the host's memory bus — the mode the large benchmark sweeps
     use.  Verification requires real payloads, so it is incompatible with
     ``verify=True``.
+
+    ``faults`` injects deterministic failures (see
+    :class:`~repro.faults.spec.FaultSpec`); ``retry`` wraps the
+    file-access phase in a :class:`~repro.faults.retry.RetryPolicy`
+    (shorthand for ``config.with_(retry=...)``).  Injection decisions
+    draw from seeded streams, so a faulty run is reproducible from
+    ``(faults, seed)`` alone.
     """
     if set(views) != set(range(nprocs)):
         raise ConfigurationError("views must cover exactly ranks 0..nprocs-1")
     config = config or CollectiveConfig()
+    if retry is not None:
+        config = config.with_(retry=retry)
     if (verify or config.verify) and not carry_data:
         raise ConfigurationError("verify=True requires carry_data=True")
-    world = World(cluster_spec, nprocs, fs_spec=fs_spec, seed=seed)
+    world = World(cluster_spec, nprocs, fs_spec=fs_spec, seed=seed, faults=faults)
     algo = make_algorithm(algorithm)
     if plan is None:
         plan = build_plan(
@@ -212,6 +228,7 @@ def run_collective_write(
         elapsed=elapsed,
         write_bandwidth=plan.total_bytes / elapsed if elapsed > 0 else 0.0,
         per_rank_stats=stats,
+        trace_counters=dict(world.cluster.tracer.counters),
     )
     if verify or config.verify:
         result.verified = _verify_file(world, path, views, payloads)

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.config import DEFAULT_SCALE, scaled
 from repro.errors import ConfigurationError
 from repro.units import MiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.retry import RetryPolicy
 
 __all__ = ["CollectiveConfig"]
 
@@ -44,6 +48,10 @@ class CollectiveConfig:
     extent_cost_factor: float = 1.0
     #: Verify written bytes against expectations after the run (tests).
     verify: bool = False
+    #: Retry policy applied to the file-access phase (None = no retries;
+    #: write failures propagate immediately, as before the fault
+    #: subsystem existed).  See :class:`repro.faults.retry.RetryPolicy`.
+    retry: "RetryPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.cb_buffer_size < 2:

@@ -79,6 +79,12 @@ class AlgoContext:
         self.rank = mpi.rank
         self.agg_index = plan.agg_index_of_rank.get(mpi.rank)
         self.stats = PhaseStats()
+        if config.retry is not None:
+            from repro.faults.retry import ReliableWriter  # local: avoids a cycle
+
+            self.writer = ReliableWriter(mpi, fh, config.retry)
+        else:
+            self.writer = None
         # Plain-array sub-buffers (two-sided shuffle); RMA windows replace
         # them for one-sided shuffles.
         self._buffers: list[np.ndarray] | None = None
@@ -170,7 +176,10 @@ class AlgoContext:
             return
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
-        yield from self.fh.write_at(offset, payload, size=nbytes)
+        if self.writer is not None:
+            yield from self.writer.write_at(offset, payload, size=nbytes)
+        else:
+            yield from self.fh.write_at(offset, payload, size=nbytes)
         self.stats.add_time("write", self.mpi.now - t0)
         self.stats.bump("writes")
 
@@ -181,7 +190,10 @@ class AlgoContext:
             return None
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
-        req = yield from self.fh.iwrite_at(offset, payload, size=nbytes)
+        if self.writer is not None:
+            req = yield from self.writer.iwrite_at(offset, payload, size=nbytes)
+        else:
+            req = yield from self.fh.iwrite_at(offset, payload, size=nbytes)
         self.stats.add_time("write_post", self.mpi.now - t0)
         self.stats.bump("writes")
         return req

@@ -25,6 +25,15 @@ DEFAULT_SCALE: int = 64
 #: Master seed used by entry points that do not specify one.
 DEFAULT_SEED: int = 2020  # the paper's publication year, for flavour
 
+#: Default retry budget of :class:`repro.faults.RetryPolicy`: retries
+#: allowed after the first attempt of a collective-write file access.
+DEFAULT_RETRY_LIMIT: int = 4
+
+#: Default first-backoff delay between write retries, simulated seconds.
+#: Grows exponentially per retry; small relative to typical write-phase
+#: times so recovery does not dominate a mildly faulty run.
+DEFAULT_RETRY_BACKOFF: float = 1e-4
+
 
 def scaled(size: int, scale: int) -> int:
     """Scale a byte size down by ``scale``, keeping at least one byte."""

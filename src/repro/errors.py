@@ -42,6 +42,38 @@ class FileSystemError(ReproError):
     """Error raised by the simulated parallel file system."""
 
 
+class TransientWriteError(FileSystemError):
+    """A storage target failed a write request transiently.
+
+    Injected by the fault subsystem (:mod:`repro.faults`) to model media
+    errors, dropped RPCs and storage-side restarts.  Retrying the same
+    write is safe: the file system's writes are idempotent (same bytes at
+    the same offset).
+    """
+
+
+class WriteTimeoutError(FileSystemError):
+    """A write did not complete within its per-write timeout.
+
+    The underlying request may still complete later; because writes are
+    idempotent, callers reissue the write rather than cancel it.
+    """
+
+
+class AioSubmitError(FileSystemError):
+    """The asynchronous I/O engine refused a submission (EAGAIN-style).
+
+    Models degraded ``aio`` support (the paper's Lustre note taken to its
+    failure extreme); callers fall back to the synchronous write path.
+    """
+
+
+class WriteRetryExhaustedError(FileSystemError):
+    """A retried write failed on every attempt the policy allowed.
+
+    ``__cause__`` carries the last underlying failure."""
+
+
 class ConfigurationError(ReproError):
     """Invalid configuration of a cluster, file system or experiment."""
 

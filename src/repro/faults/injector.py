@@ -1,0 +1,123 @@
+"""The injector: turns a :class:`FaultSpec` into per-decision draws.
+
+One injector is shared by every layer of a world.  Each decision site
+draws from its own named RNG stream (one for whole-write failures, one
+per storage target for stragglers, one per rank for deliveries), so
+adding a new fault consumer never perturbs the schedules of existing
+ones — the same property :class:`~repro.sim.rng.RngStreams` gives the
+performance model's noise.  Every *fired* injection is recorded through
+the world's :class:`~repro.sim.trace.Tracer` under a ``fault.*``
+category, so tests and benchmarks can assert on counters without
+enabling full tracing.
+
+Fault draws happen in event callbacks and rank generators, both of which
+the engine processes in deterministic heap order; a faulty run is
+therefore exactly as reproducible as a clean one.
+"""
+
+from __future__ import annotations
+
+from repro.faults.spec import FaultSpec
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Per-world fault decision source (see module docs)."""
+
+    def __init__(self, engine: Engine, rng: RngStreams, tracer: Tracer, spec: FaultSpec) -> None:
+        self.engine = engine
+        self.rng = rng
+        self.tracer = tracer
+        self.spec = spec
+        #: Total injections fired, by kind (cheap mirror of the tracer's
+        #: ``fault.*`` counters, kept for layers without tracer access).
+        self.injected = 0
+
+    # -- storage ---------------------------------------------------------
+    def storage_write_victim(self, target_ids) -> int | None:
+        """Decide one *whole* PFS write request: failing target id or None.
+
+        ``write_fail_rate`` is the probability that the client's write
+        RPC fails, however many storage targets it spans — per-request
+        rather than per-piece, so the effective failure probability does
+        not compound with stripe count (a 10% rate means ~10% of writes
+        retry, for a 1-stripe and a 16-stripe write alike).  One uniform
+        draw both decides the failure and attributes it to a victim
+        target.
+        """
+        spec = self.spec
+        if spec.write_fail_rate == 0.0:
+            return None
+        u = float(self.rng.stream("faults.pfs").random())
+        if u >= spec.write_fail_rate:
+            return None
+        ids = list(target_ids)
+        victim = ids[min(int(u / spec.write_fail_rate * len(ids)), len(ids) - 1)]
+        self.injected += 1
+        self.tracer.emit(self.engine.now, "fault.write_fail", target=victim)
+        return victim
+
+    def storage_service_factor(self, target_id: int) -> float:
+        """Decide one target write piece: straggler service-time factor.
+
+        Per-piece (unlike failures): a straggling target slows only its
+        own stripe pieces, which the write's ``all_of`` then waits out —
+        the slow-OST tail effect.
+        """
+        spec = self.spec
+        if spec.straggler_rate == 0.0:
+            return 1.0
+        u = float(self.rng.stream(f"faults.ost{target_id}").random())
+        if u < spec.straggler_rate:
+            self.injected += 1
+            self.tracer.emit(
+                self.engine.now, "fault.straggler",
+                target=target_id, factor=spec.straggler_factor,
+            )
+            return spec.straggler_factor
+        return 1.0
+
+    # -- aio -------------------------------------------------------------
+    def aio_submit_fails(self, client: int) -> bool:
+        """Decide whether one aio submission by ``client`` is refused."""
+        spec = self.spec
+        if spec.aio_submit_fail_rate == 0.0:
+            return False
+        u = float(self.rng.stream(f"faults.aio.r{client}").random())
+        if u < spec.aio_submit_fail_rate:
+            self.injected += 1
+            self.tracer.emit(self.engine.now, "fault.aio_submit", client=client)
+            return True
+        return False
+
+    # -- messaging -------------------------------------------------------
+    def _delivery_delay(self, stream: str, rate: float, mean: float, category: str, rank: int) -> float:
+        if rate == 0.0 or mean == 0.0:
+            return 0.0
+        gen = self.rng.stream(stream)
+        if float(gen.random()) >= rate:
+            return 0.0
+        delay = mean * (0.5 + float(gen.random()))
+        self.injected += 1
+        self.tracer.emit(self.engine.now, category, rank=rank, delay=delay)
+        return delay
+
+    def message_delay(self, rank: int) -> float:
+        """Extra delivery delay for one payload arrival at ``rank``."""
+        spec = self.spec
+        return self._delivery_delay(
+            f"faults.net.r{rank}", spec.message_delay_rate, spec.message_delay,
+            "fault.msg_delay", rank,
+        )
+
+    def rendezvous_delay(self, rank: int) -> float:
+        """Extra delay for one rendezvous control message (RTS/CTS) at ``rank``."""
+        spec = self.spec
+        return self._delivery_delay(
+            f"faults.rndv.r{rank}", spec.rendezvous_delay_rate, spec.rendezvous_delay,
+            "fault.rendezvous_delay", rank,
+        )

@@ -1,0 +1,66 @@
+"""Named fault scenarios, analogous to the hardware/file-system presets.
+
+Each preset is a degraded mode worth studying against the overlap
+algorithms; ``repro.fs.presets`` re-exports :func:`fault_preset` so the
+fault surface sits next to the file-system presets it perturbs.
+"""
+
+from __future__ import annotations
+
+from repro.faults.spec import FaultSpec
+from repro.units import US
+
+__all__ = ["FAULT_PRESETS", "fault_preset"]
+
+
+def flaky_targets() -> FaultSpec:
+    """Transiently failing storage targets (10%), occasional stragglers."""
+    return FaultSpec(write_fail_rate=0.10, straggler_rate=0.05, straggler_factor=4.0)
+
+
+def degraded_aio() -> FaultSpec:
+    """An aio stack that refuses half the submissions (Lustre note, worse)."""
+    return FaultSpec(aio_submit_fail_rate=0.5)
+
+
+def jittery_network() -> FaultSpec:
+    """Delivery jitter plus delayed rendezvous handshakes."""
+    return FaultSpec(
+        message_delay_rate=0.10,
+        message_delay=20 * US,
+        rendezvous_delay_rate=0.20,
+        rendezvous_delay=50 * US,
+    )
+
+
+def stormy() -> FaultSpec:
+    """Everything at once: the 'as many scenarios as you can imagine' mode."""
+    return FaultSpec(
+        write_fail_rate=0.10,
+        straggler_rate=0.10,
+        straggler_factor=6.0,
+        aio_submit_fail_rate=0.25,
+        message_delay_rate=0.05,
+        message_delay=20 * US,
+        rendezvous_delay_rate=0.10,
+        rendezvous_delay=50 * US,
+    )
+
+
+FAULT_PRESETS = {
+    "flaky-targets": flaky_targets,
+    "degraded-aio": degraded_aio,
+    "jittery-network": jittery_network,
+    "stormy": stormy,
+}
+
+
+def fault_preset(name: str) -> FaultSpec:
+    """Look up a fault preset by name."""
+    try:
+        factory = FAULT_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault preset {name!r}; known: {sorted(FAULT_PRESETS)}"
+        ) from None
+    return factory()

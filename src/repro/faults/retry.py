@@ -1,0 +1,264 @@
+"""Retrying writes: the recovery half of the fault subsystem.
+
+:class:`RetryPolicy` is pure configuration; :class:`ReliableWriter`
+applies it around one rank's :class:`~repro.mpi.mpiio.MPIFile` during a
+collective write.  The division of labour mirrors a real I/O stack:
+
+* the *first* submission of every write happens in the rank's own
+  context (charging the usual MPI-call and client overheads, exactly as
+  the non-retrying path does);
+* *retries* of an asynchronous write are driven by a background
+  supervisor process — the I/O stack's problem, progressing while the
+  rank shuffles the next cycle — and surface through the request handle
+  the rank waits on, which fails only after the policy is exhausted;
+* repeated aio submission failures degrade the writer to the blocking
+  path (sticky), modelling a client that gives up on broken ``aio``
+  support the way the paper's Lustre note suggests one should.
+
+Retrying is safe because the simulated file system's writes are
+idempotent: reissuing the same bytes at the same offset converges to the
+same file contents even when an earlier, timed-out attempt completes
+later.  Every retry, timeout, degradation and recovery is emitted
+through the world's tracer under a ``retry.*`` category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import DEFAULT_RETRY_BACKOFF, DEFAULT_RETRY_LIMIT
+from repro.errors import (
+    AioSubmitError,
+    ConfigurationError,
+    FileSystemError,
+    WriteRetryExhaustedError,
+    WriteTimeoutError,
+)
+from repro.sim.primitives import any_of, defuse
+
+__all__ = ["RetryPolicy", "ReliableWriter"]
+
+
+def _request_cls():
+    # Imported lazily: repro.mpi pulls in the whole world (literally),
+    # which would close an import cycle through fs.presets' re-export of
+    # the fault presets.
+    from repro.mpi.request import Request
+
+    return Request
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry configuration for collective-write file access."""
+
+    #: Retries allowed *after* the first attempt.  0 = fail fast, surfacing
+    #: the underlying :class:`~repro.errors.FileSystemError` unchanged.
+    max_retries: int = DEFAULT_RETRY_LIMIT
+    #: First backoff delay, simulated seconds.
+    backoff_base: float = DEFAULT_RETRY_BACKOFF
+    #: Multiplier applied to the backoff on every further retry.
+    backoff_factor: float = 2.0
+    #: Per-attempt write timeout, simulated seconds (None = no timeout).
+    #: A timed-out attempt counts as a failure and is reissued.
+    write_timeout: float | None = None
+    #: Consecutive aio submission failures before the writer degrades to
+    #: blocking writes for the rest of the operation (None = never).
+    degrade_after: int | None = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ConfigurationError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.write_timeout is not None and self.write_timeout <= 0:
+            raise ConfigurationError("write_timeout must be positive or None")
+        if self.degrade_after is not None and self.degrade_after < 1:
+            raise ConfigurationError("degrade_after must be >= 1 or None")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), seconds."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+    def with_(self, **overrides) -> "RetryPolicy":
+        return replace(self, **overrides)
+
+
+class ReliableWriter:
+    """Applies a :class:`RetryPolicy` to one rank's file writes."""
+
+    def __init__(self, mpi, fh, policy: RetryPolicy) -> None:
+        self.mpi = mpi
+        self.fh = fh
+        self.policy = policy
+        self.engine = mpi.engine
+        self.tracer = mpi.world.cluster.tracer
+        self.rank = mpi.rank
+        #: Sticky: once True, every write takes the blocking path.
+        self.degraded = False
+        self._submit_failures = 0  # consecutive aio submission refusals
+
+    # ------------------------------------------------------------------
+    def write_at(self, offset: int, data, size: int | None = None):
+        """Blocking write with retries (generator; run in rank context)."""
+        policy = self.policy
+        attempt = 0
+        while True:
+            try:
+                yield from self.fh.write_at(
+                    offset, data, size=size, timeout=policy.write_timeout
+                )
+                if attempt:
+                    self.tracer.emit(
+                        self.engine.now, "retry.recovered",
+                        rank=self.rank, offset=offset, attempts=attempt,
+                    )
+                return
+            except FileSystemError as exc:
+                attempt += 1
+                if policy.max_retries == 0:
+                    raise
+                if attempt > policy.max_retries:
+                    self.tracer.emit(
+                        self.engine.now, "retry.exhausted",
+                        rank=self.rank, offset=offset, attempts=attempt,
+                    )
+                    raise WriteRetryExhaustedError(
+                        f"write at offset {offset} failed on all {attempt} attempts"
+                    ) from exc
+                backoff = policy.backoff_for(attempt)
+                self.tracer.emit(
+                    self.engine.now, "retry.attempt",
+                    rank=self.rank, offset=offset, attempt=attempt,
+                    error=type(exc).__name__, backoff=backoff,
+                )
+                if backoff:
+                    yield self.engine.timeout(backoff)
+
+    # ------------------------------------------------------------------
+    def iwrite_at(self, offset: int, data, size: int | None = None):
+        """Asynchronous write with supervised retries (generator).
+
+        Returns a :class:`Request` whose event fails only once the policy
+        is exhausted, so overlap algorithms can safely include it in a
+        joint ``waitall``.  After repeated submission refusals the writer
+        degrades (sticky) to the blocking path and returns an
+        already-completed handle.
+        """
+        policy = self.policy
+        if self.degraded:
+            yield from self.write_at(offset, data, size=size)
+            return self._completed_handle()
+        try:
+            req = yield from self.fh.iwrite_at(offset, data, size=size)
+        except AioSubmitError:
+            self._submit_failures += 1
+            if (
+                policy.degrade_after is not None
+                and self._submit_failures >= policy.degrade_after
+            ):
+                self.degraded = True
+                self.tracer.emit(
+                    self.engine.now, "retry.degraded",
+                    rank=self.rank, after=self._submit_failures,
+                )
+            if policy.max_retries == 0:
+                raise
+            # This write falls back to the blocking path right away; the
+            # rank loses this cycle's overlap but the pipeline stays
+            # correct.
+            self.tracer.emit(
+                self.engine.now, "retry.sync_fallback", rank=self.rank, offset=offset
+            )
+            yield from self.write_at(offset, data, size=size)
+            return self._completed_handle()
+        self._submit_failures = 0
+        outer = self.engine.event()
+        self.engine.process(
+            self._supervise(offset, data, size, req.event, outer),
+            name=f"retry.r{self.rank}@{offset}",
+        )
+        return _request_cls()(outer, "iwrite", req)
+
+    def _completed_handle(self):
+        done = self.engine.event()
+        done.succeed(self.engine.now)
+        return _request_cls()(done, "iwrite", None)
+
+    # ------------------------------------------------------------------
+    def _supervise(self, offset, data, size, event, outer):
+        """Background supervisor: await, time out, reissue (generator).
+
+        Runs as its own process so retries progress while the rank is
+        busy shuffling; the rank only observes ``outer``.
+        """
+        policy = self.policy
+        engine = self.engine
+        attempt = 0
+        while True:
+            failure = None
+            try:
+                if policy.write_timeout is None:
+                    yield event
+                else:
+                    timer = engine.timeout(policy.write_timeout)
+                    yield any_of(engine, [event, timer])
+                    if not event.triggered:
+                        # The attempt may still complete (or fail) later;
+                        # either way nobody waits on it any more.
+                        defuse(event)
+                        self.tracer.emit(
+                            engine.now, "retry.timeout",
+                            rank=self.rank, offset=offset, attempt=attempt,
+                        )
+                        failure = WriteTimeoutError(
+                            f"write at offset {offset} timed out after "
+                            f"{policy.write_timeout}s"
+                        )
+            except FileSystemError as exc:
+                failure = exc
+            if failure is None:
+                if attempt:
+                    self.tracer.emit(
+                        engine.now, "retry.recovered",
+                        rank=self.rank, offset=offset, attempts=attempt,
+                    )
+                outer.succeed(engine.now)
+                return
+            attempt += 1
+            if policy.max_retries == 0:
+                outer.fail(failure)
+                return
+            if attempt > policy.max_retries:
+                self.tracer.emit(
+                    engine.now, "retry.exhausted",
+                    rank=self.rank, offset=offset, attempts=attempt,
+                )
+                exhausted = WriteRetryExhaustedError(
+                    f"write at offset {offset} failed on all {attempt} attempts"
+                )
+                exhausted.__cause__ = failure
+                outer.fail(exhausted)
+                return
+            backoff = policy.backoff_for(attempt)
+            self.tracer.emit(
+                engine.now, "retry.attempt",
+                rank=self.rank, offset=offset, attempt=attempt,
+                error=type(failure).__name__, backoff=backoff,
+            )
+            if backoff:
+                yield engine.timeout(backoff)
+            # Reissue inside the I/O stack (no rank involvement).  A
+            # refused aio submission here forces the synchronous path for
+            # this attempt — the OS writing through without aio.
+            try:
+                event = self.fh.aio.submit(self.fh.file, offset, data, size=size).event
+            except AioSubmitError:
+                self.tracer.emit(
+                    engine.now, "retry.sync_fallback", rank=self.rank, offset=offset
+                )
+                event = self.fh.pfs.write(self.fh.file, offset, data, size=size)

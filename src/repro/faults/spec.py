@@ -1,0 +1,83 @@
+"""The fault model's configuration surface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultSpec"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Static description of the faults to inject into one simulation.
+
+    All probabilities are per-decision: one draw per storage write
+    request, per aio submission, per message delivery.  A spec with every
+    rate at zero is *disabled* — the world then builds no injector at all
+    and every code path is byte-identical to a fault-free run.
+
+    Delays and the straggler factor are in the simulation's (possibly
+    time-scaled) units; pick them relative to the cluster/file-system
+    spec in use.
+    """
+
+    #: Probability one *whole* PFS write request fails transiently,
+    #: however many storage targets it spans (the failure is attributed
+    #: to one of them, which is occupied for its latency before the
+    #: error surfaces).  Per-request, so stripe count does not compound
+    #: the effective failure probability.
+    write_fail_rate: float = 0.0
+    #: Probability a storage target serves one write *piece* at
+    #: ``straggler_factor`` times its normal service time (storage-side
+    #: variance beyond the always-on log-normal noise).
+    straggler_rate: float = 0.0
+    #: Service-time multiplier applied to straggling write requests.
+    straggler_factor: float = 4.0
+    #: Probability the aio engine refuses a submission (EAGAIN-style).
+    aio_submit_fail_rate: float = 0.0
+    #: Probability one message delivery (eager payload or rendezvous
+    #: data) is delayed by ~``message_delay`` seconds.
+    message_delay_rate: float = 0.0
+    #: Mean extra delivery delay, seconds (actual delay is uniform in
+    #: ``[0.5, 1.5] * message_delay``).
+    message_delay: float = 0.0
+    #: Probability a rendezvous control message (RTS/CTS) is delayed by
+    #: ~``rendezvous_delay`` seconds — a delayed handshake.
+    rendezvous_delay_rate: float = 0.0
+    #: Mean extra rendezvous-handshake delay, seconds.
+    rendezvous_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "write_fail_rate",
+            "straggler_rate",
+            "aio_submit_fail_rate",
+            "message_delay_rate",
+            "rendezvous_delay_rate",
+        ):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.straggler_factor < 1.0:
+            raise ConfigurationError(
+                f"straggler_factor must be >= 1, got {self.straggler_factor}"
+            )
+        for name in ("message_delay", "rendezvous_delay"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault can actually fire."""
+        return (
+            self.write_fail_rate > 0
+            or self.straggler_rate > 0
+            or self.aio_submit_fail_rate > 0
+            or (self.message_delay_rate > 0 and self.message_delay > 0)
+            or (self.rendezvous_delay_rate > 0 and self.rendezvous_delay > 0)
+        )
+
+    def with_(self, **overrides) -> "FaultSpec":
+        return replace(self, **overrides)

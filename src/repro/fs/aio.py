@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import AioSubmitError, FileSystemError
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import FifoResource
 from repro.fs.file import SimFile
@@ -45,15 +46,24 @@ class AioEngine:
     queue depth limits.
     """
 
-    def __init__(self, engine: Engine, pfs: ParallelFileSystem) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        pfs: ParallelFileSystem,
+        client: int = 0,
+        injector=None,
+    ) -> None:
         self.engine = engine
         self.pfs = pfs
+        self.client = client
+        self.injector = injector
         spec = pfs.spec
         self._slots = (
             FifoResource(engine, capacity=spec.aio_slots) if spec.aio_slots is not None else None
         )
         self._extra = spec.aio_extra_overhead
         self.requests_issued = 0
+        self.submits_refused = 0
 
     def submit(
         self,
@@ -70,7 +80,16 @@ class AioEngine:
         request's event fires (see :class:`ParallelFileSystem.write`).
         ``data=None`` + ``size`` selects size-only mode (same timing, no
         bytes stored).
+
+        Raises :class:`~repro.errors.AioSubmitError` when the fault
+        injector refuses the submission (EAGAIN-style); callers fall back
+        to the synchronous path (see :mod:`repro.faults.retry`).
         """
+        if self.injector is not None and self.injector.aio_submit_fails(self.client):
+            self.submits_refused += 1
+            raise AioSubmitError(
+                f"injected aio submission failure on client {self.client}"
+            )
         nbytes = int(data.size) if data is not None else int(size or 0)
         self.requests_issued += 1
         done = self.engine.event()
@@ -117,7 +136,13 @@ class AioEngine:
             if self._extra:
                 yield self.engine.timeout(self._extra)
             started = self.engine.now
-            yield self.pfs.write(file, offset, data, size=size)
+            try:
+                yield self.pfs.write(file, offset, data, size=size)
+            except FileSystemError as exc:
+                # Surface the storage failure through the request handle
+                # (aio_error semantics) instead of killing the driver.
+                done.fail(exc)
+                return
             factor = self.pfs.spec.aio_throughput_factor
             if factor < 1.0:
                 # Client-side aio slowness (e.g. Lustre lock handling): the

@@ -28,9 +28,16 @@ class ParallelFileSystem:
     and one our correctness tests would catch.
     """
 
-    def __init__(self, engine: Engine, spec: FsSpec, rng: RngStreams | None = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        spec: FsSpec,
+        rng: RngStreams | None = None,
+        injector=None,
+    ) -> None:
         self.engine = engine
         self.spec = spec
+        self.injector = injector
         self.layout = StripeLayout(stripe_size=spec.stripe_size, num_targets=spec.num_targets)
         rng = rng or RngStreams(0)
         self.targets = [
@@ -40,6 +47,7 @@ class ParallelFileSystem:
                 bandwidth=spec.target_bandwidth,
                 latency=spec.target_latency,
                 noise=rng.lognormal_noise(f"fs.{spec.name}.t{i}", spec.noise_sigma),
+                injector=injector,
             )
             for i in range(spec.num_targets)
         ]
@@ -105,12 +113,19 @@ class ParallelFileSystem:
         # stripes of a write to a target in a single RPC, so the per-request
         # latency is paid once per (write, target) pair, not per stripe.
         per_target = self.layout.bytes_per_target(offset, size)
+        if self.injector is not None:
+            victim = self.injector.storage_write_victim(sorted(per_target))
+            if victim is not None:
+                return self.targets[victim].fail_write()
         piece_events = [self.targets[t].submit(n) for t, n in sorted(per_target.items())]
         done = all_of(self.engine, piece_events)
+        # Commit only on success: a write that failed (injected target
+        # fault) must not land bytes — the caller retries the whole
+        # request, which is idempotent.
         if data is not None:
-            done.callbacks.insert(0, lambda _evt: file.write(offset, data))
+            done.callbacks.insert(0, lambda evt: file.write(offset, data) if evt.ok else None)
         else:
-            done.callbacks.insert(0, lambda _evt: file.note_size(offset + size))
+            done.callbacks.insert(0, lambda evt: file.note_size(offset + size) if evt.ok else None)
         return done
 
     def read(self, file: SimFile, offset: int, size: int) -> tuple[Event, np.ndarray]:
@@ -120,7 +135,9 @@ class ParallelFileSystem:
         mid-flight in our write-once workloads); the event models timing.
         """
         per_target = self.layout.bytes_per_target(offset, size)
-        piece_events = [self.targets[t].submit(n) for t, n in sorted(per_target.items())]
+        piece_events = [
+            self.targets[t].submit(n, kind="read") for t, n in sorted(per_target.items())
+        ]
         done = all_of(self.engine, piece_events)
         return done, file.read(offset, size)
 

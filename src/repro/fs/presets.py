@@ -159,3 +159,11 @@ def fs_preset(name: str, scale: int = DEFAULT_SCALE) -> FsSpec:
     except KeyError:
         raise KeyError(f"unknown fs preset {name!r}; known: {sorted(FS_PRESETS)}") from None
     return factory(scale=scale)
+
+
+# Degraded-mode companions to the presets above: named fault scenarios
+# (flaky targets, refused aio submissions, jittery delivery) that a world
+# layers on top of any FsSpec via ``World(..., faults=...)``.
+from repro.faults.presets import FAULT_PRESETS, fault_preset  # noqa: E402  (re-export)
+
+__all__ += ["FAULT_PRESETS", "fault_preset"]

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from repro.sim.engine import Engine, Timeout
+from repro.errors import TransientWriteError
+from repro.sim.engine import Engine, Event
 from repro.sim.resources import ServerQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["StorageTarget"]
 
@@ -15,7 +19,9 @@ class StorageTarget:
 
     Requests are served FIFO at the target's bandwidth with a fixed
     per-request latency (seek/RPC overhead).  ``noise`` models interference
-    from other tenants of a shared storage system.
+    from other tenants of a shared storage system; ``injector`` (when set)
+    adds discrete faults on the write path — transient failures and
+    straggler slowdowns — each decided by one seeded draw per request.
     """
 
     def __init__(
@@ -25,8 +31,11 @@ class StorageTarget:
         bandwidth: float,
         latency: float,
         noise: Callable[[], float] | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
+        self.engine = engine
         self.target_id = target_id
+        self.injector = injector
         self.queue = ServerQueue(
             engine,
             bandwidth=bandwidth,
@@ -34,10 +43,42 @@ class StorageTarget:
             noise=noise,
             name=f"ost{target_id}",
         )
+        #: Injected write failures served by this target.
+        self.writes_failed = 0
 
-    def submit(self, size: int) -> Timeout:
-        """Enqueue an I/O of ``size`` bytes; returns the completion event."""
+    def submit(self, size: int, kind: str = "write") -> Event:
+        """Enqueue an I/O of ``size`` bytes; returns the completion event.
+
+        ``kind`` distinguishes writes from reads: only writes are subject
+        to injected faults (reads never consume fault draws, so a
+        write-only workload's fault schedule is independent of any reads
+        around it).  Straggler faults stretch this one piece's service
+        time; whole-request failures are decided at the PFS level (see
+        :meth:`fail_write`).
+        """
+        if self.injector is not None and kind == "write":
+            factor = self.injector.storage_service_factor(self.target_id)
+            if factor != 1.0:
+                return self.queue.submit(size, factor=factor)
         return self.queue.submit(size)
+
+    def fail_write(self) -> Event:
+        """Model one failed write request attributed to this target.
+
+        The error is detected after the RPC/seek, so the target is
+        occupied for its request latency; the returned event *fails*
+        with :class:`~repro.errors.TransientWriteError` at that time.
+        """
+        self.writes_failed += 1
+        start = self.queue.busy_until()
+        self.queue.occupy(start, self.queue.latency)
+        failed = self.engine.event()
+        exc = TransientWriteError(
+            f"injected transient write failure on ost{self.target_id}"
+        )
+        fire = self.engine.timeout(start + self.queue.latency - self.engine.now)
+        fire.callbacks.append(lambda _evt: failed.fail(exc))
+        return failed
 
     @property
     def bytes_served(self) -> int:

@@ -18,7 +18,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.errors import WriteTimeoutError
 from repro.mpi.request import Request
+from repro.sim.primitives import any_of, defuse
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.comm import Communicator
@@ -57,13 +59,35 @@ class MPIFile:
         self.sync_writes = 0
         self.async_writes = 0
 
-    def write_at(self, offset: int, data: np.ndarray | None = None, size: int | None = None):
-        """Blocking write; the rank makes no MPI progress while it runs."""
+    def write_at(
+        self,
+        offset: int,
+        data: np.ndarray | None = None,
+        size: int | None = None,
+        timeout: float | None = None,
+    ):
+        """Blocking write; the rank makes no MPI progress while it runs.
+
+        ``timeout`` bounds the wait in simulated seconds: on expiry the
+        in-flight request is abandoned (it may still land its bytes later
+        — harmless, writes are idempotent) and
+        :class:`~repro.errors.WriteTimeoutError` is raised.
+        """
         view, nbytes = _as_bytes(data, size)
         self.bytes_written += nbytes
         self.sync_writes += 1
         done = self.pfs.write(self.file, offset, view, size=nbytes)
-        yield from self.comm.io_wait(done, setup_cost=self.pfs.spec.client_overhead)
+        if timeout is None:
+            yield from self.comm.io_wait(done, setup_cost=self.pfs.spec.client_overhead)
+            return
+        engine = self.comm.world.engine
+        race = any_of(engine, [done, engine.timeout(timeout)])
+        yield from self.comm.io_wait(race, setup_cost=self.pfs.spec.client_overhead)
+        if not done.triggered:
+            defuse(done)
+            raise WriteTimeoutError(
+                f"write at offset {offset} timed out after {timeout}s"
+            )
 
     def iwrite_at(self, offset: int, data: np.ndarray | None = None, size: int | None = None):
         """Asynchronous write; returns a :class:`Request` immediately.

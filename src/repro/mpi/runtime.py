@@ -144,6 +144,37 @@ class RankRuntime:
             self._on_progress.append(fn)
 
     # ------------------------------------------------------------------
+    # Delivery (fault-injection hook)
+    # ------------------------------------------------------------------
+    def _deliver(self, transfer: Event, fn: Callable[[], None], control: bool = False) -> None:
+        """Run ``fn`` when ``transfer`` completes, plus any injected delay.
+
+        All wire arrivals handled by this rank's library route through
+        here so the fault injector can jitter payload deliveries
+        (``control=False``) and delay rendezvous handshakes
+        (``control=True``).  Without an injector this is exactly
+        ``transfer.callbacks.append(lambda _evt: fn())``.
+        """
+        injector = self.world.faults
+        if injector is None:
+            transfer.callbacks.append(lambda _evt: fn())
+            return
+
+        def arrive(_evt: Event) -> None:
+            delay = (
+                injector.rendezvous_delay(self.rank)
+                if control
+                else injector.message_delay(self.rank)
+            )
+            if delay > 0:
+                late = self.world.engine.timeout(delay)
+                late.callbacks.append(lambda _e: fn())
+            else:
+                fn()
+
+        transfer.callbacks.append(arrive)
+
+    # ------------------------------------------------------------------
     # Send path
     # ------------------------------------------------------------------
     def start_send(
@@ -178,7 +209,7 @@ class RankRuntime:
             # Buffered semantics: payload snapshot now, send completes locally.
             msg.payload = np.array(payload, dtype=np.uint8, copy=True) if payload is not None else None
             transfer = fabric.transfer(self.node, dst_rt.node, size + MESSAGE_HEADER_SIZE)
-            transfer.callbacks.append(lambda _evt: dst_rt._eager_arrived(msg))
+            dst_rt._deliver(transfer, lambda: dst_rt._eager_arrived(msg))
             event.succeed(eng.now)
         else:
             self.rendezvous_sent += 1
@@ -187,7 +218,7 @@ class RankRuntime:
             # (as it would in a real zero-copy rendezvous).
             msg.payload = payload
             rts = fabric.transfer(self.node, dst_rt.node, CONTROL_MESSAGE_SIZE)
-            rts.callbacks.append(lambda _evt: dst_rt._rts_arrived(msg))
+            dst_rt._deliver(rts, lambda: dst_rt._rts_arrived(msg), control=True)
         return op
 
     # ------------------------------------------------------------------
@@ -271,8 +302,10 @@ class RankRuntime:
         fabric = self.world.cluster.fabric
         src_rt = self.world.runtime(msg.src)
         cts = fabric.transfer(self.node, src_rt.node, CONTROL_MESSAGE_SIZE)
-        cts.callbacks.append(
-            lambda _evt: src_rt.when_progress(lambda: src_rt._start_rndv_data(msg, op))
+        src_rt._deliver(
+            cts,
+            lambda: src_rt.when_progress(lambda: src_rt._start_rndv_data(msg, op)),
+            control=True,
         )
 
     def _start_rndv_data(self, msg: Message, op: RecvOp) -> None:
@@ -281,14 +314,14 @@ class RankRuntime:
         dst_rt = self.world.runtime(msg.dst)
         data = fabric.transfer(self.node, dst_rt.node, msg.size + MESSAGE_HEADER_SIZE)
 
-        def complete(_evt) -> None:
+        def complete() -> None:
             # Payload sampled at completion: zero-copy semantics.
             op.deliver_payload(msg.payload)
             now = self.world.engine.now
             msg.send_op.event.succeed(now)
             op.event.succeed(now)
 
-        data.callbacks.append(complete)
+        dst_rt._deliver(data, complete)
 
     # ------------------------------------------------------------------
     # Diagnostics

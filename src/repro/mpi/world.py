@@ -17,6 +17,8 @@ from typing import Any, Callable
 
 from repro.config import DEFAULT_SEED
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
 from repro.fs.aio import AioEngine
 from repro.fs.pfs import ParallelFileSystem
 from repro.fs.presets import FsSpec
@@ -39,6 +41,7 @@ class World:
         nprocs: int,
         fs_spec: FsSpec | None = None,
         seed: int = DEFAULT_SEED,
+        faults: FaultSpec | None = None,
     ) -> None:
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
@@ -49,8 +52,18 @@ class World:
         self.engine = Engine()
         self.nprocs = nprocs
         self.cluster = Cluster(self.engine, cluster_spec, seed=seed)
+        #: Shared fault injector, or None for a clean world.  A disabled
+        #: FaultSpec (all rates zero) also yields None so the fault-free
+        #: code paths stay byte-identical to a run without the subsystem.
+        self.faults: FaultInjector | None = (
+            FaultInjector(self.engine, self.cluster.rng, self.cluster.tracer, faults)
+            if faults is not None and faults.enabled
+            else None
+        )
         self.pfs = (
-            ParallelFileSystem(self.engine, fs_spec, rng=self.cluster.rng)
+            ParallelFileSystem(
+                self.engine, fs_spec, rng=self.cluster.rng, injector=self.faults
+            )
             if fs_spec is not None
             else None
         )
@@ -84,7 +97,7 @@ class World:
             raise ConfigurationError("this world has no file system")
         engine = self._aio.get(rank)
         if engine is None:
-            engine = AioEngine(self.engine, self.pfs)
+            engine = AioEngine(self.engine, self.pfs, client=rank, injector=self.faults)
             self._aio[rank] = engine
         return engine
 

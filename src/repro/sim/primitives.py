@@ -10,7 +10,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.sim.engine import Engine, Event
 
-__all__ = ["AllOf", "AnyOf", "all_of", "any_of"]
+__all__ = ["AllOf", "AnyOf", "all_of", "any_of", "defuse"]
 
 
 class _Condition(Event):
@@ -96,3 +96,22 @@ def all_of(engine: Engine, events: Iterable[Event]) -> AllOf:
 def any_of(engine: Engine, events: Iterable[Event]) -> AnyOf:
     """Convenience constructor for :class:`AnyOf`."""
     return AnyOf(engine, list(events))
+
+
+def defuse(event: Event) -> None:
+    """Declare that nobody will handle ``event``'s potential failure.
+
+    Used when a waiter abandons an in-flight event (e.g. a timed-out
+    write that is being reissued): without this, a later failure of the
+    abandoned event would abort the whole simulation run.
+    """
+    if event.triggered:
+        if not event.ok:
+            event.defused = True
+        return
+
+    def _mark(evt: Event) -> None:
+        if not evt.ok:
+            evt.defused = True
+
+    event.callbacks.append(_mark)

@@ -165,19 +165,23 @@ class ServerQueue:
         """Unperturbed service time for a request of ``size`` bytes."""
         return self.latency + size / self.bandwidth
 
-    def submit(self, size: int) -> Timeout:
+    def submit(self, size: int, factor: float = 1.0) -> Timeout:
         """Enqueue a request of ``size`` bytes; returns its completion event.
 
-        The completion event's value is the completion time.
+        The completion event's value is the completion time.  ``factor``
+        scales this one request's service time on top of the queue's own
+        noise (used for injected straggler faults).
         """
         if size < 0:
             raise ValueError(f"negative request size: {size}")
-        service = self.service_time(size)
+        if factor <= 0:
+            raise ValueError(f"service factor must be positive, got {factor}")
+        service = self.service_time(size) * factor
         if self.noise is not None:
-            factor = self.noise()
-            if factor <= 0:
-                raise ValueError(f"noise factor must be positive, got {factor}")
-            service *= factor
+            noise_factor = self.noise()
+            if noise_factor <= 0:
+                raise ValueError(f"noise factor must be positive, got {noise_factor}")
+            service *= noise_factor
         start = max(self._next_free, self.engine.now)
         finish = start + service
         self._next_free = finish

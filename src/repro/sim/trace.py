@@ -11,23 +11,72 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
+
+import numpy as np
 
 __all__ = ["TraceRecord", "Tracer"]
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One trace entry."""
+def _hashable(value: Any) -> Any:
+    """Coerce one detail value to a hashable plain-Python equivalent."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return tuple(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_hashable(v) for v in value))
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
 
-    time: float
-    category: str
-    detail: dict[str, Any]
+
+class TraceRecord:
+    """One trace entry: a hashable value object.
+
+    ``detail`` is a plain dict whose values have been coerced to hashable
+    Python scalars/tuples by :meth:`Tracer.emit`, so records themselves
+    are hashable and can live in sets or be counted — equality and hash
+    are order-insensitive over the detail items.
+    """
+
+    __slots__ = ("time", "category", "detail")
+
+    def __init__(self, time: float, category: str, detail: dict[str, Any]) -> None:
+        self.time = time
+        self.category = category
+        self.detail = detail
+
+    def _key(self) -> tuple:
+        return (self.time, self.category, tuple(sorted(self.detail.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceRecord(time={self.time!r}, category={self.category!r}, detail={self.detail!r})"
 
 
 @dataclass
 class Tracer:
-    """Collects counters and (optionally) a full trace of a simulation."""
+    """Collects counters and (optionally) a full trace of a simulation.
+
+    Counters contract (always on): every :meth:`emit` bumps
+    ``counters[category]`` by exactly one, whether or not tracing is
+    ``enabled`` — so tests and benchmarks may assert on counts without
+    paying for record storage.  Records are only appended when
+    ``enabled`` is True; their detail values are coerced to hashable
+    plain-Python types (numpy scalars unwrapped, sequences tupled) so
+    records support set/dict membership and exact comparison across
+    runs.
+    """
 
     enabled: bool = False
     records: list[TraceRecord] = field(default_factory=list)
@@ -37,10 +86,12 @@ class Tracer:
         """Bump the category counter; store a record if tracing is enabled."""
         self.counters[category] += 1
         if self.enabled:
-            self.records.append(TraceRecord(time, category, detail))
+            self.records.append(
+                TraceRecord(time, category, {k: _hashable(v) for k, v in detail.items()})
+            )
 
     def count(self, category: str) -> int:
-        """Number of times ``category`` was emitted."""
+        """Number of times ``category`` was emitted (always available)."""
         return self.counters.get(category, 0)
 
     def of_category(self, category: str) -> list[TraceRecord]:

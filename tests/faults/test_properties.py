@@ -1,0 +1,94 @@
+"""Property-based correctness under faults.
+
+The golden invariant, now under fire: for *any* rank count, file view
+shape, cycle size and fault schedule, a collective write followed by a
+collective read round-trips every byte, for all five overlap algorithms.
+``derandomize=True`` keeps CI deterministic: failures reproduce from the
+printed example alone."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.collio import CollectiveConfig
+from repro.collio.view import FileView
+from repro.faults import FaultSpec, RetryPolicy
+from repro.mpi import World
+
+from tests.faults.conftest import small_cluster, small_fs
+
+ALL_ALGORITHMS = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
+
+#: Generous budget: at the property's max 15% per-write failure rate the
+#: chance of exhausting 14 retries is ~1e-12 per write.
+RETRY = RetryPolicy(max_retries=14)
+
+
+fault_specs = st.builds(
+    FaultSpec,
+    write_fail_rate=st.sampled_from([0.0, 0.05, 0.15]),
+    straggler_rate=st.sampled_from([0.0, 0.1]),
+    straggler_factor=st.sampled_from([2.0, 6.0]),
+    aio_submit_fail_rate=st.sampled_from([0.0, 0.3]),
+    message_delay_rate=st.sampled_from([0.0, 0.2]),
+    message_delay=st.just(2e-5),
+    rendezvous_delay_rate=st.sampled_from([0.0, 0.2]),
+    rendezvous_delay=st.just(2e-5),
+)
+
+
+def rank_payload(rank, nbytes):
+    return ((np.arange(nbytes, dtype=np.int64) * 13 + rank * 251) % 241).astype(np.uint8)
+
+
+def roundtrip(nprocs, views_of_rank, algorithm, cb, faults, seed):
+    """write_all + read_all in one faulty world; returns per-rank match."""
+    world = World(
+        small_cluster(), nprocs, fs_spec=small_fs(), seed=seed,
+        faults=faults if faults.enabled else None,
+    )
+    config = CollectiveConfig(cb_buffer_size=cb, retry=RETRY)
+
+    def program(mpi):
+        view = views_of_rank[mpi.rank]
+        data = rank_payload(mpi.rank, view.total_bytes)
+        fh = yield from mpi.file_open("/prop")
+        fh.set_view(view=view)
+        yield from fh.write_all(data, algorithm=algorithm, config=config)
+        out = np.zeros(view.total_bytes, dtype=np.uint8)
+        yield from fh.read_all(out, config=config)
+        return bool(np.array_equal(out, data))
+
+    return world.run(program)
+
+
+@settings(deadline=None, max_examples=25, derandomize=True)
+@given(
+    nprocs=st.integers(2, 8),
+    per_rank=st.integers(1, 30_000),
+    algorithm=st.sampled_from(ALL_ALGORITHMS),
+    cb=st.sampled_from([4 * 1024, 16 * 1024, 64 * 1024]),
+    faults=fault_specs,
+    seed=st.integers(0, 2**16),
+)
+def test_contiguous_roundtrip_under_faults(nprocs, per_rank, algorithm, cb, faults, seed):
+    views = {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+    assert all(roundtrip(nprocs, views, algorithm, cb, faults, seed))
+
+
+@settings(deadline=None, max_examples=15, derandomize=True)
+@given(
+    nprocs=st.integers(2, 6),
+    tile=st.integers(16, 2048),
+    ntiles=st.integers(1, 24),
+    algorithm=st.sampled_from(ALL_ALGORITHMS),
+    cb=st.sampled_from([8 * 1024, 32 * 1024]),
+    faults=fault_specs,
+    seed=st.integers(0, 2**16),
+)
+def test_interleaved_roundtrip_under_faults(nprocs, tile, ntiles, algorithm, cb, faults, seed):
+    """Tiled (IOR-style interleaved) views: scattered extents + faults."""
+    views = {}
+    for r in range(nprocs):
+        offs = np.arange(ntiles, dtype=np.int64) * (tile * nprocs) + r * tile
+        views[r] = FileView(offs, np.full(ntiles, tile, dtype=np.int64))
+    assert all(roundtrip(nprocs, views, algorithm, cb, faults, seed))

@@ -1,0 +1,83 @@
+"""Tracer contract: always-on counters, hashable-safe records."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestCountersAlwaysOn:
+    def test_counters_bump_when_disabled(self):
+        t = Tracer(enabled=False)
+        t.emit(0.0, "x", a=1)
+        t.emit(1.0, "x")
+        assert t.count("x") == 2
+        assert t.records == []
+
+    def test_records_only_when_enabled(self):
+        t = Tracer(enabled=True)
+        t.emit(0.0, "x", a=1)
+        assert t.count("x") == 1
+        assert len(t.records) == 1
+
+    def test_of_category_and_clear(self):
+        t = Tracer(enabled=True)
+        t.emit(0.0, "a", k=1)
+        t.emit(0.5, "b")
+        assert [r.category for r in t.of_category("a")] == ["a"]
+        t.clear()
+        assert t.count("a") == 0 and t.records == []
+
+
+class TestHashableRecords:
+    def test_numpy_scalar_detail_is_hashable(self):
+        t = Tracer(enabled=True)
+        t.emit(0.0, "x", n=np.int64(3), f=np.float64(1.5))
+        rec = t.records[0]
+        assert isinstance(rec.detail["n"], int)
+        assert isinstance(rec.detail["f"], float)
+        assert rec in {rec}
+
+    def test_ndarray_and_nested_details_are_hashable(self):
+        t = Tracer(enabled=True)
+        t.emit(
+            0.0, "x",
+            arr=np.array([1, 2, 3]),
+            lst=[1, [2, 3]],
+            s={3, 1, 2},
+            m={"b": np.int32(2), "a": 1},
+        )
+        rec = t.records[0]
+        hash(rec)  # must not raise
+        assert rec.detail["arr"] == (1, 2, 3)
+        assert rec.detail["lst"] == (1, (2, 3))
+        assert rec.detail["s"] == (1, 2, 3)
+        assert dict(rec.detail["m"]) == {"a": 1, "b": 2}
+
+    def test_equality_is_order_insensitive(self):
+        a = TraceRecord(1.0, "c", {"x": 1, "y": 2})
+        b = TraceRecord(1.0, "c", {"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_inequality(self):
+        a = TraceRecord(1.0, "c", {"x": 1})
+        assert a != TraceRecord(1.0, "c", {"x": 2})
+        assert a != TraceRecord(2.0, "c", {"x": 1})
+        assert a != TraceRecord(1.0, "d", {"x": 1})
+        assert a.__eq__(object()) is NotImplemented
+
+    def test_detail_stays_a_dict(self):
+        """Existing callers index record.detail like a dict — keep that."""
+        t = Tracer(enabled=True)
+        t.emit(0.0, "send", dst=3)
+        assert t.records[0].detail["dst"] == 3
+
+    def test_records_comparable_across_runs(self):
+        def make():
+            t = Tracer(enabled=True)
+            t.emit(0.25, "fault.write_fail", target=np.int64(2))
+            return t.records
+
+        assert make() == make()
