@@ -11,8 +11,6 @@ read-ahead.
 Run:  python examples/collective_read.py
 """
 
-import numpy as np
-
 from repro.collio import CollectiveConfig
 from repro.collio.read import run_collective_read
 from repro.fs import beegfs_ibex

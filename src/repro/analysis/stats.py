@@ -47,6 +47,27 @@ class Series:
     def mean(self) -> float:
         return sum(self.times) / len(self.times)
 
+    @property
+    def count(self) -> int:
+        """Number of measurements in the series."""
+        return len(self.times)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); 0.0 for a single measurement.
+
+        Used by the tuner's promotion rule: a candidate within one
+        standard deviation of the screening cutoff is kept for the full
+        round rather than discarded on a noisy point estimate.
+        """
+        n = len(self.times)
+        if n == 0:
+            raise ValueError(f"empty series {self.key}/{self.algorithm}")
+        if n == 1:
+            return 0.0
+        m = self.mean
+        return (sum((t - m) ** 2 for t in self.times) / (n - 1)) ** 0.5
+
 
 def best_algorithm(series_by_algorithm: dict[str, Series]) -> str:
     """Winner of one test case: the algorithm with the lowest point estimate.
@@ -60,7 +81,14 @@ def best_algorithm(series_by_algorithm: dict[str, Series]) -> str:
 
 
 def winner_counts(cases: list[dict[str, Series]]) -> dict[str, int]:
-    """Table-I-style tally: how many cases each algorithm won."""
+    """Table-I-style tally: how many cases each algorithm won.
+
+    Raises :class:`ValueError` on an empty case list: an empty tally is
+    indistinguishable from "no algorithm ever won", which has silently
+    produced all-zero tables upstream.
+    """
+    if not cases:
+        raise ValueError("winner_counts: empty case list (no series were measured)")
     counts: dict[str, int] = {}
     for case in cases:
         winner = best_algorithm(case)
@@ -83,8 +111,14 @@ def average_positive_improvement(
     """Figs. 2-3's metric: mean improvement over the baseline, counting
     only the cases where the algorithm actually improved on it.
 
-    Returns ``None`` if the algorithm never beat the baseline.
+    Returns ``None`` if the algorithm never beat the baseline.  Raises
+    :class:`ValueError` on an empty case list — that is a harness bug
+    (nothing was measured), not a "never improved" observation.
     """
+    if not cases:
+        raise ValueError(
+            "average_positive_improvement: empty case list (no series were measured)"
+        )
     gains = []
     for case in cases:
         if algorithm not in case or baseline not in case:

@@ -6,20 +6,23 @@ Examples::
     python -m repro.bench fig4 --reps 5
     python -m repro.bench all --mode quick
     python -m repro.bench table1 --mode full   # the paper's ladders (hours)
+    python -m repro.bench tune --benchmark ior --cluster crill \
+        --cache-dir /tmp/tune-cache            # auto-tune one scenario
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.bench import experiments, reporting
-from repro.config import DEFAULT_SCALE
+from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 
 EXPERIMENTS = (
     "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
-    "read", "ablations", "all",
+    "read", "ablations", "tune", "all",
 )
 
 
@@ -45,7 +48,44 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     parser.add_argument("--csv-dir", default=None,
                         help="also write machine-readable CSVs into this directory")
+    tune_group = parser.add_argument_group("tune", "options for the 'tune' experiment")
+    tune_group.add_argument("--benchmark", default="ior",
+                            help="workload registry name (tune; default: ior)")
+    tune_group.add_argument("--cluster", default="crill", choices=("crill", "ibex"),
+                            help="cluster preset (tune; default: crill)")
+    tune_group.add_argument("--fs", default=None,
+                            help="fs preset name (tune; default: the cluster's BeeGFS)")
+    tune_group.add_argument("--nprocs", type=int, default=8,
+                            help="process count of the tuned scenario (default: 8)")
+    tune_group.add_argument("--search", choices=("halving", "grid"), default="halving",
+                            help="search strategy: successive halving or exhaustive grid")
+    tune_group.add_argument("--space", choices=("quick", "full"), default="quick",
+                            help="candidate space: quick (~15 points) or full (~240)")
+    tune_group.add_argument("--screen-reps", type=int, default=1,
+                            help="screening repetitions before promotion (halving)")
+    tune_group.add_argument("--n-workers", type=int, default=None,
+                            help="simulation worker processes (default: min(8, cpus))")
+    tune_group.add_argument("--cache-dir", default=None,
+                            help="persistent trial-result cache directory")
+    tune_group.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                            help=f"base seed of the search (default: {DEFAULT_SEED})")
     args = parser.parse_args(argv)
+
+    if args.reps < 1:
+        parser.error(f"--reps must be >= 1 (got {args.reps}): at least one "
+                     "measurement per series is needed")
+    if args.scale < 1:
+        parser.error(f"--scale must be >= 1 (got {args.scale}): the scale is a "
+                     "divisor applied to all data sizes")
+    if args.nprocs < 1:
+        parser.error(f"--nprocs must be >= 1 (got {args.nprocs})")
+    if args.n_workers is not None and args.n_workers < 1:
+        parser.error(f"--n-workers must be >= 1 (got {args.n_workers})")
+    if args.screen_reps < 1:
+        parser.error(f"--screen-reps must be >= 1 (got {args.screen_reps})")
+    if args.screen_reps > args.reps:
+        parser.error(f"--screen-reps ({args.screen_reps}) cannot exceed "
+                     f"--reps ({args.reps})")
 
     csv_files: dict[str, str] = {}
 
@@ -94,6 +134,29 @@ def main(argv: list[str] | None = None) -> int:
         outputs.append(
             experiments.read_study(mode=args.mode, reps=args.reps, scale=args.scale).render()
         )
+    if args.experiment == "tune":
+        from repro.sim.trace import Tracer
+        from repro.tune import autotune, default_space, full_space
+        from repro.workloads import WORKLOADS
+
+        if args.benchmark not in WORKLOADS:
+            parser.error(f"--benchmark must be one of {sorted(WORKLOADS)} "
+                         f"(got {args.benchmark!r})")
+        n_workers = args.n_workers or max(1, min(8, os.cpu_count() or 1))
+        if not args.quiet:
+            print(f"  tuning {args.benchmark}@{args.cluster} P={args.nprocs} "
+                  f"(search={args.search}, space={args.space}, "
+                  f"workers={n_workers}) ...", file=sys.stderr)
+        tuning = autotune(
+            benchmark=args.benchmark, cluster=args.cluster, nprocs=args.nprocs,
+            scale=args.scale, fs=args.fs,
+            space=full_space() if args.space == "full" else default_space(),
+            search=args.search, reps=args.reps, screen_reps=args.screen_reps,
+            n_workers=n_workers, cache_dir=args.cache_dir, base_seed=args.seed,
+            tracer=Tracer(),
+        )
+        outputs.append(reporting.render_tuning(tuning))
+        csv_files["tune.csv"] = reporting.tuning_csv(tuning)
     if args.experiment == "ablations":
         from repro.bench.ablations import ALL_ABLATIONS
 
@@ -104,8 +167,6 @@ def main(argv: list[str] | None = None) -> int:
 
     print("\n\n".join(outputs))
     if args.csv_dir and csv_files:
-        import os
-
         os.makedirs(args.csv_dir, exist_ok=True)
         for name, content in csv_files.items():
             path = os.path.join(args.csv_dir, name)

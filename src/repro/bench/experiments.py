@@ -245,8 +245,11 @@ def _improvements(matrix: MatrixResult, cluster: str) -> ImprovementResult:
         for algorithm in ALGORITHM_ORDER:
             if algorithm == "no_overlap":
                 continue
-            result.values[(algorithm, benchmark)] = average_positive_improvement(
-                cases, algorithm
+            # A benchmark can be absent from a partial matrix; that is
+            # "no data" (None), distinct from the ValueError the stats
+            # layer raises when handed an empty tally by mistake.
+            result.values[(algorithm, benchmark)] = (
+                average_positive_improvement(cases, algorithm) if cases else None
             )
     return result
 

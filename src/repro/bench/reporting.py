@@ -22,10 +22,12 @@ __all__ = [
     "render_fig4",
     "render_breakdown",
     "render_lustre",
+    "render_tuning",
     "table1_csv",
     "fig1_csv",
     "improvements_csv",
     "fig4_csv",
+    "tuning_csv",
 ]
 
 _ALGO_LABEL = {
@@ -144,14 +146,72 @@ def render_lustre(result: LustreResult) -> str:
     return "SEC. V — Write Overlap gain by file system (IOR)\n" + _table(header, rows)
 
 
+def _candidate_cells(c) -> list[str]:
+    """Shared candidate columns of the tuning table/CSV."""
+    from repro.units import MiB
+
+    cb = "default" if c.cb_buffer_size is None else f"{c.cb_buffer_size // MiB}MiB"
+    aggr = "auto" if c.num_aggregators is None else str(c.num_aggregators)
+    return [c.algorithm, c.shuffle, cb, aggr]
+
+
+def render_tuning(result) -> str:
+    """Ranked recommendation table of one auto-tuning search."""
+    header = ["Rank", "Algorithm", "Shuffle", "cb_buffer", "Aggr",
+              "Time", "Bandwidth", "Reps", "Stage"]
+    rows = []
+    for i, r in enumerate(result.ranked, start=1):
+        rows.append(
+            [i, *_candidate_cells(r.candidate), fmt_time(r.point),
+             f"{r.write_bandwidth / 1e6:.1f} MB/s", r.reps, r.stage]
+        )
+    for r in result.pruned:
+        rows.append(
+            ["—", *_candidate_cells(r.candidate), fmt_time(r.point),
+             f"{r.write_bandwidth / 1e6:.1f} MB/s", r.reps, r.stage]
+        )
+    best = result.best
+    hits, sims = result.cache_stats()
+    total = hits + sims
+    hit_line = (
+        f"cache: {hits} hits, {sims} simulations run"
+        + (f" ({hits / total:.0%} cache hits)" if total else "")
+    )
+    lines = [
+        f"TUNE — {result.scenario.label} "
+        f"(search={result.search}, {result.total_candidates} candidates, "
+        f"reps={result.reps}"
+        + (f", screen_reps={result.screen_reps}" if result.screen_reps else "")
+        + f", seed={result.base_seed})",
+        _table(header, rows),
+        f"recommendation: {best.candidate.label}  "
+        f"({fmt_time(best.point)}, {best.write_bandwidth / 1e6:.1f} MB/s)",
+    ]
+    if result.pruned:
+        lines.append(
+            f"pruned after screening: {len(result.pruned)} of "
+            f"{result.total_candidates} candidates"
+        )
+    lines.append(hit_line)
+    return "\n".join(lines)
+
+
 # --------------------------------------------------------------------------
 # Machine-readable exports (for replotting the figures elsewhere)
 # --------------------------------------------------------------------------
 
 def _csv(header: list[str], rows: list[list]) -> str:
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise ValueError(
+                f"CSV row {i} has {len(row)} cells, header has {len(header)}"
+            )
+
     def esc(cell) -> str:
         s = str(cell)
-        return f'"{s}"' if ("," in s or '"' in s) else s
+        if any(ch in s for ch in (",", '"', "\n")):
+            return '"' + s.replace('"', '""') + '"'
+        return s
 
     return "\n".join(",".join(esc(c) for c in row) for row in [header] + rows) + "\n"
 
@@ -182,6 +242,30 @@ def improvements_csv(result: ImprovementResult) -> str:
         for (algorithm, benchmark), v in sorted(result.values.items())
     ]
     return _csv(["cluster", "algorithm", "benchmark", "avg_positive_improvement"], rows)
+
+
+def tuning_csv(result) -> str:
+    """Tuning ranking as CSV (rank empty for pruned candidates)."""
+    rows = []
+    for i, r in enumerate(result.ranked, start=1):
+        rows.append(_tuning_csv_row(i, r))
+    for r in result.pruned:
+        rows.append(_tuning_csv_row("", r))
+    return _csv(
+        ["rank", "algorithm", "shuffle", "cb_buffer_bytes", "num_aggregators",
+         "seconds", "write_bandwidth", "reps", "stage"],
+        rows,
+    )
+
+
+def _tuning_csv_row(rank, r) -> list:
+    c = r.candidate
+    return [
+        rank, c.algorithm, c.shuffle,
+        "" if c.cb_buffer_size is None else c.cb_buffer_size,
+        "" if c.num_aggregators is None else c.num_aggregators,
+        f"{r.point:.9f}", f"{r.write_bandwidth:.3f}", r.reps, r.stage,
+    ]
 
 
 def fig4_csv(result: Fig4Result) -> str:

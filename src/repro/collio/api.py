@@ -161,6 +161,7 @@ def run_collective_write(
     path: str = "/collective.out",
     faults: FaultSpec | None = None,
     retry: RetryPolicy | None = None,
+    auto_cache_dir: str | None = None,
 ) -> CollectiveWriteResult:
     """Build a world, run one collective write, return timing (and verify).
 
@@ -180,6 +181,14 @@ def run_collective_write(
     (shorthand for ``config.with_(retry=...)``).  Injection decisions
     draw from seeded streams, so a faulty run is reproducible from
     ``(faults, seed)`` alone.
+
+    ``algorithm="auto"`` asks the tuner to pick: the candidate overlap
+    algorithms are raced once each on these exact views (size-only
+    simulations sharing this call's seed) and the winner runs the real
+    write.  The returned result reports the *chosen* algorithm, and its
+    ``trace_counters`` gain ``tune.auto_select`` / ``tune.auto_trials``
+    (or ``tune.auto_cache_hit`` when ``auto_cache_dir`` holds a
+    previously cached decision for this workload shape).
     """
     if set(views) != set(range(nprocs)):
         raise ConfigurationError("views must cover exactly ranks 0..nprocs-1")
@@ -188,6 +197,15 @@ def run_collective_write(
         config = config.with_(retry=retry)
     if (verify or config.verify) and not carry_data:
         raise ConfigurationError("verify=True requires carry_data=True")
+    auto_counters: dict | None = None
+    if algorithm == "auto":
+        # Imported here: repro.tune is a layer *above* collio.
+        from repro.tune.api import select_algorithm
+
+        algorithm, auto_counters = select_algorithm(
+            cluster_spec, fs_spec, nprocs, views, config=config,
+            shuffle=shuffle, seed=seed, cache_dir=auto_cache_dir,
+        )
     world = World(cluster_spec, nprocs, fs_spec=fs_spec, seed=seed, faults=faults)
     algo = make_algorithm(algorithm)
     if plan is None:
@@ -230,6 +248,8 @@ def run_collective_write(
         per_rank_stats=stats,
         trace_counters=dict(world.cluster.tracer.counters),
     )
+    if auto_counters:
+        result.trace_counters.update(auto_counters)
     if verify or config.verify:
         result.verified = _verify_file(world, path, views, payloads)
     return result

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.config import DEFAULT_SCALE, scaled
@@ -82,3 +82,14 @@ class CollectiveConfig:
 
     def with_(self, **overrides) -> "CollectiveConfig":
         return replace(self, **overrides)
+
+    def cache_key(self) -> dict:
+        """Canonical plain-data form for stable hashing.
+
+        Used by :mod:`repro.tune` to key persistent caches: every field
+        that influences simulated timing participates.  ``retry`` is a
+        nested policy object, so its ``repr`` stands in for it.
+        """
+        key = asdict(self)
+        key["retry"] = None if self.retry is None else repr(self.retry)
+        return key

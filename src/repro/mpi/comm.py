@@ -25,7 +25,7 @@ Example rank program::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 

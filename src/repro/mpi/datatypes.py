@@ -19,7 +19,7 @@ when the type is replicated).  Adjacent/touching segments are coalesced.
 
 from __future__ import annotations
 
-import math
+
 from typing import Iterable, Sequence
 
 import numpy as np

@@ -1,0 +1,62 @@
+"""Auto-tuning: search-driven selection of collective-write configs.
+
+The paper's Table I shows no overlap algorithm wins everywhere — the
+best (algorithm, shuffle, buffer size, aggregator count) depends on
+benchmark, platform and process count.  This package turns that
+observation into a subsystem: describe a scenario, search the
+configuration space (exhaustively or with successive halving), and get
+a ranked recommendation backed by a persistent result cache.
+
+Quickstart::
+
+    from repro.tune import autotune
+
+    result = autotune(benchmark="ior", cluster="crill", nprocs=8,
+                      scale=256, cache_dir="/tmp/tune-cache")
+    print(result.best.candidate.label, result.best.point)
+    config = result.recommended_config()
+
+or let the write pick for itself::
+
+    run_collective_write(..., algorithm="auto")
+"""
+
+from repro.tune.cache import MemoryCache, ResultCache, stable_key
+from repro.tune.evaluate import Evaluator, TrialResult, TrialSpec, run_trial, trial_seed
+from repro.tune.search import (
+    CandidateResult,
+    TuningResult,
+    grid_search,
+    successive_halving,
+)
+from repro.tune.space import (
+    Candidate,
+    ScenarioSpec,
+    TuningSpace,
+    default_space,
+    full_space,
+)
+from repro.tune.api import autotune, select_algorithm, views_fingerprint
+
+__all__ = [
+    "autotune",
+    "select_algorithm",
+    "views_fingerprint",
+    "ScenarioSpec",
+    "Candidate",
+    "TuningSpace",
+    "default_space",
+    "full_space",
+    "TrialSpec",
+    "TrialResult",
+    "trial_seed",
+    "run_trial",
+    "Evaluator",
+    "ResultCache",
+    "MemoryCache",
+    "stable_key",
+    "grid_search",
+    "successive_halving",
+    "CandidateResult",
+    "TuningResult",
+]

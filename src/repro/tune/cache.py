@@ -1,0 +1,120 @@
+"""Persistent on-disk result cache for tuning trials.
+
+One simulated trial is pure: its outcome is fully determined by the
+(scenario, candidate, seed) descriptor and the package version.  The
+cache therefore maps a **stable content hash** of that descriptor to the
+trial's result dict, stored as one small JSON file per key under a
+user-chosen directory.  Repeated sweeps, overlapping searches, and
+``algorithm="auto"`` lookups all share the same directory and never
+re-simulate a point.
+
+Design notes:
+
+* Keys come from :func:`stable_key` — SHA-256 over canonical JSON
+  (sorted keys, no whitespace variance).  Python's built-in ``hash`` is
+  salted per process and never touches disk formats.
+* Writes are atomic (``os.replace`` of a same-directory temp file), so a
+  concurrent reader sees either the old state or the new state, never a
+  torn file; concurrent writers of the same key are idempotent because
+  trials are deterministic.
+* Corrupt or unreadable entries degrade to cache misses.
+* The package version participates in the key, so upgrading the
+  simulator invalidates stale physics instead of silently reusing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro._version import __version__
+
+__all__ = ["stable_key", "ResultCache", "MemoryCache"]
+
+
+def stable_key(payload: dict) -> str:
+    """SHA-256 hex digest of a canonical-JSON rendering of ``payload``.
+
+    ``payload`` must be plain data (dicts/lists/str/int/float/bool/None).
+    The package version is mixed in so results never survive a simulator
+    upgrade.
+    """
+    canon = json.dumps(
+        {"payload": payload, "version": __version__},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canon.encode()).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` files, one per cached trial."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached value for ``key``, or None (missing or corrupt)."""
+        try:
+            with open(self._path(key)) as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or "value" not in entry:
+            return None
+        return entry["value"]
+
+    def put(self, key: str, value: dict) -> None:
+        """Atomically store ``value`` under ``key``."""
+        entry = {"key": key, "version": __version__, "value": value}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> None:
+        for p in self.root.glob("*.json"):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+
+
+class MemoryCache:
+    """Same interface as :class:`ResultCache`, but process-local.
+
+    Used when no ``cache_dir`` is given: within one search, screening
+    results are still reused by the promotion round for free.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, dict] = {}
+
+    def get(self, key: str) -> dict | None:
+        return self._data.get(key)
+
+    def put(self, key: str, value: dict) -> None:
+        self._data[key] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

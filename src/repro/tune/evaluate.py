@@ -1,0 +1,182 @@
+"""Trial execution: serial or fanned out over a ``multiprocessing`` pool.
+
+A *trial* is one simulated collective write of a scenario under one
+candidate configuration with one seed.  Trials are pure functions of
+their :class:`TrialSpec`, which makes three things possible:
+
+* **Parallelism with bit-for-bit agreement.**  Workers receive only the
+  hashable descriptor and rebuild specs/views/config locally, and every
+  trial's seed is derived from a stable content hash of the descriptor
+  (:func:`trial_seed`) — never from worker identity or scheduling — so
+  ``n_workers=4`` and ``n_workers=1`` produce identical numbers.
+* **Caching.**  The same descriptor hash keys the persistent
+  :class:`~repro.tune.cache.ResultCache`; a cached trial is never
+  re-simulated, within a run or across runs.
+* **Observability.**  The evaluator bumps ``tune.trial``,
+  ``tune.cache_hit`` and ``tune.sim_run`` counters on its
+  :class:`~repro.sim.trace.Tracer` so searches can assert, e.g., that a
+  warm rerun performed zero simulations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass
+
+from repro.collio.api import run_collective_write
+from repro.config import DEFAULT_SEED
+from repro.sim.trace import Tracer
+from repro.tune.cache import MemoryCache, stable_key
+from repro.tune.space import Candidate, ScenarioSpec
+
+__all__ = ["TrialSpec", "TrialResult", "trial_seed", "trial_key", "run_trial", "Evaluator"]
+
+
+def trial_seed(scenario: ScenarioSpec, candidate: Candidate, rep: int,
+               base_seed: int = DEFAULT_SEED) -> int:
+    """Deterministic per-trial seed from a stable hash of the descriptor.
+
+    Independent of evaluation order, worker count and Python's hash
+    randomization; distinct reps draw distinct (but reproducible) noise
+    streams, mirroring the paper's repeated measurements.
+    """
+    digest = stable_key(
+        {
+            "base_seed": base_seed,
+            "scenario": scenario.key(),
+            "candidate": candidate.key(),
+            "rep": rep,
+        }
+    )
+    return int(digest[:15], 16) % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """Hashable, picklable description of one simulation trial."""
+
+    scenario: ScenarioSpec
+    candidate: Candidate
+    rep: int
+    seed: int
+
+    @classmethod
+    def build(cls, scenario: ScenarioSpec, candidate: Candidate, rep: int,
+              base_seed: int = DEFAULT_SEED) -> "TrialSpec":
+        return cls(scenario, candidate, rep, trial_seed(scenario, candidate, rep, base_seed))
+
+    def key(self) -> dict:
+        return {
+            "scenario": self.scenario.key(),
+            "candidate": self.candidate.key(),
+            "seed": self.seed,
+        }
+
+
+def trial_key(trial: TrialSpec) -> str:
+    """The trial's stable cache key (scenario + candidate + seed + version)."""
+    return stable_key(trial.key())
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Simulated outcome of one trial (plain scalars; JSON-safe)."""
+
+    elapsed: float
+    write_bandwidth: float
+    num_aggregators: int
+    num_cycles: int
+    total_bytes: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TrialResult":
+        return cls(
+            elapsed=float(d["elapsed"]),
+            write_bandwidth=float(d["write_bandwidth"]),
+            num_aggregators=int(d["num_aggregators"]),
+            num_cycles=int(d["num_cycles"]),
+            total_bytes=int(d["total_bytes"]),
+        )
+
+
+def run_trial(trial: TrialSpec) -> TrialResult:
+    """Simulate one trial (module-level so worker processes can import it).
+
+    Runs in size-only mode (``carry_data=False``): tuning compares
+    simulated *timing*, which does not depend on payload bytes.
+    """
+    scenario = trial.scenario
+    workload = scenario.workload()
+    run = run_collective_write(
+        scenario.cluster_spec(),
+        scenario.fs_spec(),
+        scenario.nprocs,
+        workload.views(),
+        algorithm=trial.candidate.algorithm,
+        shuffle=trial.candidate.shuffle,
+        config=trial.candidate.config_for(scenario),
+        seed=trial.seed,
+        carry_data=False,
+    )
+    return TrialResult(
+        elapsed=run.elapsed,
+        write_bandwidth=run.write_bandwidth,
+        num_aggregators=run.num_aggregators,
+        num_cycles=run.num_cycles,
+        total_bytes=run.total_bytes,
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits sys.path); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class Evaluator:
+    """Runs batches of trials through the cache and a worker pool.
+
+    ``n_workers=1`` evaluates inline (no processes spawned), which is
+    also the fallback the tests compare parallel runs against.
+    """
+
+    def __init__(self, n_workers: int = 1, cache=None, tracer: Tracer | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.cache = cache if cache is not None else MemoryCache()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def evaluate(self, trials: list[TrialSpec]) -> list[TrialResult]:
+        """Results for ``trials``, in input order.
+
+        Cache hits are served without simulation; misses are simulated
+        (in parallel when ``n_workers > 1``) and written back.
+        """
+        results: list[TrialResult | None] = [None] * len(trials)
+        misses: list[tuple[int, TrialSpec, str]] = []
+        for i, trial in enumerate(trials):
+            self.tracer.emit(0.0, "tune.trial")
+            key = trial_key(trial)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.tracer.emit(0.0, "tune.cache_hit")
+                results[i] = TrialResult.from_dict(cached)
+            else:
+                misses.append((i, trial, key))
+
+        if misses:
+            specs = [t for _, t, _ in misses]
+            if self.n_workers > 1 and len(specs) > 1:
+                with _pool_context().Pool(min(self.n_workers, len(specs))) as pool:
+                    outcomes = pool.map(run_trial, specs)
+            else:
+                outcomes = [run_trial(t) for t in specs]
+            for (i, _, key), outcome in zip(misses, outcomes):
+                self.tracer.emit(0.0, "tune.sim_run")
+                self.cache.put(key, outcome.to_dict())
+                results[i] = outcome
+        return results  # type: ignore[return-value]

@@ -1,0 +1,222 @@
+"""Scenario and configuration descriptors for the auto-tuner.
+
+Everything in this module is a small frozen dataclass of plain Python
+scalars, for two reasons that shape the whole subsystem:
+
+* **Workers rebuild, they don't receive.**  The parallel evaluator ships
+  a :class:`~repro.tune.evaluate.TrialSpec` — scenario + candidate +
+  seed — to each worker process, and the worker reconstructs the cluster
+  spec, file-system spec, workload views and
+  :class:`~repro.collio.config.CollectiveConfig` locally.  Pickling a
+  handful of strings and ints is cheap and version-safe; pickling views
+  and worlds is neither.
+
+* **Stable hashing.**  The persistent result cache keys entries by a
+  canonical-JSON hash of these descriptors (see
+  :func:`~repro.tune.cache.stable_key`), so two processes — or two runs
+  a week apart — that describe the same trial agree on the key.
+
+``Candidate.cb_buffer_size`` is expressed in **unscaled** bytes (the
+paper's natural units: ompio's default is 32 MiB); the per-scenario
+config applies :func:`repro.config.scaled`, so one tuning space is
+meaningful at every ``scale``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.collio.config import CB_BUFFER_SIZE_UNSCALED, CollectiveConfig
+from repro.collio.overlap import ALGORITHMS
+from repro.collio.shuffle import SHUFFLE_PRIMITIVES
+from repro.config import DEFAULT_SCALE, scaled
+from repro.errors import ConfigurationError
+from repro.fs.presets import FsSpec, fs_preset
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import PRESETS, preset
+from repro.units import MiB
+from repro.workloads import WORKLOADS, make_workload
+
+__all__ = [
+    "ScenarioSpec",
+    "Candidate",
+    "TuningSpace",
+    "default_space",
+    "full_space",
+]
+
+#: Default file system of each cluster preset (the paper's deployments).
+_CLUSTER_DEFAULT_FS = {"crill": "beegfs-crill", "ibex": "beegfs-ibex"}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One tuning scenario: *what* is being written, *where*.
+
+    The (workload, cluster, file system, process count) tuple the paper's
+    Table I varies — everything the tuner holds fixed while it searches
+    over :class:`Candidate` configurations.
+    """
+
+    benchmark: str
+    cluster: str
+    nprocs: int
+    scale: int = DEFAULT_SCALE
+    #: File-system preset name; None = the cluster's own BeeGFS.
+    fs: str | None = None
+    #: Extra workload kwargs as a hashable item tuple, e.g.
+    #: ``(("block_size", 1 << 24),)`` — mirrors ``bench.runner.Case.size``.
+    size: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown benchmark {self.benchmark!r}; known: {sorted(WORKLOADS)}"
+            )
+        if self.cluster not in PRESETS:
+            raise ConfigurationError(
+                f"unknown cluster {self.cluster!r}; known: {sorted(PRESETS)}"
+            )
+        if self.nprocs < 1:
+            raise ConfigurationError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.scale < 1:
+            raise ConfigurationError(f"scale must be >= 1, got {self.scale}")
+
+    @property
+    def fs_name(self) -> str:
+        return self.fs or _CLUSTER_DEFAULT_FS[self.cluster]
+
+    @property
+    def label(self) -> str:
+        suffix = "" if not self.size else "/" + ",".join(f"{k}={v}" for k, v in self.size)
+        return f"{self.benchmark}@{self.cluster}:{self.fs_name} P={self.nprocs}{suffix}"
+
+    # -- builders (used by trial workers to reconstruct the world) --------
+    def cluster_spec(self) -> ClusterSpec:
+        return preset(self.cluster, scale=self.scale)
+
+    def fs_spec(self) -> FsSpec:
+        return fs_preset(self.fs_name, scale=self.scale)
+
+    def workload(self):
+        return make_workload(self.benchmark, self.nprocs, scale=self.scale, **dict(self.size))
+
+    def key(self) -> dict:
+        """Canonical plain-data form for stable hashing."""
+        return {
+            "benchmark": self.benchmark,
+            "cluster": self.cluster,
+            "fs": self.fs_name,
+            "nprocs": self.nprocs,
+            "scale": self.scale,
+            "size": [list(kv) for kv in self.size],
+        }
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the configuration space the tuner searches."""
+
+    algorithm: str
+    shuffle: str = "two_sided"
+    #: Collective buffer size in **unscaled** bytes; None = ompio default.
+    cb_buffer_size: int | None = None
+    #: Fixed aggregator count; None = automatic selection.
+    num_aggregators: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; known: {sorted(ALGORITHMS)}"
+            )
+        if self.shuffle not in SHUFFLE_PRIMITIVES:
+            raise ConfigurationError(
+                f"unknown shuffle {self.shuffle!r}; known: {sorted(SHUFFLE_PRIMITIVES)}"
+            )
+        if self.cb_buffer_size is not None and self.cb_buffer_size < 2:
+            raise ConfigurationError("cb_buffer_size must be >= 2 bytes or None")
+        if self.num_aggregators is not None and self.num_aggregators < 1:
+            raise ConfigurationError("num_aggregators must be >= 1 or None")
+
+    @property
+    def label(self) -> str:
+        parts = [self.algorithm]
+        if self.shuffle != "two_sided":
+            parts.append(self.shuffle)
+        if self.cb_buffer_size is not None:
+            parts.append(f"cb={self.cb_buffer_size // MiB}MiB")
+        if self.num_aggregators is not None:
+            parts.append(f"aggr={self.num_aggregators}")
+        return "/".join(parts)
+
+    def key(self) -> dict:
+        """Canonical plain-data form for stable hashing and sorting."""
+        return {
+            "algorithm": self.algorithm,
+            "shuffle": self.shuffle,
+            "cb_buffer_size": self.cb_buffer_size,
+            "num_aggregators": self.num_aggregators,
+        }
+
+    def sort_key(self) -> tuple:
+        """Deterministic total order (tie-breaking in rankings)."""
+        return (
+            self.algorithm,
+            self.shuffle,
+            self.cb_buffer_size if self.cb_buffer_size is not None else -1,
+            self.num_aggregators if self.num_aggregators is not None else -1,
+        )
+
+    def config_for(self, scenario: ScenarioSpec) -> CollectiveConfig:
+        """The scenario-scaled :class:`CollectiveConfig` of this candidate."""
+        overrides: dict = {
+            "extent_cost_factor": scenario.workload().extent_cost_factor,
+            "num_aggregators": self.num_aggregators,
+        }
+        if self.cb_buffer_size is not None:
+            overrides["cb_buffer_size"] = scaled(self.cb_buffer_size, scenario.scale)
+        return CollectiveConfig.for_scale(scenario.scale, **overrides)
+
+
+@dataclass(frozen=True)
+class TuningSpace:
+    """The cartesian grid of :class:`Candidate` points to search."""
+
+    algorithms: tuple = tuple(sorted(ALGORITHMS))
+    shuffles: tuple = ("two_sided",)
+    cb_buffer_sizes: tuple = (None,)
+    num_aggregators: tuple = (None,)
+
+    def candidates(self) -> list[Candidate]:
+        """All grid points in deterministic (sorted) enumeration order."""
+        return [
+            Candidate(a, s, cb, na)
+            for a, s, cb, na in itertools.product(
+                self.algorithms, self.shuffles, self.cb_buffer_sizes, self.num_aggregators
+            )
+        ]
+
+    def __len__(self) -> int:
+        return (
+            len(self.algorithms)
+            * len(self.shuffles)
+            * len(self.cb_buffer_sizes)
+            * len(self.num_aggregators)
+        )
+
+
+def default_space() -> TuningSpace:
+    """The quick space: all algorithms, two-sided shuffle, 3 buffer sizes."""
+    return TuningSpace(
+        cb_buffer_sizes=(CB_BUFFER_SIZE_UNSCALED // 2, None, CB_BUFFER_SIZE_UNSCALED * 2),
+    )
+
+
+def full_space() -> TuningSpace:
+    """The exhaustive space: every shuffle, 4 buffer sizes, 4 aggregator counts."""
+    return TuningSpace(
+        shuffles=tuple(sorted(SHUFFLE_PRIMITIVES)),
+        cb_buffer_sizes=(8 * MiB, 16 * MiB, None, 64 * MiB),
+        num_aggregators=(None, 2, 4, 8),
+    )

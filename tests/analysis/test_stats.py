@@ -34,6 +34,22 @@ class TestSeries:
         with pytest.raises(ValueError):
             series("a", -1.0)
 
+    def test_count(self):
+        assert series("a").count == 0
+        assert series("a", 1.0, 2.0, 3.0).count == 3
+
+    def test_std_sample_definition(self):
+        # ddof=1: std of [1, 3] is sqrt(((1-2)^2 + (3-2)^2) / 1) = sqrt(2)
+        assert series("a", 1.0, 3.0).std == pytest.approx(2**0.5)
+        assert series("a", 5.0, 5.0, 5.0).std == 0.0
+
+    def test_std_single_measurement_is_zero(self):
+        assert series("a", 4.2).std == 0.0
+
+    def test_std_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            _ = series("a").std
+
 
 class TestWinners:
     def test_best_algorithm(self):
@@ -61,6 +77,10 @@ class TestWinners:
         ]
         assert winner_counts(cases) == {"a": 2, "b": 1}
 
+    def test_winner_counts_empty_case_list_raises(self):
+        with pytest.raises(ValueError, match="empty case list"):
+            winner_counts([])
+
 
 class TestImprovement:
     def test_relative_improvement(self):
@@ -83,6 +103,10 @@ class TestImprovement:
     def test_never_winning_returns_none(self):
         cases = [{"no_overlap": series("no_overlap", 1.0), "x": series("x", 2.0)}]
         assert average_positive_improvement(cases, "x") is None
+
+    def test_empty_case_list_raises(self):
+        with pytest.raises(ValueError, match="empty case list"):
+            average_positive_improvement([], "x")
 
     def test_missing_algorithm_skipped(self):
         cases = [

@@ -1,0 +1,67 @@
+"""CLI argument validation and the ``tune`` subcommand."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1", "--reps", "0"],
+            ["table1", "--reps", "-3"],
+            ["table1", "--scale", "0"],
+            ["fig1", "--scale", "-1"],
+            ["tune", "--nprocs", "0"],
+            ["tune", "--n-workers", "0"],
+            ["tune", "--screen-reps", "0"],
+            ["tune", "--screen-reps", "5", "--reps", "3"],
+            ["tune", "--benchmark", "nope", "--nprocs", "2", "--scale", "512"],
+        ],
+    )
+    def test_bad_arguments_exit_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2  # argparse usage-error convention
+        err = capsys.readouterr().err
+        assert "usage:" in err
+
+    def test_reps_error_message_names_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--reps", "0"])
+        assert "--reps must be >= 1" in capsys.readouterr().err
+
+    def test_scale_error_message_names_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "0"])
+        assert "--scale must be >= 1" in capsys.readouterr().err
+
+
+class TestTuneSubcommand:
+    def test_tune_prints_ranked_table_and_writes_csv(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        csv_dir = tmp_path / "csv"
+        rc = main([
+            "tune", "--nprocs", "2", "--scale", "1024", "--reps", "2",
+            "--n-workers", "1", "--cache-dir", cache_dir,
+            "--csv-dir", str(csv_dir), "--quiet",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TUNE — ior@crill:beegfs-crill P=2" in out
+        assert "recommendation:" in out
+        assert "cache:" in out
+        csv = (csv_dir / "tune.csv").read_text()
+        assert csv.splitlines()[0] == (
+            "rank,algorithm,shuffle,cb_buffer_bytes,num_aggregators,"
+            "seconds,write_bandwidth,reps,stage"
+        )
+
+        # warm rerun: everything comes from the cache, nothing simulates
+        main([
+            "tune", "--nprocs", "2", "--scale", "1024", "--reps", "2",
+            "--n-workers", "1", "--cache-dir", cache_dir, "--quiet",
+        ])
+        out2 = capsys.readouterr().out
+        assert "0 simulations run (100% cache hits)" in out2

@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis.stats import Series
 from repro.bench.experiments import (
-    ALGORITHM_ORDER,
     Fig1Result,
     Fig4Result,
     Table1Result,

@@ -112,6 +112,98 @@ class TestCsvExports:
         out = _csv(["a"], [["x,y"]])
         assert '"x,y"' in out
 
+    def test_csv_escapes_embedded_quotes(self):
+        """RFC 4180: quoted cells double their internal quotes."""
+        import csv
+        import io
+
+        from repro.bench.reporting import _csv
+
+        out = _csv(["a", "b"], [['say "hi"', 'both, "kinds"']])
+        assert '"say ""hi"""' in out
+        parsed = list(csv.reader(io.StringIO(out)))
+        assert parsed == [["a", "b"], ['say "hi"', 'both, "kinds"']]
+
+    def test_csv_quotes_newlines(self):
+        import csv
+        import io
+
+        from repro.bench.reporting import _csv
+
+        out = _csv(["a"], [["two\nlines"]])
+        parsed = list(csv.reader(io.StringIO(out)))
+        assert parsed == [["a"], ["two\nlines"]]
+
+    def test_csv_rejects_ragged_rows(self):
+        import pytest
+
+        from repro.bench.reporting import _csv
+
+        with pytest.raises(ValueError, match="cells"):
+            _csv(["a", "b"], [["only-one"]])
+
+    def test_all_csv_emitters_have_uniform_row_width(self):
+        """Header/row-width invariant across every ``*_csv`` function."""
+        import csv
+        import io
+
+        from repro.bench.reporting import (
+            fig1_csv,
+            fig4_csv,
+            improvements_csv,
+            table1_csv,
+            tuning_csv,
+        )
+        from repro.tune.search import CandidateResult, TuningResult
+        from repro.tune.space import Candidate, ScenarioSpec
+
+        t1 = Table1Result()
+        t1.rows = {"ior": {"no_overlap": 2, "write_overlap": 3}}
+        f1 = Fig1Result(nprocs_list=[100])
+        f1.points[("crill", 100, "no_overlap")] = 0.5
+        imp = ImprovementResult("crill")
+        imp.values[("write_overlap", "ior")] = 0.1
+        imp.values[("comm_overlap", "ior")] = None
+        f4 = Fig4Result()
+        f4.rows = {"ior": {"two_sided": 1, "one_sided_fence": 0}}
+        tuned = TuningResult(
+            scenario=ScenarioSpec("ior", "crill", 2, scale=512),
+            search="halving", reps=2, base_seed=1, screen_reps=1,
+            ranked=[CandidateResult(Candidate("write_overlap"), [0.5, 0.6],
+                                    1e9, 2, 4)],
+            pruned=[CandidateResult(Candidate("no_overlap"), [0.9],
+                                    5e8, 2, 2, stage="screened")],
+        )
+        emitted = [table1_csv(t1), fig1_csv(f1), improvements_csv(imp),
+                   fig4_csv(f4), tuning_csv(tuned)]
+        for text in emitted:
+            rows = list(csv.reader(io.StringIO(text)))
+            assert len(rows) >= 2, "emitter produced no data rows"
+            width = len(rows[0])
+            assert width > 1
+            assert all(len(r) == width for r in rows)
+
+
+def test_render_tuning():
+    from repro.bench.reporting import render_tuning
+    from repro.tune.search import CandidateResult, TuningResult
+    from repro.tune.space import Candidate, ScenarioSpec
+
+    result = TuningResult(
+        scenario=ScenarioSpec("ior", "crill", 2, scale=512),
+        search="halving", reps=3, base_seed=2020, screen_reps=1,
+        ranked=[CandidateResult(Candidate("write_comm2"), [0.005, 0.006], 2e9, 2, 8)],
+        pruned=[CandidateResult(Candidate("no_overlap"), [0.010], 1e9, 2, 4,
+                                stage="screened")],
+        counters={"tune.cache_hit": 3, "tune.sim_run": 7},
+    )
+    text = render_tuning(result)
+    assert "TUNE — ior@crill:beegfs-crill P=2" in text
+    assert "recommendation: write_comm2" in text
+    assert "pruned after screening: 1 of 2 candidates" in text
+    assert "cache: 3 hits, 7 simulations run (30% cache hits)" in text
+    assert "screened" in text and "full" in text
+
 
 def test_render_lustre():
     r = LustreResult()

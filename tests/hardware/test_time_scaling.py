@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fs import FsSpec, beegfs_crill, lustre_like
-from repro.hardware import ClusterSpec, crill, ibex
+from repro.hardware import ClusterSpec, crill
 from repro.sim import Engine
 from repro.hardware import Cluster
 from repro.units import MB, US

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import MPIError
-from repro.mpi import World
 
 from tests.mpi.conftest import make_world
 

@@ -1,7 +1,6 @@
 """Tracer contract: always-on counters, hashable-safe records."""
 
 import numpy as np
-import pytest
 
 from repro.sim.trace import TraceRecord, Tracer
 

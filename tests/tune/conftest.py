@@ -1,0 +1,41 @@
+"""Shared fixtures for the auto-tuner tests.
+
+All search tests run the same small, fast scenario (IOR on crill, 4
+processes, heavy scaling) and share one session-scoped persistent cache
+directory, so a trial simulated by one test is a cache hit for the next
+— which both speeds the suite up and exercises the cross-search cache
+path continuously.
+"""
+
+import pytest
+
+from repro.tune import Evaluator, ResultCache, ScenarioSpec, TuningSpace
+from repro.units import MiB
+
+#: The scenario every search test tunes (fast: ~0.1 s per trial).
+SCENARIO_KW = dict(benchmark="ior", cluster="crill", nprocs=4, scale=512)
+
+
+@pytest.fixture
+def scenario() -> ScenarioSpec:
+    return ScenarioSpec(**SCENARIO_KW)
+
+
+@pytest.fixture
+def small_space() -> TuningSpace:
+    """Six candidates: three algorithms x two buffer sizes."""
+    return TuningSpace(
+        algorithms=("no_overlap", "write_overlap", "write_comm2"),
+        cb_buffer_sizes=(None, 64 * MiB),
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_cache_dir(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("tune-cache"))
+
+
+@pytest.fixture
+def shared_evaluator(shared_cache_dir) -> Evaluator:
+    """Serial evaluator over the session-shared persistent cache."""
+    return Evaluator(n_workers=1, cache=ResultCache(shared_cache_dir))

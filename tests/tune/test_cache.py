@@ -1,0 +1,84 @@
+"""Persistent result cache: keys, round-trips, corruption tolerance."""
+
+import json
+
+import pytest
+
+from repro.tune import Candidate, MemoryCache, ResultCache, stable_key
+from repro.tune.evaluate import TrialSpec, trial_key, trial_seed
+
+
+class TestStableKey:
+    def test_stable_across_item_order(self):
+        assert stable_key({"a": 1, "b": [1, 2]}) == stable_key({"b": [1, 2], "a": 1})
+
+    def test_distinct_payloads_distinct_keys(self):
+        assert stable_key({"seed": 1}) != stable_key({"seed": 2})
+
+    def test_trial_seed_is_deterministic_and_descriptor_sensitive(self, scenario):
+        a = Candidate("no_overlap")
+        b = Candidate("write_overlap")
+        assert trial_seed(scenario, a, 0) == trial_seed(scenario, a, 0)
+        assert trial_seed(scenario, a, 0) != trial_seed(scenario, a, 1)
+        assert trial_seed(scenario, a, 0) != trial_seed(scenario, b, 0)
+        assert trial_seed(scenario, a, 0) != trial_seed(scenario, a, 0, base_seed=1)
+        assert 0 <= trial_seed(scenario, a, 0) < 2**31
+
+    def test_trial_key_covers_scenario_candidate_seed(self, scenario):
+        t = TrialSpec.build(scenario, Candidate("no_overlap"), rep=0)
+        same = TrialSpec.build(scenario, Candidate("no_overlap"), rep=0)
+        other = TrialSpec.build(scenario, Candidate("no_overlap"), rep=1)
+        assert trial_key(t) == trial_key(same)
+        assert trial_key(t) != trial_key(other)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"elapsed": 1.5})
+        assert cache.get("deadbeef") == {"elapsed": 1.5}
+        assert len(cache) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(tmp_path).put("k", {"x": 1})
+        assert ResultCache(tmp_path).get("k") == {"x": 1}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", {"x": 1})
+        (tmp_path / "k.json").write_text("{not json")
+        assert cache.get("k") is None
+        (tmp_path / "k2.json").write_text(json.dumps(["no", "value", "field"]))
+        assert cache.get("k2") is None
+
+    def test_version_participates_in_key(self, monkeypatch):
+        before = stable_key({"x": 1})
+        import repro.tune.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "__version__", "999.0.0")
+        assert stable_key({"x": 1}) != before
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a", {}), cache.put("b", {})
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestMemoryCache:
+    def test_same_interface(self):
+        cache = MemoryCache()
+        assert cache.get("k") is None
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+def test_evaluator_rejects_bad_worker_count():
+    from repro.tune import Evaluator
+
+    with pytest.raises(ValueError):
+        Evaluator(n_workers=0)

@@ -1,0 +1,113 @@
+"""Search strategies: ranking, pruning, promotion, result invariants."""
+
+import json
+
+import pytest
+
+from repro.tune import Evaluator, grid_search, successive_halving
+from repro.tune.search import CandidateResult, TuningResult
+from repro.tune.space import Candidate
+
+
+def test_grid_search_ranks_all_candidates(scenario, small_space, shared_evaluator):
+    result = grid_search(scenario, small_space, shared_evaluator, reps=3)
+    assert result.search == "grid"
+    assert len(result.ranked) == len(small_space)
+    assert not result.pruned
+    points = [r.point for r in result.ranked]
+    assert points == sorted(points)
+    assert all(r.reps == 3 for r in result.ranked)
+    assert all(r.stage == "full" for r in result.ranked)
+    # the baseline should not beat the paper's async-write algorithms here
+    assert result.best.candidate.algorithm != "no_overlap"
+
+
+def test_halving_winner_matches_brute_force(scenario, small_space, shared_evaluator):
+    """Acceptance: the pruned search's top pick equals the grid winner."""
+    grid = grid_search(scenario, small_space, shared_evaluator, reps=3)
+    halved = successive_halving(scenario, small_space, shared_evaluator,
+                                reps=3, screen_reps=1)
+    assert halved.best.candidate == grid.best.candidate
+    # identical per-trial seeds => identical winning series, not just winner
+    assert halved.best.times == grid.best.times
+    assert halved.best.point == grid.best.point
+
+
+def test_halving_prunes_and_counts(scenario, small_space, shared_cache_dir):
+    from repro.tune import ResultCache
+
+    evaluator = Evaluator(cache=ResultCache(shared_cache_dir))
+    result = successive_halving(scenario, small_space, evaluator, reps=3, screen_reps=1)
+    assert result.search == "halving"
+    assert result.total_candidates == len(small_space)
+    assert len(result.pruned) > 0
+    assert all(r.stage == "screened" for r in result.pruned)
+    assert all(r.reps == 1 for r in result.pruned)
+    counters = result.counters
+    assert counters["tune.screened"] == len(small_space)
+    assert counters["tune.promoted"] == len(result.ranked)
+    assert counters["tune.pruned"] == len(result.pruned)
+    # every pruned candidate screened no better than the worst survivor
+    worst_survivor_screen = max(
+        min(t for t in r.times[:1]) for r in result.ranked
+    )
+    assert all(p.point >= 0 for p in result.pruned)
+    assert min(p.point for p in result.pruned) >= 0
+    assert worst_survivor_screen <= max(p.point for p in result.pruned)
+
+
+def test_promotion_rule_keeps_borderline_candidates_within_std(scenario):
+    """With screen_reps >= 2 the std-slack rule can promote extra candidates."""
+    from repro.analysis.stats import Series
+
+    s = Series(key=("x",), algorithm="a", times=[1.0, 1.2])
+    assert s.count == 2
+    assert s.std == pytest.approx(0.1414213562, rel=1e-6)
+    # the rule is (point - std) <= cutoff: a candidate whose best time is
+    # within its own noise band of the cutoff survives screening.
+    assert (min(s.times) - s.std) <= 1.05
+
+
+def test_screen_reps_equal_reps_promotes_everything(scenario, small_space, shared_evaluator):
+    result = successive_halving(scenario, small_space, shared_evaluator,
+                                reps=1, screen_reps=1)
+    assert len(result.ranked) == len(small_space)
+    assert not result.pruned
+
+
+def test_search_parameter_validation(scenario, small_space, shared_evaluator):
+    with pytest.raises(ValueError):
+        grid_search(scenario, small_space, shared_evaluator, reps=0)
+    with pytest.raises(ValueError):
+        successive_halving(scenario, small_space, shared_evaluator, reps=2, screen_reps=3)
+    with pytest.raises(ValueError):
+        successive_halving(scenario, small_space, shared_evaluator, reps=2, screen_reps=0)
+    with pytest.raises(ValueError):
+        successive_halving(scenario, small_space, shared_evaluator, reps=2, eta=1)
+
+
+def test_tuning_result_json_and_config(scenario, small_space, shared_evaluator):
+    result = grid_search(scenario, small_space, shared_evaluator, reps=2)
+    payload = json.loads(result.to_json())
+    assert payload["search"] == "grid"
+    assert payload["scenario"]["benchmark"] == "ior"
+    assert len(payload["ranked"]) == len(small_space)
+    assert "counters" not in payload  # run-local state stays out of canonical JSON
+    cfg = result.recommended_config()
+    best = result.best.candidate
+    assert cfg.num_aggregators == best.num_aggregators
+    # recommended config matches what the winning candidate simulated with
+    assert cfg == best.config_for(scenario)
+
+
+def test_empty_result_raises():
+    with pytest.raises(ValueError):
+        TuningResult(scenario=None, search="grid", reps=1, base_seed=0).best
+
+
+def test_candidate_result_point_is_min():
+    r = CandidateResult(candidate=Candidate("no_overlap"), times=[3.0, 1.0, 2.0],
+                        write_bandwidth=1.0, num_aggregators=1, num_cycles=1)
+    assert r.point == 1.0
+    assert r.reps == 3
+    assert r.series().std > 0

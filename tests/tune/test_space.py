@@ -1,0 +1,85 @@
+"""Descriptor validation and candidate enumeration."""
+
+import pytest
+
+from repro.collio.config import CollectiveConfig
+from repro.config import scaled
+from repro.errors import ConfigurationError
+from repro.tune import Candidate, ScenarioSpec, TuningSpace, default_space, full_space
+from repro.units import MiB
+
+
+class TestScenarioSpec:
+    def test_rejects_unknown_names_and_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(benchmark="nope", cluster="crill", nprocs=4)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(benchmark="ior", cluster="nope", nprocs=4)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(benchmark="ior", cluster="crill", nprocs=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(benchmark="ior", cluster="crill", nprocs=4, scale=0)
+
+    def test_fs_defaults_to_cluster_beegfs(self):
+        assert ScenarioSpec("ior", "crill", 4).fs_name == "beegfs-crill"
+        assert ScenarioSpec("ior", "ibex", 4).fs_name == "beegfs-ibex"
+        s = ScenarioSpec("ior", "crill", 4, fs="lustre-like")
+        assert s.fs_name == "lustre-like"
+        assert s.fs_spec().name == "lustre-like"
+
+    def test_builders_and_key_are_consistent(self, scenario):
+        assert scenario.cluster_spec().name == "crill"
+        views = scenario.workload().views()
+        assert set(views) == set(range(scenario.nprocs))
+        key = scenario.key()
+        assert key == ScenarioSpec(**{
+            "benchmark": "ior", "cluster": "crill", "nprocs": 4, "scale": 512,
+        }).key()
+
+    def test_size_kwargs_reach_the_workload(self):
+        plain = ScenarioSpec("ior", "crill", 2, scale=512)
+        sized = ScenarioSpec("ior", "crill", 2, scale=512,
+                             size=(("block_size", 1 << 20),))
+        assert sized.key() != plain.key()
+        assert sized.workload().views()[0].total_bytes != \
+            plain.workload().views()[0].total_bytes
+
+
+class TestCandidate:
+    def test_rejects_unknown_algorithm_and_shuffle(self):
+        with pytest.raises(ConfigurationError):
+            Candidate(algorithm="nope")
+        with pytest.raises(ConfigurationError):
+            Candidate(algorithm="no_overlap", shuffle="nope")
+        with pytest.raises(ConfigurationError):
+            Candidate(algorithm="no_overlap", num_aggregators=0)
+
+    def test_config_for_scales_buffer_and_sets_aggregators(self, scenario):
+        cand = Candidate("write_overlap", cb_buffer_size=64 * MiB, num_aggregators=2)
+        cfg = cand.config_for(scenario)
+        assert isinstance(cfg, CollectiveConfig)
+        assert cfg.cb_buffer_size == scaled(64 * MiB, scenario.scale)
+        assert cfg.num_aggregators == 2
+        default_cfg = Candidate("write_overlap").config_for(scenario)
+        assert default_cfg.cb_buffer_size == \
+            CollectiveConfig.for_scale(scenario.scale).cb_buffer_size
+
+    def test_sort_key_total_order(self):
+        cands = [Candidate("write_comm2"), Candidate("no_overlap"),
+                 Candidate("no_overlap", cb_buffer_size=16 * MiB)]
+        ordered = sorted(cands, key=lambda c: c.sort_key())
+        assert ordered[0].algorithm == "no_overlap"
+        assert len({c.sort_key() for c in cands}) == 3
+
+
+class TestTuningSpace:
+    def test_candidate_count_and_deterministic_order(self, small_space):
+        assert len(small_space) == 6
+        assert small_space.candidates() == small_space.candidates()
+        assert len(set(small_space.candidates())) == 6
+
+    def test_default_and_full_spaces(self):
+        assert len(default_space()) == 15
+        assert len(full_space()) == 5 * 3 * 4 * 4
+        # every grid point is constructible (validation runs in __post_init__)
+        assert all(isinstance(c, Candidate) for c in default_space().candidates())
