@@ -45,19 +45,20 @@ def test_shares_sum_to_one(breakdown_result):
 
 def test_bench_breakdown_point(benchmark):
     from repro.bench.runner import specs_for
-    from repro.collio import CollectiveConfig, run_collective_write
+    from repro.collio import CollectiveConfig, RunSpec, run_collective_write
     from repro.workloads import make_workload
 
     cluster, fs = specs_for("ibex", 64)
     workload = make_workload("tile_1m", 100, element_size=4096)
     views = workload.views()
     config = CollectiveConfig.for_scale(64)
+    spec = RunSpec(
+        cluster=cluster, fs=fs, nprocs=100, views=views,
+        algorithm="no_overlap", config=config, carry_data=False,
+    )
 
     def run():
-        return run_collective_write(
-            cluster, fs, 100, views, algorithm="no_overlap",
-            config=config, carry_data=False,
-        )
+        return run_collective_write(spec)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.elapsed > 0

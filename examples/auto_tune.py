@@ -18,10 +18,10 @@ Run:  python examples/auto_tune.py
 import tempfile
 
 from repro.bench.reporting import render_tuning
-from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.fs import beegfs_crill
 from repro.hardware import crill
-from repro.sim.trace import Tracer
+from repro.sim import Tracer
 from repro.tune import autotune
 from repro.units import fmt_time
 from repro.workloads import make_workload
@@ -61,9 +61,11 @@ def main() -> None:
             SCALE, extent_cost_factor=workload.extent_cost_factor
         )
         run = run_collective_write(
-            crill(scale=SCALE), beegfs_crill(scale=SCALE), NPROCS,
-            workload.views(), algorithm="auto", config=config,
-            carry_data=False, auto_cache_dir=cache_dir,
+            RunSpec(
+                cluster=crill(scale=SCALE), fs=beegfs_crill(scale=SCALE),
+                nprocs=NPROCS, views=workload.views(), algorithm="auto",
+                config=config, carry_data=False, auto_cache_dir=cache_dir,
+            )
         )
         print(f"\nalgorithm='auto' chose {run.algorithm}: "
               f"{fmt_time(run.elapsed)} "

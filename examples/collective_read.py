@@ -11,8 +11,7 @@ read-ahead.
 Run:  python examples/collective_read.py
 """
 
-from repro.collio import CollectiveConfig
-from repro.collio.read import run_collective_read
+from repro.collio import CollectiveConfig, run_collective_read
 from repro.fs import beegfs_ibex
 from repro.hardware import ibex
 from repro.units import fmt_bandwidth, fmt_time

@@ -12,7 +12,7 @@ Run:  python examples/flash_checkpoint.py [--nprocs 96]
 import argparse
 
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import fmt_time
 from repro.workloads import make_workload
 
@@ -35,11 +35,12 @@ def main() -> None:
               f"file {desc['file_size'] >> 20} MiB ===")
         print(f"{'algorithm':15s} {'elapsed':>12s} {'agg shuffle':>12s} "
               f"{'agg write':>12s} {'agg wr-post':>12s}")
+        spec = RunSpec(
+            cluster=cluster, fs=fs, nprocs=args.nprocs, views=views,
+            config=config, carry_data=False,
+        )
         for algorithm in ALGORITHMS:
-            run = run_collective_write(
-                cluster, fs, args.nprocs, views,
-                algorithm=algorithm, config=config, carry_data=False,
-            )
+            run = run_collective_write(spec.replace(algorithm=algorithm))
             agg = run.per_rank_stats[0]
             print(f"{algorithm:15s} {fmt_time(run.elapsed):>12s} "
                   f"{fmt_time(agg.time_in('shuffle') + agg.time_in('shuffle_init')):>12s} "

@@ -15,7 +15,7 @@ import argparse
 
 from repro.analysis.stats import Series, relative_improvement
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import fmt_time
 from repro.workloads import make_workload
 
@@ -31,13 +31,16 @@ def sweep(cluster_name: str, counts: list[int], reps: int, block_size: int) -> N
         workload = make_workload("ior", nprocs, block_size=block_size)
         views = workload.views()
         config = CollectiveConfig.for_scale(64)
+        spec = RunSpec(
+            cluster=cluster, fs=fs, nprocs=nprocs, views=views,
+            config=config, carry_data=False,
+        )
         points = {}
         for algorithm in ALGORITHMS:
             series = Series(key=(cluster_name, nprocs), algorithm=algorithm)
             for rep in range(reps):
                 run = run_collective_write(
-                    cluster, fs, nprocs, views, algorithm=algorithm,
-                    config=config, carry_data=False, seed=7 + 1000 * rep,
+                    spec.replace(algorithm=algorithm, seed=7 + 1000 * rep)
                 )
                 series.add(run.elapsed)
             points[algorithm] = series.point

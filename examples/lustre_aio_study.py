@@ -12,7 +12,7 @@ Run:  python examples/lustre_aio_study.py
 """
 
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import MiB, fmt_time
 from repro.workloads import make_workload
 
@@ -36,12 +36,13 @@ def main() -> None:
     print(f"{'aio path':30s} {'no_overlap':>12s} {'write_overlap':>14s} "
           f"{'comm_overlap':>13s} {'write gain':>11s}")
     for label, fs in variants:
+        spec = RunSpec(
+            cluster=cluster, fs=fs, nprocs=NPROCS, views=views,
+            config=config, carry_data=False,
+        )
         times = {}
         for algorithm in ("no_overlap", "write_overlap", "comm_overlap"):
-            run = run_collective_write(
-                cluster, fs, NPROCS, views, algorithm=algorithm,
-                config=config, carry_data=False,
-            )
+            run = run_collective_write(spec.replace(algorithm=algorithm))
             times[algorithm] = run.elapsed
         gain = (times["no_overlap"] - times["write_overlap"]) / times["no_overlap"]
         print(f"{label:30s} {fmt_time(times['no_overlap']):>12s} "

@@ -9,7 +9,7 @@ resulting file.
 Run:  python examples/quickstart.py
 """
 
-from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.fs import beegfs_crill
 from repro.hardware import crill
 from repro.units import fmt_bandwidth, fmt_time
@@ -38,13 +38,15 @@ def main() -> None:
           f"= {workload.total_bytes >> 20} MiB total\n")
     print(f"{'algorithm':15s} {'time':>12s} {'bandwidth':>12s} {'vs baseline':>12s}")
 
+    # One immutable spec; each run only swaps the algorithm.
+    spec = RunSpec(
+        cluster=cluster, fs=fs, nprocs=NPROCS, views=views, config=config,
+        verify=True,  # byte-exact check of the written file
+    )
+
     baseline = None
     for algorithm in ALGORITHMS:
-        result = run_collective_write(
-            cluster, fs, NPROCS, views,
-            algorithm=algorithm, config=config,
-            verify=True,  # byte-exact check of the written file
-        )
+        result = run_collective_write(spec.replace(algorithm=algorithm))
         assert result.verified
         if baseline is None:
             baseline = result.elapsed

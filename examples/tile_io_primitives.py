@@ -19,7 +19,7 @@ import argparse
 
 from repro.analysis.stats import Series, relative_improvement
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import fmt_time
 from repro.workloads import make_workload
 
@@ -34,13 +34,16 @@ def study(cluster_name: str, variant: str, nprocs: int, reps: int, quick: bool) 
     workload = make_workload(variant, nprocs, **kwargs)
     views = workload.views()
     config = CollectiveConfig.for_scale(64, extent_cost_factor=workload.extent_cost_factor)
+    spec = RunSpec(
+        cluster=cluster, fs=fs, nprocs=nprocs, views=views,
+        algorithm="write_comm2", config=config, carry_data=False,
+    )
     points = {}
     for shuffle in SHUFFLES:
         series = Series(key=(cluster_name, variant), algorithm=shuffle)
         for rep in range(reps):
             run = run_collective_write(
-                cluster, fs, nprocs, views, algorithm="write_comm2",
-                shuffle=shuffle, config=config, carry_data=False, seed=11 + 1000 * rep,
+                spec.replace(shuffle=shuffle, seed=11 + 1000 * rep)
             )
             series.add(run.elapsed)
         points[shuffle] = series.point

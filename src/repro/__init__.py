@@ -10,11 +10,16 @@ algorithms and three shuffle data-transfer primitives.
 
 Quick start::
 
-    from repro.collio.api import run_collective_write
-    result = run_collective_write(
-        cluster="crill", nprocs=16, workload="ior",
-        algorithm="write_overlap",
-    )
+    from repro.collio import RunSpec, run_collective_write
+    from repro.fs import beegfs_crill
+    from repro.hardware import crill
+    from repro.workloads import make_workload
+
+    workload = make_workload("ior", nprocs=16)
+    result = run_collective_write(RunSpec(
+        cluster=crill(), fs=beegfs_crill(), nprocs=16,
+        views=workload.views(), algorithm="write_overlap",
+    ))
     print(result.elapsed, result.write_bandwidth)
 
 Sub-packages
@@ -35,6 +40,9 @@ Sub-packages
     algorithms and shuffle primitives.
 ``repro.workloads``
     IOR, MPI-Tile-IO and FLASH-IO workload generators.
+``repro.obs``
+    Observability: span timelines, Chrome-trace/CSV exporters, metrics
+    registry, span-derived overlap efficiency.
 ``repro.bench``
     Experiment harness reproducing Table I and Figures 1-4.
 """

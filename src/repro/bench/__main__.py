@@ -22,7 +22,7 @@ from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 
 EXPERIMENTS = (
     "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
-    "read", "ablations", "tune", "all",
+    "read", "overlap", "ablations", "tune", "all",
 )
 
 
@@ -48,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     parser.add_argument("--csv-dir", default=None,
                         help="also write machine-readable CSVs into this directory")
+    parser.add_argument("--trace-out", default=None, metavar="TRACE.JSON",
+                        help="write a Chrome trace_event file of the overlap "
+                             "experiment's most-overlapped run (overlap only; "
+                             "open in chrome://tracing or Perfetto)")
     tune_group = parser.add_argument_group("tune", "options for the 'tune' experiment")
     tune_group.add_argument("--benchmark", default="ior",
                             help="workload registry name (tune; default: ior)")
@@ -86,6 +90,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.screen_reps > args.reps:
         parser.error(f"--screen-reps ({args.screen_reps}) cannot exceed "
                      f"--reps ({args.reps})")
+    if args.trace_out and args.experiment not in ("overlap", "all"):
+        parser.error("--trace-out is only meaningful with the 'overlap' "
+                     "experiment (or 'all')")
 
     csv_files: dict[str, str] = {}
 
@@ -134,6 +141,17 @@ def main(argv: list[str] | None = None) -> int:
         outputs.append(
             experiments.read_study(mode=args.mode, reps=args.reps, scale=args.scale).render()
         )
+    if args.experiment in ("overlap", "all"):
+        if not args.quiet:
+            print("  running overlap-efficiency study ...", file=sys.stderr)
+        ov = experiments.overlap_study(mode=args.mode, scale=args.scale)
+        outputs.append(reporting.render_overlap(ov))
+        csv_files["overlap.csv"] = reporting.overlap_csv(ov)
+        if args.trace_out:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, ov.spans)
+            print(f"[wrote {args.trace_out}]", file=sys.stderr)
     if args.experiment == "tune":
         from repro.sim.trace import Tracer
         from repro.tune import autotune, default_space, full_space

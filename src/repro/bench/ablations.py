@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.stats import Series, relative_improvement
 from repro.bench.runner import specs_for
-from repro.collio.api import run_collective_write
+from repro.collio.api import RunSpec, run_collective_write
 from repro.collio.config import CollectiveConfig
 from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 from repro.units import MiB
@@ -93,9 +93,11 @@ def _measure(
         series = Series(key=("ablation",), algorithm=algorithm)
         for rep in range(reps):
             run = run_collective_write(
-                cluster_spec, fs_spec, nprocs, views, algorithm=algorithm,
-                config=config, carry_data=False, seed=seed + 1000 * rep,
-                faults=faults,
+                RunSpec(
+                    cluster=cluster_spec, fs=fs_spec, nprocs=nprocs,
+                    views=views, algorithm=algorithm, config=config,
+                    carry_data=False, seed=seed + 1000 * rep, faults=faults,
+                )
             )
             series.add(run.elapsed)
         points[algorithm] = series.point

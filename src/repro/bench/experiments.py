@@ -26,7 +26,7 @@ from repro.analysis.stats import (
     relative_improvement,
 )
 from repro.bench.runner import Case, MatrixResult, run_case, run_matrix, specs_for
-from repro.collio.api import run_collective_write
+from repro.collio.api import RunSpec, run_collective_write
 from repro.collio.config import CollectiveConfig
 from repro.collio.overlap import ALGORITHMS, ASYNC_WRITE_ALGORITHMS
 from repro.config import DEFAULT_SCALE, DEFAULT_SEED
@@ -48,6 +48,7 @@ __all__ = [
     "breakdown",
     "lustre_note",
     "read_study",
+    "overlap_study",
 ]
 
 ALGORITHM_ORDER = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
@@ -363,8 +364,11 @@ def breakdown(mode: str = "quick", scale: int = DEFAULT_SCALE) -> BreakdownResul
                 scale, extent_cost_factor=workload.extent_cost_factor
             )
             run = run_collective_write(
-                cluster_spec, fs_spec, nprocs, workload.views(),
-                algorithm="no_overlap", config=config, carry_data=False,
+                RunSpec(
+                    cluster=cluster_spec, fs=fs_spec, nprocs=nprocs,
+                    views=workload.views(), algorithm="no_overlap",
+                    config=config, carry_data=False,
+                )
             )
             agg = run.per_rank_stats[0]  # rank 0 is always an aggregator
             comm = agg.time_in("shuffle") + agg.time_in("shuffle_init")
@@ -430,6 +434,65 @@ def read_study(
 
 
 @dataclass
+class OverlapStudyResult:
+    """Span-derived overlap efficiency per algorithm (EXPERIMENTS.md X7).
+
+    Efficiency is the fraction of file-write time hidden under same-rank
+    shuffle communication, computed from the exported spans of a traced
+    run (see :func:`repro.obs.overlap.overlap_report`).
+    """
+
+    cluster: str = "crill"
+    nprocs: int = 0
+    num_cycles: int = 0
+    #: algorithm -> (elapsed, io_time, hidden_time, efficiency)
+    rows: dict[str, tuple[float, float, float, float]] = field(default_factory=dict)
+    #: Spans of the last (most-overlapped) algorithm, for ``--trace-out``.
+    spans: list = field(default_factory=list)
+
+    def efficiency(self, algorithm: str) -> float:
+        return self.rows[algorithm][3]
+
+
+def overlap_study(
+    mode: str = "quick", scale: int = DEFAULT_SCALE, cluster: str = "crill",
+) -> OverlapStudyResult:
+    """Extension experiment X7: how much write time does each algorithm
+    actually hide under the shuffle?
+
+    Runs the four overlap algorithms (plus the baseline) on the crill
+    preset with span tracing enabled and derives the overlap efficiency
+    from the recorded ``io``/``comm`` spans.  The baseline must come out
+    at ~0 (its writes are strictly ordered after the shuffle) and every
+    overlap algorithm above it.  The algorithms that keep a shuffle
+    posted across the blocking write (Comm-Overlap, Write-Comm) cover
+    most of the write interval; the asynchronous-write algorithms are
+    bounded by the platform's communication share.
+    """
+    nprocs = 96 if mode == "quick" else 256
+    size = dict(_QUICK_SIZE["ior"]) if mode == "quick" else {}
+    cluster_spec, fs_spec = specs_for(cluster, scale)
+    workload = make_workload("ior", nprocs, scale=scale, **size)
+    config = CollectiveConfig.for_scale(scale)
+    views = workload.views()
+    result = OverlapStudyResult(cluster=cluster, nprocs=nprocs)
+    for algorithm in ALGORITHM_ORDER:
+        run = run_collective_write(
+            RunSpec(
+                cluster=cluster_spec, fs=fs_spec, nprocs=nprocs, views=views,
+                algorithm=algorithm, config=config, carry_data=False, trace=True,
+            )
+        )
+        report = run.overlap_report()
+        result.rows[algorithm] = (
+            run.elapsed, report.io_time, report.hidden_time, report.efficiency
+        )
+        result.num_cycles = max(result.num_cycles, run.num_cycles)
+        result.spans = run.spans
+    return result
+
+
+@dataclass
 class LustreResult:
     """Write-Overlap's gain over the baseline per file system."""
 
@@ -458,9 +521,11 @@ def lustre_note(
             series = Series(key=(fs_name,), algorithm=algorithm)
             for rep in range(reps):
                 run = run_collective_write(
-                    cluster_spec, fs_spec, nprocs, views,
-                    algorithm=algorithm, config=config,
-                    seed=DEFAULT_SEED + 1000 * rep, carry_data=False,
+                    RunSpec(
+                        cluster=cluster_spec, fs=fs_spec, nprocs=nprocs,
+                        views=views, algorithm=algorithm, config=config,
+                        seed=DEFAULT_SEED + 1000 * rep, carry_data=False,
+                    )
                 )
                 series.add(run.elapsed)
             times[algorithm] = series.point

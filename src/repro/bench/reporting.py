@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     Fig4Result,
     ImprovementResult,
     LustreResult,
+    OverlapStudyResult,
     Table1Result,
 )
 from repro.units import fmt_time
@@ -22,11 +23,13 @@ __all__ = [
     "render_fig4",
     "render_breakdown",
     "render_lustre",
+    "render_overlap",
     "render_tuning",
     "table1_csv",
     "fig1_csv",
     "improvements_csv",
     "fig4_csv",
+    "overlap_csv",
     "tuning_csv",
 ]
 
@@ -144,6 +147,26 @@ def render_lustre(result: LustreResult) -> str:
         for fs, (base, wo, gain) in result.entries.items()
     ]
     return "SEC. V — Write Overlap gain by file system (IOR)\n" + _table(header, rows)
+
+
+def render_overlap(result: OverlapStudyResult) -> str:
+    """X7: span-derived overlap efficiency per algorithm."""
+    header = ["Algorithm", "Time", "Write time", "Hidden", "Overlap eff."]
+    rows = []
+    for algorithm in ALGORITHM_ORDER:
+        if algorithm not in result.rows:
+            continue
+        elapsed, io, hidden, eff = result.rows[algorithm]
+        rows.append(
+            [_ALGO_LABEL[algorithm], fmt_time(elapsed), fmt_time(io),
+             fmt_time(hidden), f"{eff:.1%}"]
+        )
+    return (
+        "X7 — overlap efficiency from spans "
+        f"(IOR@{result.cluster} P={result.nprocs}, {result.num_cycles} cycles)\n"
+        + _table(header, rows)
+        + "\noverlap eff. = fraction of file-write time hidden under the shuffle"
+    )
 
 
 def _candidate_cells(c) -> list[str]:
@@ -266,6 +289,18 @@ def _tuning_csv_row(rank, r) -> list:
         "" if c.num_aggregators is None else c.num_aggregators,
         f"{r.point:.9f}", f"{r.write_bandwidth:.3f}", r.reps, r.stage,
     ]
+
+
+def overlap_csv(result: OverlapStudyResult) -> str:
+    """X7 rows as CSV (algorithm, seconds, io/hidden time, efficiency)."""
+    rows = [
+        [algorithm, f"{elapsed:.9f}", f"{io:.9f}", f"{hidden:.9f}", f"{eff:.6f}"]
+        for algorithm, (elapsed, io, hidden, eff) in result.rows.items()
+    ]
+    return _csv(
+        ["algorithm", "seconds", "io_seconds", "hidden_seconds", "overlap_efficiency"],
+        rows,
+    )
 
 
 def fig4_csv(result: Fig4Result) -> str:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.stats import Series
-from repro.collio.api import build_plan, run_collective_write
+from repro.collio.api import RunSpec, build_plan, run_collective_write
 from repro.collio.config import CollectiveConfig
 from repro.collio.overlap import make_algorithm
 from repro.config import DEFAULT_SCALE, DEFAULT_SEED
@@ -117,9 +117,12 @@ def run_case(
             series = Series(key=(case.label,), algorithm=algorithm)
             for rep in range(reps):
                 run = run_collective_write(
-                    cluster_spec, fs_spec, case.nprocs, views,
-                    algorithm=algorithm, shuffle=shuffle, config=config,
-                    seed=base_seed + 1000 * rep, carry_data=False, plan=plan,
+                    RunSpec(
+                        cluster=cluster_spec, fs=fs_spec, nprocs=case.nprocs,
+                        views=views, algorithm=algorithm, shuffle=shuffle,
+                        config=config, seed=base_seed + 1000 * rep,
+                        carry_data=False, plan=plan,
+                    )
                 )
                 series.add(run.elapsed)
                 result.num_aggregators = run.num_aggregators

@@ -25,7 +25,12 @@ component on the simulated substrate, with the paper's additions:
 from repro.collio.config import CollectiveConfig
 from repro.collio.view import FileView
 from repro.collio.plan import TwoPhasePlan
-from repro.collio.api import CollectiveWriteResult, collective_write, run_collective_write
+from repro.collio.api import (
+    CollectiveWriteResult,
+    RunSpec,
+    collective_write,
+    run_collective_write,
+)
 from repro.collio.overlap import ALGORITHMS
 from repro.collio.shuffle import SHUFFLE_PRIMITIVES
 from repro.collio.read import (
@@ -41,6 +46,7 @@ __all__ = [
     "FileView",
     "TwoPhasePlan",
     "CollectiveWriteResult",
+    "RunSpec",
     "collective_write",
     "run_collective_write",
     "ALGORITHMS",

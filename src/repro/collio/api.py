@@ -6,15 +6,26 @@ Two levels:
   inside a simulated rank program), analogous to ``MPI_File_write_all``
   with the fcoll component chosen by ``algorithm``/``shuffle``.
 * :func:`run_collective_write` — one call that builds the world, runs the
-  collective write for a given set of views, optionally verifies the
+  collective write for a given :class:`RunSpec`, optionally verifies the
   resulting file byte-for-byte, and returns a
   :class:`CollectiveWriteResult`.
+
+The :class:`RunSpec` dataclass is the primary way to describe a run::
+
+    spec = RunSpec(cluster=crill(), fs=beegfs_crill(), nprocs=16,
+                   views=views, algorithm="write_comm2", trace=True)
+    result = run_collective_write(spec)
+    result.overlap_efficiency()      # fraction of write time hidden
+
+The pre-RunSpec keyword signature still works but emits a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable
 
 import numpy as np
 
@@ -22,9 +33,9 @@ from repro.collio.aggregation import select_aggregators
 from repro.collio.config import CollectiveConfig
 from repro.collio.context import AlgoContext
 from repro.collio.domains import partition_domains
-from repro.collio.overlap import make_algorithm
+from repro.collio.overlap import ALGORITHMS, make_algorithm
 from repro.collio.plan import TwoPhasePlan
-from repro.collio.shuffle import make_shuffle
+from repro.collio.shuffle import SHUFFLE_PRIMITIVES, make_shuffle
 from repro.collio.view import FileView
 from repro.config import DEFAULT_SEED
 from repro.errors import ConfigurationError
@@ -33,9 +44,12 @@ from repro.faults.spec import FaultSpec
 from repro.fs.presets import FsSpec
 from repro.hardware.cluster import ClusterSpec
 from repro.mpi.world import World
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import SpanRecorder
 
 __all__ = [
     "CollectiveWriteResult",
+    "RunSpec",
     "build_plan",
     "collective_write",
     "default_data",
@@ -46,6 +60,85 @@ __all__ = [
 def default_data(rank: int, nbytes: int) -> np.ndarray:
     """Deterministic, rank-distinguishable payload bytes."""
     return ((np.arange(nbytes, dtype=np.int64) * 31 + rank * 65537) % 251).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Complete description of one simulated collective write.
+
+    Groups the scenario (cluster, file system, ranks, views), the
+    algorithm choice, fault/retry behaviour and observability options
+    that used to travel as ~16 loose keyword arguments.  Frozen so specs
+    can be shared, cached and varied safely with :meth:`replace`.
+    """
+
+    cluster: ClusterSpec
+    fs: FsSpec
+    nprocs: int
+    views: dict[int, FileView]
+    data_factory: Callable[[int, int], np.ndarray] = default_data
+    algorithm: str = "write_overlap"
+    shuffle: str = "two_sided"
+    config: CollectiveConfig | None = None
+    seed: int = DEFAULT_SEED
+    verify: bool = False
+    #: False = size-only mode (identical timing, no payload bytes move).
+    carry_data: bool = True
+    plan: TwoPhasePlan | None = None
+    path: str = "/collective.out"
+    faults: FaultSpec | None = None
+    #: Shorthand for ``config.with_(retry=...)``.
+    retry: RetryPolicy | None = None
+    auto_cache_dir: str | None = None
+    #: Record span timelines (exportable as a Chrome trace; see repro.obs).
+    trace: bool = False
+    #: Ring-buffer bound for trace records/spans (None = unbounded).
+    max_trace_records: int | None = None
+
+    def validate(self) -> "RunSpec":
+        """Check cross-field consistency; returns self for chaining."""
+        if self.nprocs < 1:
+            raise ConfigurationError(f"nprocs must be >= 1, got {self.nprocs}")
+        if set(self.views) != set(range(self.nprocs)):
+            raise ConfigurationError("views must cover exactly ranks 0..nprocs-1")
+        if self.algorithm != "auto" and self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"known: {sorted(ALGORITHMS)} or 'auto'"
+            )
+        if self.shuffle not in SHUFFLE_PRIMITIVES:
+            raise ConfigurationError(
+                f"unknown shuffle {self.shuffle!r}; known: {sorted(SHUFFLE_PRIMITIVES)}"
+            )
+        config = self.config or CollectiveConfig()
+        if (self.verify or config.verify) and not self.carry_data:
+            raise ConfigurationError("verify=True requires carry_data=True")
+        if self.max_trace_records is not None and self.max_trace_records < 1:
+            raise ConfigurationError(
+                f"max_trace_records must be >= 1 or None, got {self.max_trace_records}"
+            )
+        return self
+
+    def replace(self, **overrides: Any) -> "RunSpec":
+        """A copy with the given fields replaced (the spec is frozen)."""
+        return replace(self, **overrides)
+
+    def resolved_config(self) -> CollectiveConfig:
+        """The effective config: defaults applied, ``retry`` folded in."""
+        config = self.config or CollectiveConfig()
+        if self.retry is not None:
+            config = config.with_(retry=self.retry)
+        return config
+
+
+#: Legacy positional order of the pre-RunSpec signature (shim support).
+_LEGACY_POSITIONAL = (
+    "cluster", "fs", "nprocs", "views", "data_factory", "algorithm",
+    "shuffle", "config", "seed", "verify", "carry_data", "plan", "path",
+    "faults", "retry", "auto_cache_dir",
+)
+#: Old keyword spellings that were renamed in RunSpec.
+_LEGACY_RENAMES = {"cluster_spec": "cluster", "fs_spec": "fs"}
 
 
 def build_plan(
@@ -107,9 +200,14 @@ def collective_write(
         yield from mpi.allgather(None, nbytes=view.num_extents * config.meta_bytes_per_extent)
     yield from engine.setup(ctx)
     t0 = mpi.now
+    algo_span = ctx.recorder.begin(
+        t0, algorithm, "algo", rank=mpi.rank, shuffle=shuffle,
+        cycles=plan.num_cycles,
+    )
     yield from algo.run(ctx, engine)
     ctx.stats.add_time("total", mpi.now - t0)
     yield from mpi.barrier()
+    ctx.recorder.end(algo_span, mpi.now)
     ctx.stats.add_time("total_with_barrier", mpi.now - t0)
     return ctx.stats
 
@@ -134,6 +232,11 @@ class CollectiveWriteResult:
     #: Snapshot of the world tracer's always-on counters after the run
     #: (``fault.*`` injections, ``retry.*`` recoveries, protocol events).
     trace_counters: dict = field(default_factory=dict)
+    #: Closed spans recorded during the run (``RunSpec(trace=True)`` only).
+    spans: list = field(default_factory=list, repr=False)
+    #: :meth:`MetricsRegistry.snapshot` of run metrics (counters merged
+    #: with engine statistics, gauges, span-duration histograms).
+    metrics: dict = field(default_factory=dict, repr=False)
 
     def phase_time(self, phase: str, rank: int | None = None) -> float:
         """Max (or one rank's) accumulated time in a phase."""
@@ -144,29 +247,26 @@ class CollectiveWriteResult:
     def aggregate_counter(self, counter: str) -> int:
         return sum(s.counters.get(counter, 0) for s in self.per_rank_stats)
 
+    def overlap_report(self):
+        """Overlap analysis of the recorded spans (needs ``trace=True``)."""
+        from repro.obs.overlap import overlap_report
 
-def run_collective_write(
-    cluster_spec: ClusterSpec,
-    fs_spec: FsSpec,
-    nprocs: int,
-    views: dict[int, FileView],
-    data_factory: Callable[[int, int], np.ndarray] = default_data,
-    algorithm: str = "write_overlap",
-    shuffle: str = "two_sided",
-    config: CollectiveConfig | None = None,
-    seed: int = DEFAULT_SEED,
-    verify: bool = False,
-    carry_data: bool = True,
-    plan: TwoPhasePlan | None = None,
-    path: str = "/collective.out",
-    faults: FaultSpec | None = None,
-    retry: RetryPolicy | None = None,
-    auto_cache_dir: str | None = None,
-) -> CollectiveWriteResult:
+        return overlap_report(self.spans)
+
+    def overlap_efficiency(self) -> float:
+        """Fraction of write time hidden under in-flight shuffles."""
+        return self.overlap_report().efficiency
+
+
+def run_collective_write(spec: RunSpec = None, *args: Any, **kwargs: Any) -> CollectiveWriteResult:
     """Build a world, run one collective write, return timing (and verify).
 
-    ``views`` maps every rank to its :class:`FileView`;
-    ``data_factory(rank, nbytes)`` produces each rank's payload.
+    The primary signature takes a single :class:`RunSpec`::
+
+        run_collective_write(RunSpec(cluster=..., fs=..., nprocs=..., views=...))
+
+    ``spec.views`` maps every rank to its :class:`FileView`;
+    ``spec.data_factory(rank, nbytes)`` produces each rank's payload.
 
     ``carry_data=False`` runs in size-only mode: every transfer and write
     carries only its byte count, producing *identical simulated timing*
@@ -189,30 +289,75 @@ def run_collective_write(
     ``trace_counters`` gain ``tune.auto_select`` / ``tune.auto_trials``
     (or ``tune.auto_cache_hit`` when ``auto_cache_dir`` holds a
     previously cached decision for this workload shape).
+
+    ``trace=True`` records span timelines: the result's ``spans`` feed
+    :func:`repro.obs.export.chrome_trace` and
+    :meth:`CollectiveWriteResult.overlap_report`.
+
+    The pre-RunSpec calling convention — loose positional/keyword
+    arguments, with ``cluster_spec``/``fs_spec`` spellings — still works
+    but emits a ``DeprecationWarning``.
     """
-    if set(views) != set(range(nprocs)):
-        raise ConfigurationError("views must cover exactly ranks 0..nprocs-1")
-    config = config or CollectiveConfig()
-    if retry is not None:
-        config = config.with_(retry=retry)
-    if (verify or config.verify) and not carry_data:
-        raise ConfigurationError("verify=True requires carry_data=True")
+    if isinstance(spec, RunSpec):
+        if args or kwargs:
+            raise TypeError(
+                "run_collective_write(spec) takes no further arguments; "
+                "use RunSpec.replace(...) to vary a spec"
+            )
+        return _run(spec)
+    # Legacy shim: map the old positional order / keyword spellings.
+    warnings.warn(
+        "calling run_collective_write with loose arguments is deprecated; "
+        "pass a RunSpec instead: run_collective_write(RunSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    positional = args if spec is None else (spec, *args)
+    if len(positional) > len(_LEGACY_POSITIONAL):
+        raise TypeError(f"too many positional arguments ({len(positional)})")
+    mapped = dict(zip(_LEGACY_POSITIONAL, positional))
+    for key, value in kwargs.items():
+        name = _LEGACY_RENAMES.get(key, key)
+        if name in mapped:
+            raise TypeError(f"duplicate argument {key!r}")
+        mapped[name] = value
+    known = {f.name for f in fields(RunSpec)}
+    unknown = sorted(set(mapped) - known)
+    if unknown:
+        raise TypeError(f"unknown argument(s): {', '.join(unknown)}")
+    return _run(RunSpec(**mapped))
+
+
+def _run(spec: RunSpec) -> CollectiveWriteResult:
+    """Execute a validated :class:`RunSpec`."""
+    spec.validate()
+    config = spec.resolved_config()
+    algorithm = spec.algorithm
     auto_counters: dict | None = None
     if algorithm == "auto":
         # Imported here: repro.tune is a layer *above* collio.
         from repro.tune.api import select_algorithm
 
         algorithm, auto_counters = select_algorithm(
-            cluster_spec, fs_spec, nprocs, views, config=config,
-            shuffle=shuffle, seed=seed, cache_dir=auto_cache_dir,
+            spec.cluster, spec.fs, spec.nprocs, spec.views, config=config,
+            shuffle=spec.shuffle, seed=spec.seed, cache_dir=spec.auto_cache_dir,
         )
-    world = World(cluster_spec, nprocs, fs_spec=fs_spec, seed=seed, faults=faults)
+    recorder = (
+        SpanRecorder(enabled=True, max_records=spec.max_trace_records)
+        if spec.trace
+        else None
+    )
+    world = World(
+        spec.cluster, spec.nprocs, fs_spec=spec.fs, seed=spec.seed,
+        faults=spec.faults, tracer=recorder,
+    )
     algo = make_algorithm(algorithm)
+    plan = spec.plan
     if plan is None:
         plan = build_plan(
-            world.cluster, nprocs, views, config,
+            world.cluster, spec.nprocs, spec.views, config,
             algo.cycle_bytes(config.cb_buffer_size),
-            stripe_size=fs_spec.stripe_size,
+            stripe_size=spec.fs.stripe_size,
         )
     elif plan.cycle_bytes != algo.cycle_bytes(config.cb_buffer_size):
         raise ConfigurationError(
@@ -220,15 +365,15 @@ def run_collective_write(
             f"{algorithm!r} needs {algo.cycle_bytes(config.cb_buffer_size)}"
         )
     payloads = {
-        r: data_factory(r, views[r].total_bytes) if carry_data else None
-        for r in range(nprocs)
+        r: spec.data_factory(r, spec.views[r].total_bytes) if spec.carry_data else None
+        for r in range(spec.nprocs)
     }
 
     def program(mpi):
-        fh = yield from mpi.file_open(path)
+        fh = yield from mpi.file_open(spec.path)
         stats = yield from collective_write(
-            mpi, fh, views[mpi.rank], payloads[mpi.rank], plan,
-            algorithm=algorithm, shuffle=shuffle, config=config,
+            mpi, fh, spec.views[mpi.rank], payloads[mpi.rank], plan,
+            algorithm=algorithm, shuffle=spec.shuffle, config=config,
         )
         return stats
 
@@ -237,8 +382,8 @@ def run_collective_write(
     elapsed = world.now - t_start
     result = CollectiveWriteResult(
         algorithm=algorithm,
-        shuffle=shuffle,
-        nprocs=nprocs,
+        shuffle=spec.shuffle,
+        nprocs=spec.nprocs,
         num_aggregators=len(plan.aggregators),
         num_cycles=plan.num_cycles,
         cycle_bytes=plan.cycle_bytes,
@@ -250,9 +395,30 @@ def run_collective_write(
     )
     if auto_counters:
         result.trace_counters.update(auto_counters)
-    if verify or config.verify:
-        result.verified = _verify_file(world, path, views, payloads)
+    if recorder is not None:
+        result.spans = recorder.closed_spans()
+    result.metrics = _run_metrics(world, result, auto_counters).snapshot()
+    if spec.verify or config.verify:
+        result.verified = _verify_file(world, spec.path, spec.views, payloads)
     return result
+
+
+def _run_metrics(
+    world: World, result: CollectiveWriteResult, auto_counters: dict | None
+) -> MetricsRegistry:
+    """Assemble the run's :class:`MetricsRegistry` (counters/gauges/histograms)."""
+    registry = MetricsRegistry()
+    registry.merge_counters(world.cluster.tracer.counters)
+    if auto_counters:
+        registry.merge_counters(auto_counters)
+    registry.counter("sim.events_processed").inc(world.engine.events_processed)
+    registry.gauge("sim.max_heap_len").set(world.engine.max_heap_len)
+    registry.gauge("run.elapsed").set(result.elapsed)
+    registry.gauge("run.write_bandwidth").set(result.write_bandwidth)
+    registry.gauge("fs.bytes_written").set(world.pfs.bytes_written if world.pfs else 0)
+    for span in result.spans:
+        registry.histogram(f"span.{span.category}.dur").observe(span.dur)
+    return registry
 
 
 def _verify_file(

@@ -12,6 +12,7 @@ agrees without communication).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -79,6 +80,11 @@ class AlgoContext:
         self.rank = mpi.rank
         self.agg_index = plan.agg_index_of_rank.get(mpi.rank)
         self.stats = PhaseStats()
+        #: The world's shared tracer; a SpanRecorder here turns every
+        #: write/shuffle step into a span (base Tracer = free no-ops).
+        self.recorder = mpi.world.cluster.tracer
+        #: Open "io" spans of posted-but-unwaited async writes, by handle id.
+        self._write_spans: dict[int, object] = {}
         if config.retry is not None:
             from repro.faults.retry import ReliableWriter  # local: avoids a cycle
 
@@ -176,10 +182,18 @@ class AlgoContext:
             return
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
+        call_span = self.recorder.begin(
+            t0, "write", "io.call", rank=self.rank, cycle=cycle, bytes=nbytes
+        )
+        io_span = self.recorder.begin(
+            t0, "write", "io", rank=self.rank, cycle=cycle, flow="async", bytes=nbytes
+        )
         if self.writer is not None:
             yield from self.writer.write_at(offset, payload, size=nbytes)
         else:
             yield from self.fh.write_at(offset, payload, size=nbytes)
+        self.recorder.end(io_span, self.mpi.now)
+        self.recorder.end(call_span, self.mpi.now)
         self.stats.add_time("write", self.mpi.now - t0)
         self.stats.bump("writes")
 
@@ -190,10 +204,19 @@ class AlgoContext:
             return None
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
+        call_span = self.recorder.begin(
+            t0, "write_post", "io.call", rank=self.rank, cycle=cycle, bytes=nbytes
+        )
+        io_span = self.recorder.begin(
+            t0, "write", "io", rank=self.rank, cycle=cycle, flow="async", bytes=nbytes
+        )
         if self.writer is not None:
             req = yield from self.writer.iwrite_at(offset, payload, size=nbytes)
         else:
             req = yield from self.fh.iwrite_at(offset, payload, size=nbytes)
+        self.recorder.end(call_span, self.mpi.now)
+        if io_span is not None:
+            self._write_spans[id(req)] = io_span
         self.stats.add_time("write_post", self.mpi.now - t0)
         self.stats.bump("writes")
         return req
@@ -203,8 +226,44 @@ class AlgoContext:
         if handle is None:
             return
         t0 = self.mpi.now
+        io_span = self._write_spans.pop(id(handle), None)
+        cycle = getattr(io_span, "cycle", -1)
+        call_span = self.recorder.begin(
+            t0, "write_wait", "io.call", rank=self.rank, cycle=cycle
+        )
         yield from self.mpi.wait(handle)
+        if io_span is not None:
+            # The aio/retry layers succeed the request event with the true
+            # completion timestamp; close the serviced interval there, not
+            # at the (possibly later) moment this rank got around to waiting.
+            value = handle.event.value if handle.event.triggered else None
+            done_at = value if isinstance(value, (int, float)) else self.mpi.now
+            self.recorder.end(io_span, min(float(done_at), self.mpi.now))
+        self.recorder.end(call_span, self.mpi.now)
         self.stats.add_time("write", self.mpi.now - t0)
+
+    def note_write_done(self, handle) -> None:
+        """Close a posted write's "io" span when it completed inside a joint
+        waitall (no simulated cost; the wait already happened)."""
+        if handle is None:
+            return
+        io_span = self._write_spans.pop(id(handle), None)
+        if io_span is None:
+            return
+        value = handle.event.value if handle.event.triggered else None
+        done_at = value if isinstance(value, (int, float)) else self.mpi.now
+        self.recorder.end(io_span, min(float(done_at), self.mpi.now))
+
+    @contextmanager
+    def iteration(self, cycle: int):
+        """Span over one internal-cycle iteration of an overlap algorithm."""
+        span = self.recorder.begin(
+            self.mpi.now, "cycle", "algo.cycle", rank=self.rank, cycle=cycle
+        )
+        try:
+            yield
+        finally:
+            self.recorder.end(span, self.mpi.now)
 
     # ------------------------------------------------------------------
     def planning_tick(self):

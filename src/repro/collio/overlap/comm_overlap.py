@@ -39,10 +39,11 @@ class CommOverlap(OverlapAlgorithm):
         yield from ctx.planning_tick()
         pending = yield from shuffle.init(ctx, 0)
         for cycle in range(1, ncycles):
-            yield from ctx.planning_tick()
-            nxt = yield from shuffle.init(ctx, cycle)
-            yield from shuffle.wait(ctx, pending)
-            yield from ctx.write_blocking(cycle - 1)
-            pending = nxt
+            with ctx.iteration(cycle):
+                yield from ctx.planning_tick()
+                nxt = yield from shuffle.init(ctx, cycle)
+                yield from shuffle.wait(ctx, pending)
+                yield from ctx.write_blocking(cycle - 1)
+                pending = nxt
         yield from shuffle.wait(ctx, pending)
         yield from ctx.write_blocking(ncycles - 1)

@@ -22,6 +22,7 @@ class NoOverlap(OverlapAlgorithm):
 
     def run(self, ctx: AlgoContext, shuffle):
         for cycle in range(ctx.plan.num_cycles):
-            yield from ctx.planning_tick()
-            yield from shuffle.blocking(ctx, cycle)
-            yield from ctx.write_blocking(cycle)
+            with ctx.iteration(cycle):
+                yield from ctx.planning_tick()
+                yield from shuffle.blocking(ctx, cycle)
+                yield from ctx.write_blocking(cycle)

@@ -41,20 +41,27 @@ class WriteCommOverlap(OverlapAlgorithm):
         yield from ctx.planning_tick()
         yield from shuffle.blocking(ctx, 0)
         for cycle in range(1, ncycles + 1):
-            yield from ctx.planning_tick()
-            write_req = yield from ctx.write_init(cycle - 1)
-            handle = None
-            if cycle < ncycles:
-                handle = yield from shuffle.init(ctx, cycle)
-            # wait_all(p1, p2)
-            if handle is not None and shuffle.combinable:
-                requests = list(handle.requests)
-                if write_req is not None:
-                    requests.append(write_req)
-                if requests:
-                    yield from ctx.mpi.waitall(requests)
-                yield from shuffle.finish(ctx, handle)
-            else:
-                yield from ctx.write_wait(write_req)
-                if handle is not None:
-                    yield from shuffle.wait(ctx, handle)
+            with ctx.iteration(cycle - 1):
+                yield from ctx.planning_tick()
+                write_req = yield from ctx.write_init(cycle - 1)
+                handle = None
+                if cycle < ncycles:
+                    handle = yield from shuffle.init(ctx, cycle)
+                # wait_all(p1, p2)
+                if handle is not None and shuffle.combinable:
+                    requests = list(handle.requests)
+                    if write_req is not None:
+                        requests.append(write_req)
+                    wait_span = ctx.recorder.begin(
+                        ctx.mpi.now, "wait_all", "comm.call",
+                        rank=ctx.rank, cycle=cycle,
+                    )
+                    if requests:
+                        yield from ctx.mpi.waitall(requests)
+                    yield from shuffle.finish(ctx, handle)
+                    ctx.recorder.end(wait_span, ctx.mpi.now)
+                    ctx.note_write_done(write_req)
+                else:
+                    yield from ctx.write_wait(write_req)
+                    if handle is not None:
+                        yield from shuffle.wait(ctx, handle)

@@ -50,14 +50,15 @@ class WriteComm2Overlap(OverlapAlgorithm):
             return
         handle = yield from shuffle.init(ctx, 1)
         for cycle in range(1, ncycles):
-            yield from ctx.planning_tick()
-            # Data for `cycle` is ready -> immediately post its write.
-            yield from shuffle.wait(ctx, handle)
-            next_write = yield from ctx.write_init(cycle)
-            # Previous cycle's write is done -> its sub-buffer is free ->
-            # immediately post the next shuffle into it.
-            yield from ctx.write_wait(pending_write)
-            pending_write = next_write
-            if cycle + 1 < ncycles:
-                handle = yield from shuffle.init(ctx, cycle + 1)
+            with ctx.iteration(cycle):
+                yield from ctx.planning_tick()
+                # Data for `cycle` is ready -> immediately post its write.
+                yield from shuffle.wait(ctx, handle)
+                next_write = yield from ctx.write_init(cycle)
+                # Previous cycle's write is done -> its sub-buffer is free ->
+                # immediately post the next shuffle into it.
+                yield from ctx.write_wait(pending_write)
+                pending_write = next_write
+                if cycle + 1 < ncycles:
+                    handle = yield from shuffle.init(ctx, cycle + 1)
         yield from ctx.write_wait(pending_write)

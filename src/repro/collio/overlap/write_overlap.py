@@ -41,9 +41,10 @@ class WriteOverlap(OverlapAlgorithm):
         yield from shuffle.blocking(ctx, 0)
         pending_write = yield from ctx.write_init(0)
         for cycle in range(1, ncycles):
-            yield from ctx.planning_tick()
-            yield from shuffle.blocking(ctx, cycle)
-            next_write = yield from ctx.write_init(cycle)
-            yield from ctx.write_wait(pending_write)
-            pending_write = next_write
+            with ctx.iteration(cycle):
+                yield from ctx.planning_tick()
+                yield from shuffle.blocking(ctx, cycle)
+                next_write = yield from ctx.write_init(cycle)
+                yield from ctx.write_wait(pending_write)
+                pending_write = next_write
         yield from ctx.write_wait(pending_write)

@@ -61,6 +61,9 @@ class ShuffleHandle:
     #: Local (self-contribution) assignments to copy at wait time.
     local_copies: list = field(default_factory=list)
     extra: Any = None
+    #: Open "comm" span covering the in-flight shuffle (None when the
+    #: recorder is disabled); closed when the cycle's data is placed.
+    comm_span: Any = None
 
 
 def _pack(data: np.ndarray | None, sa: SendAssignment) -> np.ndarray | None:
@@ -110,6 +113,13 @@ class TwoSidedShuffle:
         """Post this cycle's sends and (on aggregators) receives."""
         t0 = ctx.mpi.now
         handle = ShuffleHandle(cycle)
+        handle.comm_span = ctx.recorder.begin(
+            t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
+            flow="async", engine=self.name,
+        )
+        call_span = ctx.recorder.begin(
+            t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
+        )
         plan = ctx.plan
         # Receives first, so self-sends (modelled as local copies) and fast
         # eager senders find a posted receive more often — as real
@@ -140,15 +150,20 @@ class TwoSidedShuffle:
             )
             handle.requests.append(req)
             ctx.stats.bump("messages_sent")
+        ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
         return handle
 
     def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
         """Complete the cycle's transfers, then unpack at aggregators."""
         t0 = ctx.mpi.now
+        call_span = ctx.recorder.begin(
+            t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
+        )
         if handle.requests:
             yield from ctx.mpi.waitall(handle.requests)
         yield from self.finish(ctx, handle)
+        ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
 
     def finish(self, ctx: AlgoContext, handle: ShuffleHandle):
@@ -179,6 +194,12 @@ class TwoSidedShuffle:
         for sa in handle.local_copies:
             _scatter(ctx, cycle, sa, _pack(ctx.data, sa))
             yield from ctx.mpi.compute(ctx.local_copy_cost(sa.nbytes, sa.npieces))
+        # This cycle's data is now fully placed in the sub-buffer — the
+        # in-flight shuffle ends here (covers both the wait() path and
+        # write_comm's joint-waitall path, which calls finish() directly).
+        if handle.comm_span is not None:
+            ctx.recorder.end(handle.comm_span, ctx.mpi.now)
+            handle.comm_span = None
 
     def blocking(self, ctx: AlgoContext, cycle: int):
         handle = yield from self.init(ctx, cycle)
@@ -235,19 +256,43 @@ class OneSidedFenceShuffle(_OneSidedBase):
 
     def init(self, ctx: AlgoContext, cycle: int):
         t0 = ctx.mpi.now
+        handle = ShuffleHandle(cycle)
+        handle.comm_span = ctx.recorder.begin(
+            t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
+            flow="async", engine=self.name,
+        )
+        call_span = ctx.recorder.begin(
+            t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
+        )
         win = ctx.window(ctx.sub_of_cycle(cycle))
         # Opening fence: also guarantees the target's previous write on
         # this sub-buffer has completed before any put can land (every
         # rank — including the aggregator — must pass it).
+        fence_span = ctx.recorder.begin(
+            ctx.mpi.now, "fence", "sync", rank=ctx.rank, cycle=cycle
+        )
         yield from win.fence()
+        ctx.recorder.end(fence_span, ctx.mpi.now)
         yield from self._issue_puts(ctx, cycle)
+        ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
-        return ShuffleHandle(cycle)
+        return handle
 
     def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
         t0 = ctx.mpi.now
+        call_span = ctx.recorder.begin(
+            t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
+        )
         win = ctx.window(ctx.sub_of_cycle(handle.cycle))
+        fence_span = ctx.recorder.begin(
+            ctx.mpi.now, "fence", "sync", rank=ctx.rank, cycle=handle.cycle
+        )
         yield from win.fence()
+        ctx.recorder.end(fence_span, ctx.mpi.now)
+        if handle.comm_span is not None:
+            ctx.recorder.end(handle.comm_span, ctx.mpi.now)
+            handle.comm_span = None
+        ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
         ctx.stats.bump("fences", 2)
 
@@ -259,10 +304,22 @@ class OneSidedLockShuffle(_OneSidedBase):
 
     def init(self, ctx: AlgoContext, cycle: int):
         t0 = ctx.mpi.now
+        handle = ShuffleHandle(cycle)
+        handle.comm_span = ctx.recorder.begin(
+            t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
+            flow="async", engine=self.name,
+        )
+        call_span = ctx.recorder.begin(
+            t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
+        )
         # The paper's extra barrier: no origin may put into a sub-buffer
         # before the aggregator finished writing its previous contents.
         # Aggregators reach this barrier only after their write_wait.
+        barrier_span = ctx.recorder.begin(
+            ctx.mpi.now, "barrier", "sync", rank=ctx.rank, cycle=cycle
+        )
         yield from ctx.mpi.barrier()
+        ctx.recorder.end(barrier_span, ctx.mpi.now)
         plan = ctx.plan
         win = ctx.window(ctx.sub_of_cycle(cycle))
         targets: dict[int, list[SendAssignment]] = {}
@@ -270,6 +327,10 @@ class OneSidedLockShuffle(_OneSidedBase):
             targets.setdefault(plan.aggregators[sa.agg_index], []).append(sa)
         nputs = 0
         for agg_rank in sorted(targets):
+            epoch_span = ctx.recorder.begin(
+                ctx.mpi.now, "lock_epoch", "sync", rank=ctx.rank, cycle=cycle,
+                target=agg_rank,
+            )
             yield from win.lock(agg_rank, exclusive=False)
             for sa in targets[agg_rank]:
                 crange = plan.cycle_range(sa.agg_index, cycle)
@@ -280,17 +341,30 @@ class OneSidedLockShuffle(_OneSidedBase):
                     yield from win.put(agg_rank, piece, int(off) - base, size=int(ln))
                     nputs += 1
             yield from win.unlock(agg_rank, exclusive=False)
+            ctx.recorder.end(epoch_span, ctx.mpi.now)
         extra = ctx.extra_put_cost(nputs)
         if extra:
             yield from ctx.mpi.compute(extra)
         ctx.stats.bump("puts_issued", nputs)
+        ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
-        return ShuffleHandle(cycle)
+        return handle
 
     def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
         t0 = ctx.mpi.now
+        call_span = ctx.recorder.begin(
+            t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
+        )
         # Target-side completion knowledge (paper III-B2b).
+        barrier_span = ctx.recorder.begin(
+            ctx.mpi.now, "barrier", "sync", rank=ctx.rank, cycle=handle.cycle
+        )
         yield from ctx.mpi.barrier()
+        ctx.recorder.end(barrier_span, ctx.mpi.now)
+        if handle.comm_span is not None:
+            ctx.recorder.end(handle.comm_span, ctx.mpi.now)
+            handle.comm_span = None
+        ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
         ctx.stats.bump("barriers", 2)
 

@@ -108,10 +108,15 @@ class ReliableWriter:
         policy = self.policy
         attempt = 0
         while True:
+            span = self.tracer.begin(
+                self.engine.now, "write_attempt", "retry",
+                rank=self.rank, offset=offset, attempt=attempt,
+            )
             try:
                 yield from self.fh.write_at(
                     offset, data, size=size, timeout=policy.write_timeout
                 )
+                self.tracer.end(span, self.engine.now)
                 if attempt:
                     self.tracer.emit(
                         self.engine.now, "retry.recovered",
@@ -119,6 +124,7 @@ class ReliableWriter:
                     )
                 return
             except FileSystemError as exc:
+                self.tracer.end(span, self.engine.now)
                 attempt += 1
                 if policy.max_retries == 0:
                     raise
@@ -199,6 +205,7 @@ class ReliableWriter:
         policy = self.policy
         engine = self.engine
         attempt = 0
+        attempt_span = None  # span of the current *reissued* attempt
         while True:
             failure = None
             try:
@@ -221,6 +228,8 @@ class ReliableWriter:
                         )
             except FileSystemError as exc:
                 failure = exc
+            self.tracer.end(attempt_span, engine.now)
+            attempt_span = None
             if failure is None:
                 if attempt:
                     self.tracer.emit(
@@ -255,6 +264,10 @@ class ReliableWriter:
             # Reissue inside the I/O stack (no rank involvement).  A
             # refused aio submission here forces the synchronous path for
             # this attempt — the OS writing through without aio.
+            attempt_span = self.tracer.begin(
+                engine.now, "retry_attempt", "retry",
+                rank=self.rank, flow="async", offset=offset, attempt=attempt,
+            )
             try:
                 event = self.fh.aio.submit(self.fh.file, offset, data, size=size).event
             except AioSubmitError:

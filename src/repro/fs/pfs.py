@@ -8,6 +8,7 @@ from repro.errors import FileSystemError
 from repro.sim.engine import Engine, Event
 from repro.sim.primitives import all_of
 from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
 from repro.fs.file import SimFile
 from repro.fs.presets import FsSpec
 from repro.fs.striping import StripeLayout
@@ -34,10 +35,12 @@ class ParallelFileSystem:
         spec: FsSpec,
         rng: RngStreams | None = None,
         injector=None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.engine = engine
         self.spec = spec
         self.injector = injector
+        self.tracer = tracer if tracer is not None else Tracer()
         self.layout = StripeLayout(stripe_size=spec.stripe_size, num_targets=spec.num_targets)
         rng = rng or RngStreams(0)
         self.targets = [
@@ -113,12 +116,23 @@ class ParallelFileSystem:
         # stripes of a write to a target in a single RPC, so the per-request
         # latency is paid once per (write, target) pair, not per stripe.
         per_target = self.layout.bytes_per_target(offset, size)
+        span = self.tracer.begin(
+            self.engine.now, "pfs.write", "io.fs", flow="async",
+            bytes=size, targets=len(per_target),
+        )
         if self.injector is not None:
             victim = self.injector.storage_write_victim(sorted(per_target))
             if victim is not None:
-                return self.targets[victim].fail_write()
+                failed = self.targets[victim].fail_write()
+                if span is not None:
+                    failed.callbacks.append(
+                        lambda evt, _s=span: self.tracer.end(_s, evt.engine.now)
+                    )
+                return failed
         piece_events = [self.targets[t].submit(n) for t, n in sorted(per_target.items())]
         done = all_of(self.engine, piece_events)
+        if span is not None:
+            done.callbacks.append(lambda evt, _s=span: self.tracer.end(_s, evt.engine.now))
         # Commit only on success: a write that failed (injected target
         # fault) must not land bytes — the caller retries the whole
         # request, which is idempotent.
@@ -135,10 +149,16 @@ class ParallelFileSystem:
         mid-flight in our write-once workloads); the event models timing.
         """
         per_target = self.layout.bytes_per_target(offset, size)
+        span = self.tracer.begin(
+            self.engine.now, "pfs.read", "io.fs", flow="async",
+            bytes=size, targets=len(per_target),
+        )
         piece_events = [
             self.targets[t].submit(n, kind="read") for t, n in sorted(per_target.items())
         ]
         done = all_of(self.engine, piece_events)
+        if span is not None:
+            done.callbacks.append(lambda evt, _s=span: self.tracer.end(_s, evt.engine.now))
         return done, file.read(offset, size)
 
     # -- accounting ---------------------------------------------------------

@@ -106,11 +106,19 @@ class Cluster:
     facilities for all higher layers.
     """
 
-    def __init__(self, engine: Engine, spec: ClusterSpec, seed: int = 0) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        spec: ClusterSpec,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.engine = engine
         self.spec = spec
         self.rng = RngStreams(seed)
-        self.tracer = Tracer()
+        #: Shared tracer for all layers; pass a
+        #: :class:`repro.obs.span.SpanRecorder` to capture span timelines.
+        self.tracer = tracer if tracer is not None else Tracer()
         net_noise = (
             self.rng.lognormal_noise("network", spec.network_noise_sigma)
             if spec.network_noise_sigma > 0

@@ -28,6 +28,7 @@ from repro.mpi.comm import Communicator
 from repro.mpi.runtime import RankRuntime
 from repro.mpi.window import WindowRegistry
 from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
 
 __all__ = ["World"]
 
@@ -42,6 +43,7 @@ class World:
         fs_spec: FsSpec | None = None,
         seed: int = DEFAULT_SEED,
         faults: FaultSpec | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
@@ -51,7 +53,7 @@ class World:
             )
         self.engine = Engine()
         self.nprocs = nprocs
-        self.cluster = Cluster(self.engine, cluster_spec, seed=seed)
+        self.cluster = Cluster(self.engine, cluster_spec, seed=seed, tracer=tracer)
         #: Shared fault injector, or None for a clean world.  A disabled
         #: FaultSpec (all rates zero) also yields None so the fault-free
         #: code paths stay byte-identical to a run without the subsystem.
@@ -62,7 +64,11 @@ class World:
         )
         self.pfs = (
             ParallelFileSystem(
-                self.engine, fs_spec, rng=self.cluster.rng, injector=self.faults
+                self.engine,
+                fs_spec,
+                rng=self.cluster.rng,
+                injector=self.faults,
+                tracer=self.cluster.tracer,
             )
             if fs_spec is not None
             else None
@@ -97,7 +103,13 @@ class World:
             raise ConfigurationError("this world has no file system")
         engine = self._aio.get(rank)
         if engine is None:
-            engine = AioEngine(self.engine, self.pfs, client=rank, injector=self.faults)
+            engine = AioEngine(
+                self.engine,
+                self.pfs,
+                client=rank,
+                injector=self.faults,
+                tracer=self.cluster.tracer,
+            )
             self._aio[rank] = engine
         return engine
 

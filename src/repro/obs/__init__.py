@@ -1,0 +1,67 @@
+"""Structured observability: spans, exporters, metrics and overlap analysis.
+
+The subsystem decomposes into four orthogonal pieces:
+
+* :mod:`repro.obs.span` — the :class:`Span` timeline model and the
+  :class:`SpanRecorder` (a drop-in :class:`~repro.sim.trace.Tracer`);
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``) and CSV/summary exporters, plus the schema check;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-bucket histograms;
+* :mod:`repro.obs.overlap` — the overlap-efficiency derived metric
+  (fraction of write time hidden under in-flight shuffles).
+
+``python -m repro.obs validate trace.json`` runs the schema check from
+the command line (used by CI on the bench smoke artifact).
+"""
+
+from repro.obs.export import (
+    COMPUTE_PID,
+    STORAGE_PID,
+    chrome_trace,
+    chrome_trace_json,
+    span_summary,
+    spans_csv,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs.overlap import (
+    CyclePair,
+    OverlapReport,
+    RankOverlap,
+    merge_intervals,
+    overlap_report,
+)
+from repro.obs.span import SPAN_CATEGORIES, Span, SpanRecorder, total_time
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "SPAN_CATEGORIES",
+    "total_time",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "spans_csv",
+    "span_summary",
+    "COMPUTE_PID",
+    "STORAGE_PID",
+    "MetricsRegistry",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "DURATION_BUCKETS",
+    "OverlapReport",
+    "RankOverlap",
+    "CyclePair",
+    "overlap_report",
+    "merge_intervals",
+]

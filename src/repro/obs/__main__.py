@@ -1,0 +1,37 @@
+"""Command-line entry: ``python -m repro.obs validate <trace.json>``.
+
+Runs the Chrome ``trace_event`` schema check on an exported trace file
+and exits non-zero with the violation message if it fails.  CI uses
+this on the bench smoke artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_validate = sub.add_parser("validate", help="schema-check a Chrome trace JSON file")
+    p_validate.add_argument("path", help="trace file written with --trace-out")
+    ns = parser.parse_args(argv)
+
+    if ns.command == "validate":
+        with open(ns.path, "r", encoding="utf-8") as fh:
+            trace = json.load(fh)
+        try:
+            n = validate_chrome_trace(trace)
+        except ValueError as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"OK: {ns.path} ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Structured spans: the timeline model behind the observability layer.
+
+A :class:`Span` is one named interval of simulated time attributed to a
+rank (and usually an internal cycle): a shuffle in flight, a blocking
+write, a fence, a retry attempt.  Spans come in two *flows*:
+
+``sync``
+    On the rank's call stack — spans of the same rank are properly
+    nested (a ``fence`` inside a ``shuffle_init`` inside a ``cycle``).
+    Exported as Chrome ``"X"`` (complete) events.
+
+``async``
+    An in-flight interval that outlives the posting call — an
+    ``aio_write`` between submission and completion, a shuffle between
+    ``shuffle_init`` and ``shuffle_wait``.  Async spans of one rank may
+    overlap each other and any sync span; they are exported as Chrome
+    ``"b"``/``"e"`` (async) event pairs.
+
+:class:`SpanRecorder` extends :class:`~repro.sim.trace.Tracer` — the
+counter/record contract is unchanged — with span storage behind the same
+``enabled`` flag: when disabled, :meth:`SpanRecorder.begin` returns
+``None`` after one branch, so the instrumented hot paths pay nothing.
+``max_records`` bounds span storage with the same ring-buffer semantics
+the base tracer applies to records (counters stay exact).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.trace import Tracer
+
+__all__ = ["Span", "SpanRecorder", "SPAN_CATEGORIES", "total_time"]
+
+#: The categories the built-in instrumentation emits.
+#:
+#: =============  ========================================================
+#: ``algo``       one whole collective write on one rank
+#: ``algo.cycle`` one internal-cycle iteration of an overlap algorithm
+#: ``comm``       a cycle's shuffle *in flight* (init start → data placed)
+#: ``comm.call``  time inside shuffle_init / shuffle_wait / wait_all calls
+#: ``io``         a write being *serviced* (post/start → completion)
+#: ``io.call``    time inside write_post / write_wait calls
+#: ``io.aio``     an aio request inside the simulated OS (per client)
+#: ``io.fs``      a striped write inside the parallel file system
+#: ``sync``       fences, barriers and lock epochs of the RMA shuffles
+#: ``retry``      one attempt of a retrying write (foreground or supervisor)
+#: =============  ========================================================
+SPAN_CATEGORIES = (
+    "algo", "algo.cycle", "comm", "comm.call", "io", "io.call",
+    "io.aio", "io.fs", "sync", "retry",
+)
+
+
+@dataclass
+class Span:
+    """One named interval of simulated time on one rank's timeline."""
+
+    name: str
+    category: str
+    rank: int = -1
+    cycle: int = -1
+    t0: float = 0.0
+    #: Completion time; ``None`` while the span is still open.
+    t1: float | None = None
+    #: Nesting depth among the rank's *sync* spans at open time.
+    depth: int = 0
+    #: ``"sync"`` (call-stack interval) or ``"async"`` (in-flight interval).
+    flow: str = "sync"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.t1 is not None
+
+    @property
+    def dur(self) -> float:
+        """Duration in simulated seconds (0.0 while open)."""
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+    def overlap_with(self, other: "Span") -> float:
+        """Length of the wall-clock intersection with ``other``, seconds."""
+        if self.t1 is None or other.t1 is None:
+            return 0.0
+        return max(0.0, min(self.t1, other.t1) - max(self.t0, other.t0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = "open" if self.t1 is None else f"{self.t1:.9f}"
+        return (
+            f"Span({self.name!r}, {self.category!r}, rank={self.rank}, "
+            f"cycle={self.cycle}, t0={self.t0:.9f}, t1={end})"
+        )
+
+
+@dataclass
+class SpanRecorder(Tracer):
+    """A :class:`Tracer` that additionally records :class:`Span` timelines.
+
+    Drop-in for the base tracer everywhere (the counter contract is
+    inherited unchanged); spans are stored only while ``enabled`` is
+    True.  ``max_records`` (inherited) bounds spans with the same ring
+    buffer applied to records: only the newest ``max_records`` spans are
+    kept, counters stay exact.  Default is ``None`` — unbounded.
+    """
+
+    spans: list[Span] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_records is not None:
+            self.spans = deque(self.spans, maxlen=self.max_records)
+        self._depths: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        time: float,
+        name: str,
+        category: str,
+        rank: int = -1,
+        cycle: int = -1,
+        flow: str = "sync",
+        **attrs: Any,
+    ) -> Span | None:
+        """Open (and store) a span; returns it as the handle for :meth:`end`.
+
+        Returns ``None`` when the recorder is disabled — :meth:`end`
+        accepts that, so call sites never need their own guard.
+        """
+        if not self.enabled:
+            return None
+        depth = 0
+        if flow == "sync":
+            depth = self._depths.get(rank, 0)
+            self._depths[rank] = depth + 1
+        span = Span(
+            name=name, category=category, rank=rank, cycle=cycle,
+            t0=float(time), depth=depth, flow=flow, attrs=attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span | None, time: float) -> Span | None:
+        """Close ``span`` at ``time``.  ``None`` (disabled begin) is a no-op."""
+        if span is None:
+            return None
+        span.t1 = float(time)
+        if span.flow == "sync":
+            depth = self._depths.get(span.rank, 1) - 1
+            self._depths[span.rank] = max(0, depth)
+        return span
+
+    # ------------------------------------------------------------------
+    def closed_spans(self) -> list[Span]:
+        """All spans whose end has been recorded, in open order."""
+        return [s for s in self.spans if s.closed]
+
+    def spans_of(
+        self,
+        category: str | None = None,
+        rank: int | None = None,
+        name: str | None = None,
+    ) -> list[Span]:
+        """Closed spans filtered by category / rank / name (all optional)."""
+        return [
+            s
+            for s in self.spans
+            if s.closed
+            and (category is None or s.category == category)
+            and (rank is None or s.rank == rank)
+            and (name is None or s.name == name)
+        ]
+
+    def clear(self) -> None:
+        super().clear()
+        self.spans.clear()
+        self._depths.clear()
+
+
+def total_time(spans: Iterable[Span], category: str, rank: int | None = None) -> float:
+    """Summed duration of the closed spans of one category (one or all ranks)."""
+    return sum(
+        s.dur
+        for s in spans
+        if s.closed and s.category == category and (rank is None or s.rank == rank)
+    )

@@ -251,6 +251,11 @@ class Engine:
         self._seq: int = 0
         self._active_processes: int = 0
         self._current: Process | None = None
+        #: Events processed so far (monotone; cheap enough to keep always on).
+        self.events_processed: int = 0
+        #: High-water mark of the event heap — a proxy for how much
+        #: concurrent in-flight work the modelled program generates.
+        self.max_heap_len: int = 0
 
     # -- factory helpers --------------------------------------------------
     def event(self) -> Event:
@@ -274,6 +279,8 @@ class Engine:
     def _push(self, event: Event, delay: float = 0.0) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if len(self._heap) > self.max_heap_len:
+            self.max_heap_len = len(self._heap)
 
     # -- execution ---------------------------------------------------------
     def step(self) -> None:
@@ -282,6 +289,7 @@ class Engine:
         if when < self.now:
             raise SimulationError("time went backwards")
         self.now = when
+        self.events_processed += 1
         event._process()
 
     def run(self, until: float | None = None) -> None:

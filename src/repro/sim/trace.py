@@ -9,7 +9,7 @@ happened?").
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -76,11 +76,26 @@ class Tracer:
     plain-Python types (numpy scalars unwrapped, sequences tupled) so
     records support set/dict membership and exact comparison across
     runs.
+
+    Memory bound: ``max_records`` (default ``None`` = unbounded) turns
+    record storage into a ring buffer keeping only the newest
+    ``max_records`` entries — counters stay exact either way, so long
+    auto-tune sweeps can keep tracing enabled without growing without
+    bound.  With a bound set, :attr:`records` is a ``collections.deque``
+    (same iteration/indexing API the list offers).
     """
 
     enabled: bool = False
     records: list[TraceRecord] = field(default_factory=list)
     counters: Counter = field(default_factory=Counter)
+    #: Ring-buffer capacity for stored records (None = unbounded).
+    max_records: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_records is not None:
+            if self.max_records < 1:
+                raise ValueError(f"max_records must be >= 1 or None, got {self.max_records}")
+            self.records = deque(self.records, maxlen=self.max_records)
 
     def emit(self, time: float, category: str, **detail: Any) -> None:
         """Bump the category counter; store a record if tracing is enabled."""
@@ -89,6 +104,29 @@ class Tracer:
             self.records.append(
                 TraceRecord(time, category, {k: _hashable(v) for k, v in detail.items()})
             )
+
+    # -- span hooks (no-ops; see repro.obs.span.SpanRecorder) ------------
+    def begin(
+        self,
+        time: float,
+        name: str,
+        category: str,
+        rank: int = -1,
+        cycle: int = -1,
+        flow: str = "sync",
+        **attrs: Any,
+    ):
+        """Open a span.  The base tracer records no spans; returns None.
+
+        :class:`repro.obs.span.SpanRecorder` overrides this (and
+        :meth:`end`) with real span storage, so instrumented code can
+        call the pair unconditionally on any tracer.
+        """
+        return None
+
+    def end(self, span, time: float):
+        """Close a span opened by :meth:`begin` (no-op on the base tracer)."""
+        return None
 
     def count(self, category: str) -> int:
         """Number of times ``category`` was emitted (always available)."""

@@ -19,7 +19,8 @@ from dataclasses import asdict
 
 from repro.collio.config import CollectiveConfig
 from repro.collio.overlap import ALGORITHMS, make_algorithm
-from repro.collio.api import build_plan, run_collective_write
+from repro.collio.api import RunSpec, build_plan, run_collective_write
+from repro.obs.metrics import MetricsRegistry
 from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 from repro.fs.presets import FsSpec
 from repro.hardware.cluster import Cluster, ClusterSpec
@@ -136,18 +137,23 @@ def select_algorithm(
     names = tuple(candidates) if candidates is not None else tuple(sorted(ALGORITHMS))
     if not names:
         raise ValueError("select_algorithm: empty candidate list")
-    counters: dict[str, int] = {"tune.auto_select": 1}
+    registry = MetricsRegistry()
+    registry.counter("tune.auto_select").inc()
     cache = ResultCache(cache_dir) if cache_dir else None
     key = _selection_key(cluster_spec, fs_spec, nprocs, views, config, shuffle, seed, names)
     if cache is not None:
         cached = cache.get(key)
         if cached is not None and cached.get("algorithm") in names:
-            counters["tune.auto_cache_hit"] = 1
-            return cached["algorithm"], counters
+            registry.counter("tune.auto_cache_hit").inc()
+            return cached["algorithm"], registry.counter_values()
 
     placement = Cluster(Engine(), cluster_spec)
     plans: dict[int, object] = {}
     points: dict[str, float] = {}
+    base = RunSpec(
+        cluster=cluster_spec, fs=fs_spec, nprocs=nprocs, views=views,
+        shuffle=shuffle, config=config, seed=seed, carry_data=False,
+    )
     for name in names:
         cycle_bytes = make_algorithm(name).cycle_bytes(config.cb_buffer_size)
         plan = plans.get(cycle_bytes)
@@ -157,14 +163,11 @@ def select_algorithm(
                 stripe_size=fs_spec.stripe_size,
             )
             plans[cycle_bytes] = plan
-        run = run_collective_write(
-            cluster_spec, fs_spec, nprocs, views,
-            algorithm=name, shuffle=shuffle, config=config,
-            seed=seed, carry_data=False, plan=plan,
-        )
+        run = run_collective_write(base.replace(algorithm=name, plan=plan))
         points[name] = run.elapsed
-        counters["tune.auto_trials"] = counters.get("tune.auto_trials", 0) + 1
+        registry.counter("tune.auto_trials").inc()
+        registry.histogram("tune.trial_elapsed").observe(run.elapsed)
     best = min(names, key=lambda n: (points[n], n))
     if cache is not None:
         cache.put(key, {"algorithm": best, "points": points, "shuffle": shuffle})
-    return best, counters
+    return best, registry.counter_values()

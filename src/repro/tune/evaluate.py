@@ -23,7 +23,7 @@ from __future__ import annotations
 import multiprocessing
 from dataclasses import asdict, dataclass
 
-from repro.collio.api import run_collective_write
+from repro.collio.api import RunSpec, run_collective_write
 from repro.config import DEFAULT_SEED
 from repro.sim.trace import Tracer
 from repro.tune.cache import MemoryCache, stable_key
@@ -111,15 +111,17 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     scenario = trial.scenario
     workload = scenario.workload()
     run = run_collective_write(
-        scenario.cluster_spec(),
-        scenario.fs_spec(),
-        scenario.nprocs,
-        workload.views(),
-        algorithm=trial.candidate.algorithm,
-        shuffle=trial.candidate.shuffle,
-        config=trial.candidate.config_for(scenario),
-        seed=trial.seed,
-        carry_data=False,
+        RunSpec(
+            cluster=scenario.cluster_spec(),
+            fs=scenario.fs_spec(),
+            nprocs=scenario.nprocs,
+            views=workload.views(),
+            algorithm=trial.candidate.algorithm,
+            shuffle=trial.candidate.shuffle,
+            config=trial.candidate.config_for(scenario),
+            seed=trial.seed,
+            carry_data=False,
+        )
     )
     return TrialResult(
         elapsed=run.elapsed,

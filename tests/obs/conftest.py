@@ -1,0 +1,62 @@
+"""Shared fixtures: small traced collective-write runs."""
+
+import pytest
+
+from repro.collio import CollectiveConfig, FileView, RunSpec, run_collective_write
+from repro.fs import FsSpec
+from repro.hardware import ClusterSpec
+from repro.units import MB
+
+
+def small_cluster(**kw):
+    base = dict(
+        name="t",
+        num_nodes=4,
+        cores_per_node=4,
+        network_bandwidth=1000 * MB,
+        network_latency=1e-6,
+        eager_threshold=1024,
+    )
+    base.update(kw)
+    return ClusterSpec(**base)
+
+
+def small_fs(**kw):
+    base = dict(
+        name="tfs",
+        num_targets=4,
+        target_bandwidth=300 * MB,
+        target_latency=5e-5,
+        stripe_size=4096,
+    )
+    base.update(kw)
+    return FsSpec(**base)
+
+
+def contiguous_views(nprocs, per_rank):
+    return {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+
+
+def traced_spec(algorithm="write_overlap", nprocs=8, per_rank=20_000, **overrides):
+    """A multi-cycle traced run spec (~5 cycles at 32 KiB buffers)."""
+    kwargs = dict(
+        cluster=small_cluster(),
+        fs=small_fs(),
+        nprocs=nprocs,
+        views=contiguous_views(nprocs, per_rank),
+        algorithm=algorithm,
+        config=CollectiveConfig(cb_buffer_size=32 * 1024),
+        carry_data=False,
+        trace=True,
+    )
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    """One traced run per algorithm of interest, shared across the module."""
+    return {
+        name: run_collective_write(traced_spec(name))
+        for name in ("no_overlap", "comm_overlap", "write_overlap", "write_comm2")
+    }

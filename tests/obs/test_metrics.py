@@ -1,0 +1,96 @@
+"""MetricsRegistry: counters, gauges, fixed-bucket histograms, snapshots."""
+
+import pytest
+
+from repro.obs import (
+    DURATION_BUCKETS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = CounterMetric("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            CounterMetric("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        g = GaugeMetric("g")
+        g.set(3.0)
+        g.max(2.0)
+        assert g.value == 3.0
+        g.max(7.5)
+        assert g.value == 7.5
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = HistogramMetric("h", boundaries=(1.0, 10.0))
+        for v in (0.5, 1.0, 2.0, 50.0):
+            h.observe(v)
+        # <=1.0: {0.5, 1.0}; <=10.0: {2.0}; overflow: {50.0}
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(53.5)
+        assert h.mean == pytest.approx(53.5 / 4)
+
+    def test_cumulative(self):
+        h = HistogramMetric("h", boundaries=(1.0, 10.0))
+        for v in (0.5, 2.0, 50.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 1), (10.0, 2)]
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            HistogramMetric("h", boundaries=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            HistogramMetric("h", boundaries=(2.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            HistogramMetric("h", boundaries=())
+
+    def test_default_buckets_are_the_duration_ladder(self):
+        assert HistogramMetric("h").boundaries == DURATION_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_histogram_boundary_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different boundaries"):
+            reg.histogram("h", boundaries=(1.0, 3.0))
+
+    def test_merge_counters_and_counter_values(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc(2)
+        reg.merge_counters({"a": 3, "z": 1})
+        assert reg.counter_values() == {"a": 3, "z": 3}
+        assert list(reg.counter_values()) == ["a", "z"]  # sorted
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        json.dumps(snap)  # JSON-safe end to end

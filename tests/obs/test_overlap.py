@@ -1,0 +1,106 @@
+"""Overlap-efficiency derivation from spans — including the paper's
+algorithm ordering on a multi-cycle case (the acceptance test)."""
+
+import pytest
+
+from repro.obs import CyclePair, Span, merge_intervals, overlap_report
+
+
+class TestMergeIntervals:
+    def test_merges_overlaps_and_sorts(self):
+        assert merge_intervals([(3.0, 4.0), (0.0, 2.0), (1.0, 2.5)]) == [
+            (0.0, 2.5),
+            (3.0, 4.0),
+        ]
+
+    def test_touching_intervals_join(self):
+        assert merge_intervals([(0.0, 1.0), (1.0, 2.0)]) == [(0.0, 2.0)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+
+class TestOverlapReport:
+    def test_synthetic_half_hidden(self):
+        spans = [
+            Span("write", "io", rank=0, cycle=0, t0=0.0, t1=2.0, flow="async"),
+            Span("shuffle", "comm", rank=0, cycle=1, t0=1.0, t1=5.0, flow="async"),
+        ]
+        report = overlap_report(spans)
+        assert report.io_time == pytest.approx(2.0)
+        assert report.hidden_time == pytest.approx(1.0)
+        assert report.efficiency == pytest.approx(0.5)
+        assert report.pairs == (
+            CyclePair(rank=0, write_cycle=0, comm_cycle=1, seconds=1.0),
+        )
+
+    def test_comm_union_does_not_double_count(self):
+        # Two comm spans covering the same wall-clock window must hide
+        # the io interval once, not twice.
+        spans = [
+            Span("write", "io", rank=0, cycle=0, t0=0.0, t1=2.0, flow="async"),
+            Span("shuffle", "comm", rank=0, cycle=1, t0=0.0, t1=2.0, flow="async"),
+            Span("shuffle", "comm", rank=0, cycle=2, t0=0.5, t1=1.5, flow="async"),
+        ]
+        report = overlap_report(spans)
+        assert report.hidden_time == pytest.approx(2.0)
+        assert report.efficiency == pytest.approx(1.0)
+
+    def test_ranks_are_independent(self):
+        spans = [
+            Span("write", "io", rank=0, cycle=0, t0=0.0, t1=1.0, flow="async"),
+            Span("shuffle", "comm", rank=1, cycle=0, t0=0.0, t1=1.0, flow="async"),
+        ]
+        report = overlap_report(spans)
+        assert report.hidden_time == 0.0
+        assert [r.rank for r in report.per_rank] == [0]
+
+    def test_ignores_other_categories_and_storage(self):
+        spans = [
+            Span("write", "io", rank=0, cycle=0, t0=0.0, t1=1.0, flow="async"),
+            Span("fence", "sync", rank=0, cycle=0, t0=0.0, t1=1.0),
+            Span("pfs.write", "io.fs", rank=-1, cycle=0, t0=0.0, t1=1.0, flow="async"),
+        ]
+        report = overlap_report(spans)
+        assert report.io_time == pytest.approx(1.0)
+        assert report.hidden_time == 0.0
+
+    def test_empty_spans_zero_efficiency(self):
+        report = overlap_report([])
+        assert report.io_time == 0.0
+        assert report.efficiency == 0.0
+
+
+class TestAlgorithmOrdering:
+    """The acceptance case: multi-cycle runs, efficiency from real spans."""
+
+    def test_no_overlap_hides_nothing(self, traced_runs):
+        run = traced_runs["no_overlap"]
+        assert run.num_cycles > 1  # must be a multi-cycle case
+        assert run.overlap_efficiency() == pytest.approx(0.0, abs=1e-6)
+
+    def test_write_comm2_hides_write_time(self, traced_runs):
+        run = traced_runs["write_comm2"]
+        assert run.num_cycles > 1
+        assert run.overlap_efficiency() > 0.0
+
+    def test_every_overlap_algorithm_beats_baseline(self, traced_runs):
+        base = traced_runs["no_overlap"].overlap_efficiency()
+        for name in ("comm_overlap", "write_overlap", "write_comm2"):
+            assert traced_runs[name].overlap_efficiency() > base, name
+
+    def test_report_pairs_attribute_cycles(self, traced_runs):
+        report = traced_runs["write_comm2"].overlap_report()
+        assert report.pairs  # some (write cycle, comm cycle) attribution
+        for pair in report.pairs:
+            assert pair.seconds > 0.0
+            assert pair.rank >= 0
+
+    def test_untraced_run_reports_zero(self):
+        from repro.collio import run_collective_write
+
+        from .conftest import traced_spec
+
+        run = run_collective_write(traced_spec("write_comm2", trace=False))
+        assert run.spans == []
+        assert run.overlap_efficiency() == 0.0

@@ -1,0 +1,120 @@
+"""Span model and SpanRecorder behaviour (nesting, bounds, tracer contract)."""
+
+import pytest
+
+from repro.obs import SPAN_CATEGORIES, Span, SpanRecorder, total_time
+from repro.sim.trace import Tracer
+
+
+class TestSpan:
+    def test_open_then_closed(self):
+        s = Span("write", "io", rank=2, cycle=1, t0=1.0)
+        assert not s.closed
+        assert s.dur == 0.0
+        s.t1 = 3.5
+        assert s.closed
+        assert s.dur == 2.5
+
+    def test_overlap_with(self):
+        a = Span("a", "io", t0=0.0, t1=2.0)
+        b = Span("b", "comm", t0=1.0, t1=5.0)
+        c = Span("c", "comm", t0=3.0, t1=4.0)
+        assert a.overlap_with(b) == pytest.approx(1.0)
+        assert b.overlap_with(a) == pytest.approx(1.0)
+        assert a.overlap_with(c) == 0.0
+
+    def test_overlap_with_open_span_is_zero(self):
+        a = Span("a", "io", t0=0.0, t1=2.0)
+        b = Span("b", "comm", t0=1.0)
+        assert a.overlap_with(b) == 0.0
+
+
+class TestSpanRecorder:
+    def test_begin_end_records_span(self):
+        rec = SpanRecorder(enabled=True)
+        span = rec.begin(1.0, "shuffle", "comm", rank=3, cycle=2, flow="async", bytes=64)
+        assert span is not None
+        rec.end(span, 4.0)
+        assert rec.spans == [span]
+        assert span.t1 == 4.0
+        assert span.attrs == {"bytes": 64}
+
+    def test_disabled_recorder_is_noop(self):
+        rec = SpanRecorder(enabled=False)
+        span = rec.begin(1.0, "shuffle", "comm", rank=3)
+        assert span is None
+        rec.end(span, 4.0)  # must not raise
+        assert rec.spans == []
+
+    def test_sync_depth_tracks_nesting_per_rank(self):
+        rec = SpanRecorder(enabled=True)
+        outer = rec.begin(0.0, "cycle", "algo.cycle", rank=0)
+        inner = rec.begin(1.0, "write", "io.call", rank=0)
+        other = rec.begin(1.0, "cycle", "algo.cycle", rank=1)
+        assert outer.depth == 0
+        assert inner.depth == 1
+        assert other.depth == 0
+        rec.end(inner, 2.0)
+        sibling = rec.begin(2.0, "shuffle_wait", "comm.call", rank=0)
+        assert sibling.depth == 1
+
+    def test_async_flow_does_not_touch_depth(self):
+        rec = SpanRecorder(enabled=True)
+        a = rec.begin(0.0, "write", "io", rank=0, flow="async")
+        sync = rec.begin(0.0, "cycle", "algo.cycle", rank=0)
+        assert a.depth == 0
+        assert sync.depth == 0
+
+    def test_closed_spans_and_filters(self):
+        rec = SpanRecorder(enabled=True)
+        done = rec.begin(0.0, "write", "io", rank=0, flow="async")
+        rec.end(done, 1.0)
+        rec.begin(0.5, "shuffle", "comm", rank=1, flow="async")  # left open
+        assert rec.closed_spans() == [done]
+        assert rec.spans_of(category="io") == [done]
+        assert rec.spans_of(category="comm") == []
+        assert rec.spans_of(rank=0, name="write") == [done]
+
+    def test_max_records_ring_buffer_keeps_newest(self):
+        rec = SpanRecorder(enabled=True, max_records=3)
+        spans = [rec.begin(float(i), f"s{i}", "io", rank=0) for i in range(6)]
+        for s in spans:
+            rec.end(s, s.t0 + 0.5)
+        assert [s.name for s in rec.spans] == ["s3", "s4", "s5"]
+
+    def test_counter_contract_inherited(self):
+        rec = SpanRecorder(enabled=True)
+        rec.emit(0.0, "fault.injected")
+        rec.emit(0.0, "fault.injected")
+        assert rec.count("fault.injected") == 2
+        rec.clear()
+        assert rec.count("fault.injected") == 0
+        assert rec.spans == []
+
+    def test_is_a_tracer(self):
+        assert isinstance(SpanRecorder(), Tracer)
+
+
+class TestBaseTracerHooks:
+    def test_base_tracer_span_hooks_are_noops(self):
+        t = Tracer(enabled=True)
+        span = t.begin(0.0, "write", "io", rank=0)
+        assert span is None
+        assert t.end(span, 1.0) is None
+        assert t.records == []
+
+
+def test_total_time_sums_category():
+    spans = [
+        Span("w", "io", rank=0, t0=0.0, t1=2.0),
+        Span("w", "io", rank=1, t0=0.0, t1=3.0),
+        Span("s", "comm", rank=0, t0=0.0, t1=10.0),
+        Span("open", "io", rank=0, t0=0.0),
+    ]
+    assert total_time(spans, "io") == pytest.approx(5.0)
+    assert total_time(spans, "io", rank=1) == pytest.approx(3.0)
+    assert total_time(spans, "sync") == 0.0
+
+
+def test_span_categories_are_distinct():
+    assert len(set(SPAN_CATEGORIES)) == len(SPAN_CATEGORIES)
