@@ -22,7 +22,7 @@ from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 
 EXPERIMENTS = (
     "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
-    "read", "overlap", "ablations", "tune", "all",
+    "read", "overlap", "ablations", "tune", "chaos", "all",
 )
 
 
@@ -73,6 +73,14 @@ def main(argv: list[str] | None = None) -> int:
                             help="persistent trial-result cache directory")
     tune_group.add_argument("--seed", type=int, default=DEFAULT_SEED,
                             help=f"base seed of the search (default: {DEFAULT_SEED})")
+    chaos_group = parser.add_argument_group("chaos", "options for the 'chaos' experiment")
+    chaos_group.add_argument("--faults", default=None, metavar="PRESET",
+                             help="run one named fault preset (e.g. flaky_aggregator, "
+                                  "ost_outage, degraded_cluster) instead of the "
+                                  "built-in crash/outage intensity sweep")
+    chaos_group.add_argument("--check-complete", action="store_true",
+                             help="exit non-zero unless every chaos run completed "
+                                  "and verified (the CI smoke assertion)")
     args = parser.parse_args(argv)
 
     if args.reps < 1:
@@ -93,8 +101,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace_out and args.experiment not in ("overlap", "all"):
         parser.error("--trace-out is only meaningful with the 'overlap' "
                      "experiment (or 'all')")
+    if (args.faults or args.check_complete) and args.experiment not in ("chaos", "all"):
+        parser.error("--faults/--check-complete are only meaningful with the "
+                     "'chaos' experiment (or 'all')")
 
     csv_files: dict[str, str] = {}
+    chaos_failed = False
 
     progress = None if args.quiet else _progress
     kwargs = dict(mode=args.mode, reps=args.reps, scale=args.scale)
@@ -175,6 +187,30 @@ def main(argv: list[str] | None = None) -> int:
         )
         outputs.append(reporting.render_tuning(tuning))
         csv_files["tune.csv"] = reporting.tuning_csv(tuning)
+    if args.experiment in ("chaos", "all"):
+        from repro.bench.chaos import chaos_campaign
+        from repro.faults import FAULT_PRESETS
+
+        if args.faults is not None and args.faults not in FAULT_PRESETS:
+            parser.error(f"--faults must be one of {sorted(FAULT_PRESETS)} "
+                         f"(got {args.faults!r})")
+
+        def chaos_progress(algorithm, level, rep, completed):
+            status = "ok" if completed else "FAILED"
+            print(f"  [{time.strftime('%H:%M:%S')}] chaos {algorithm:14s} "
+                  f"{level:18s} rep {rep}: {status}", file=sys.stderr)
+
+        chaos = chaos_campaign(
+            nprocs=args.nprocs, reps=args.reps, scale=args.scale,
+            seed=args.seed, faults=args.faults,
+            progress=None if args.quiet else chaos_progress,
+        )
+        outputs.append(reporting.render_chaos(chaos))
+        csv_files["chaos.csv"] = reporting.chaos_csv(chaos)
+        chaos_failed = args.check_complete and chaos.completion_rate < 1.0
+        if chaos_failed:
+            print(f"chaos check FAILED: completion rate "
+                  f"{chaos.completion_rate:.0%} < 100%", file=sys.stderr)
     if args.experiment == "ablations":
         from repro.bench.ablations import ALL_ABLATIONS
 
@@ -193,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
     print(f"\n[elapsed {time.time() - started:.0f}s, mode={args.mode}, "
           f"reps={args.reps}, scale={args.scale}]", file=sys.stderr)
-    return 0
+    return 1 if chaos_failed else 0
 
 
 if __name__ == "__main__":

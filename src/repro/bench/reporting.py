@@ -25,6 +25,8 @@ __all__ = [
     "render_lustre",
     "render_overlap",
     "render_tuning",
+    "render_chaos",
+    "chaos_csv",
     "table1_csv",
     "fig1_csv",
     "improvements_csv",
@@ -311,3 +313,51 @@ def fig4_csv(result: Fig4Result) -> str:
         for shuffle, count in row.items()
     ]
     return _csv(["benchmark", "shuffle", "wins"], rows)
+
+
+def render_chaos(result) -> str:
+    """X8: completion / slowdown / recovery latency per (algorithm, level)."""
+    header = ["Algorithm", "Level", "Complete", "Attempts", "Slowdown",
+              "Recovery", "Crashes", "Outages"]
+    rows = []
+    for algorithm in ALGORITHM_ORDER:
+        for level in result.levels:
+            try:
+                c = result.cell(algorithm, level)
+            except KeyError:
+                continue
+            rows.append([
+                _ALGO_LABEL[algorithm], level,
+                f"{c.completions}/{c.runs}",
+                f"{c.attempts:.1f}" if c.completions else "-",
+                f"{c.slowdown:.2f}x" if c.completions else "-",
+                fmt_time(c.recovery_latency) if c.completions else "-",
+                c.rank_crashes, c.ost_outages,
+            ])
+    source = (f"preset={result.preset}" if result.preset
+              else "crash/outage intensity sweep")
+    return (
+        f"X8 — chaos campaign ({source}, P={result.nprocs}, "
+        f"reps={result.reps})\n"
+        + _table(header, rows)
+        + f"\noverall completion rate: {result.completion_rate:.0%}; "
+        "slowdown/recovery are means over completed runs vs the same-seed "
+        "fault-free baseline"
+    )
+
+
+def chaos_csv(result) -> str:
+    """X8 cells as CSV (one row per algorithm x fault level)."""
+    rows = [
+        [c.algorithm, c.level, c.runs, c.completions,
+         f"{c.completion_rate:.6f}", f"{c.attempts:.6f}",
+         f"{c.slowdown:.6f}", f"{c.recovery_latency:.9f}",
+         c.rank_crashes, c.ost_outages, c.replayed_bytes]
+        for c in result.cells
+    ]
+    return _csv(
+        ["algorithm", "level", "runs", "completions", "completion_rate",
+         "attempts_mean", "slowdown_mean", "recovery_latency_seconds",
+         "rank_crashes", "ost_outages", "replayed_bytes"],
+        rows,
+    )

@@ -23,18 +23,29 @@ def select_aggregators(
     total_bytes: int,
     cb_buffer_size: int,
     num_aggregators: int | None = None,
+    exclude: frozenset[int] = frozenset(),
 ) -> list[int]:
     """Choose the aggregator ranks for a collective write.
 
     Returns rank ids sorted by (node, rank), one aggregator per node in
     round-robin node order, which matches the block rank placement: rank
     ``k * cores_per_node`` is the first rank of node ``k``.
+
+    ``exclude`` removes ranks from candidacy — the recovery layer's
+    deterministic re-election after an aggregator crash: every survivor
+    runs this same function with the same crashed set and arrives at the
+    same successors without communicating.  If every rank is excluded the
+    exclusion is ignored (a fully-crashed-and-respawned world still needs
+    an aggregator).
     """
     if nprocs < 1:
         raise ConfigurationError("nprocs must be >= 1")
+    eligible = [r for r in range(nprocs) if r not in exclude]
+    if not eligible:
+        eligible = list(range(nprocs))
     # Candidate order: first rank of each used node, then second, etc.
     per_node: dict[int, list[int]] = {}
-    for rank in range(nprocs):
+    for rank in eligible:
         per_node.setdefault(cluster.node_of_rank(rank), []).append(rank)
     nodes_used = sorted(per_node)
     candidates: list[int] = []

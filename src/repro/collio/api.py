@@ -89,6 +89,11 @@ class RunSpec:
     faults: FaultSpec | None = None
     #: Shorthand for ``config.with_(retry=...)``.
     retry: RetryPolicy | None = None
+    #: Tunables of the crash-recovery loop (a
+    #: :class:`~repro.recovery.spec.RecoverySpec`); only consulted when
+    #: ``faults`` has crash-class rates.  ``None`` = defaults.  Typed
+    #: loosely because collio must not import the recovery layer above it.
+    recovery: Any = None
     auto_cache_dir: str | None = None
     #: Record span timelines (exportable as a Chrome trace; see repro.obs).
     trace: bool = False
@@ -148,12 +153,15 @@ def build_plan(
     config: CollectiveConfig,
     cycle_bytes: int,
     stripe_size: int | None = None,
+    exclude_ranks: frozenset[int] = frozenset(),
 ) -> TwoPhasePlan:
     """Select aggregators, partition domains and schedule all cycles.
 
     ``cluster`` is a :class:`~repro.hardware.cluster.Cluster` (only its
     rank placement is used, so a throwaway instance works); the plan is a
     pure data object reusable across repeated runs of the same case.
+    ``exclude_ranks`` bars ranks from aggregator duty (crashed ranks
+    during recovery failover) without removing them as data senders.
     """
     total_bytes = sum(v.total_bytes for v in views.values())
     aggregators = select_aggregators(
@@ -162,6 +170,7 @@ def build_plan(
         total_bytes,
         config.cb_buffer_size,
         num_aggregators=config.num_aggregators,
+        exclude=exclude_ranks,
     )
     starts = [v.file_range[0] for v in views.values() if v.num_extents]
     ends = [v.file_range[1] for v in views.values() if v.num_extents]
@@ -237,6 +246,9 @@ class CollectiveWriteResult:
     #: :meth:`MetricsRegistry.snapshot` of run metrics (counters merged
     #: with engine statistics, gauges, span-duration histograms).
     metrics: dict = field(default_factory=dict, repr=False)
+    #: :class:`~repro.recovery.report.RecoveryReport` when the run went
+    #: through the crash-recovery manager; None for plain runs.
+    recovery: Any = None
 
     def phase_time(self, phase: str, rank: int | None = None) -> float:
         """Max (or one rank's) accumulated time in a phase."""
@@ -342,6 +354,12 @@ def _run(spec: RunSpec) -> CollectiveWriteResult:
             spec.cluster, spec.fs, spec.nprocs, spec.views, config=config,
             shuffle=spec.shuffle, seed=spec.seed, cache_dir=spec.auto_cache_dir,
         )
+    if spec.faults is not None and spec.faults.has_permanent:
+        # Crash-class faults need the restart-from-journal loop, which
+        # lives a layer above collio — hence the local import.
+        from repro.recovery.manager import run_with_recovery
+
+        return run_with_recovery(spec, algorithm, config, auto_counters)
     recorder = (
         SpanRecorder(enabled=True, max_records=spec.max_trace_records)
         if spec.trace
@@ -416,6 +434,16 @@ def _run_metrics(
     registry.gauge("run.elapsed").set(result.elapsed)
     registry.gauge("run.write_bandwidth").set(result.write_bandwidth)
     registry.gauge("fs.bytes_written").set(world.pfs.bytes_written if world.pfs else 0)
+    if world.pfs is not None:
+        registry.counter("fs.writes_failed").inc(
+            sum(t.writes_failed for t in world.pfs.targets)
+        )
+        registry.counter("fs.writes_rejected").inc(
+            sum(t.writes_rejected for t in world.pfs.targets)
+        )
+        registry.gauge("fs.targets_down").set(
+            sum(1 for t in world.pfs.targets if t.down)
+        )
     for span in result.spans:
         registry.histogram(f"span.{span.category}.dur").observe(span.dur)
     return registry

@@ -66,9 +66,12 @@ class AlgoContext:
         if data is not None:
             if data.dtype != np.uint8:
                 raise ConfigurationError("local data must be uint8")
-            if data.size != view.total_bytes:
+            # Replay views (recovery) keep original local offsets into the
+            # full rank buffer, so require coverage rather than equality.
+            if data.size < view.required_buffer_bytes:
                 raise ConfigurationError(
-                    f"local data has {data.size} bytes but the view covers {view.total_bytes}"
+                    f"local data has {data.size} bytes but the view needs "
+                    f"{view.required_buffer_bytes}"
                 )
         self.mpi = mpi
         self.fh = fh
@@ -85,6 +88,13 @@ class AlgoContext:
         self.recorder = mpi.world.cluster.tracer
         #: Open "io" spans of posted-but-unwaited async writes, by handle id.
         self._write_spans: dict[int, object] = {}
+        #: The recovery cycle journal, or None outside recovery runs.
+        #: When set, aggregators record every cycle's extent + checksum
+        #: once its write completes (the commit protocol); a successor
+        #: tells committed cycles from torn ones by re-verifying.
+        self.journal = getattr(mpi.world, "journal", None)
+        #: Journal entries of posted-but-unwaited writes, by handle id.
+        self._pending_commits: dict[int, tuple] = {}
         if config.retry is not None:
             from repro.faults.retry import ReliableWriter  # local: avoids a cycle
 
@@ -175,6 +185,33 @@ class AlgoContext:
         buf = self.buffer(self.sub_of_cycle(cycle))
         return lo, buf[lo - base : hi - base], hi - lo
 
+    def _journal_entry(self, cycle: int, offset: int, payload, nbytes: int):
+        """Checksum a cycle's bytes *at posting time* (buffer still stable).
+
+        The sub-buffer is reused ``nsub`` cycles later, but the PFS
+        samples the bytes at write completion — strictly before any
+        reuse a correct algorithm allows — so a post-time checksum equals
+        the bytes on disk.
+        """
+        if self.journal is None:
+            return None
+        checksum = self.journal.checksum(payload) if payload is not None else None
+        return (cycle, offset, nbytes, checksum)
+
+    def _journal_commit(self, entry) -> None:
+        """Declare a cycle durable: its write completed on the aggregator."""
+        if entry is None:
+            return
+        cycle, offset, nbytes, checksum = entry
+        self.journal.commit(
+            agg_rank=self.rank, agg_index=self.agg_index, cycle=cycle,
+            offset=offset, nbytes=nbytes, checksum=checksum,
+        )
+        self.recorder.emit(
+            self.mpi.now, "recovery.journal_commit",
+            rank=self.rank, cycle=cycle, bytes=nbytes,
+        )
+
     def write_blocking(self, cycle: int):
         """Blocking file-access phase for ``cycle`` (no MPI progress)."""
         sliced = self._write_slice(cycle)
@@ -182,6 +219,7 @@ class AlgoContext:
             return
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
+        entry = self._journal_entry(cycle, offset, payload, nbytes)
         call_span = self.recorder.begin(
             t0, "write", "io.call", rank=self.rank, cycle=cycle, bytes=nbytes
         )
@@ -194,6 +232,7 @@ class AlgoContext:
             yield from self.fh.write_at(offset, payload, size=nbytes)
         self.recorder.end(io_span, self.mpi.now)
         self.recorder.end(call_span, self.mpi.now)
+        self._journal_commit(entry)
         self.stats.add_time("write", self.mpi.now - t0)
         self.stats.bump("writes")
 
@@ -210,6 +249,7 @@ class AlgoContext:
         io_span = self.recorder.begin(
             t0, "write", "io", rank=self.rank, cycle=cycle, flow="async", bytes=nbytes
         )
+        entry = self._journal_entry(cycle, offset, payload, nbytes)
         if self.writer is not None:
             req = yield from self.writer.iwrite_at(offset, payload, size=nbytes)
         else:
@@ -217,6 +257,8 @@ class AlgoContext:
         self.recorder.end(call_span, self.mpi.now)
         if io_span is not None:
             self._write_spans[id(req)] = io_span
+        if entry is not None:
+            self._pending_commits[id(req)] = entry
         self.stats.add_time("write_post", self.mpi.now - t0)
         self.stats.bump("writes")
         return req
@@ -240,6 +282,7 @@ class AlgoContext:
             done_at = value if isinstance(value, (int, float)) else self.mpi.now
             self.recorder.end(io_span, min(float(done_at), self.mpi.now))
         self.recorder.end(call_span, self.mpi.now)
+        self._journal_commit(self._pending_commits.pop(id(handle), None))
         self.stats.add_time("write", self.mpi.now - t0)
 
     def note_write_done(self, handle) -> None:
@@ -247,6 +290,7 @@ class AlgoContext:
         waitall (no simulated cost; the wait already happened)."""
         if handle is None:
             return
+        self._journal_commit(self._pending_commits.pop(id(handle), None))
         io_span = self._write_spans.pop(id(handle), None)
         if io_span is None:
             return

@@ -54,10 +54,43 @@ class FileView:
             return cls(np.zeros(0, np.int64), np.zeros(0, np.int64))
         return cls(np.array([offset]), np.array([nbytes]))
 
+    @classmethod
+    def from_pieces(
+        cls, offsets: np.ndarray, lengths: np.ndarray, local_offsets: np.ndarray
+    ) -> "FileView":
+        """A view with explicit (non-canonical) local buffer offsets.
+
+        The recovery layer's replay views are built this way: the
+        *remaining* file extents after subtracting journal-committed
+        intervals, each still pointing at its original position in the
+        rank's full buffer.  ``total_bytes`` is the remaining byte count,
+        which may be smaller than the buffer the local offsets address
+        (see :attr:`required_buffer_bytes`).
+        """
+        view = cls(offsets, lengths)
+        local_offsets = np.asarray(local_offsets, dtype=np.int64)
+        if local_offsets.shape != view.offsets.shape:
+            raise WorkloadError("local_offsets must match offsets in shape")
+        if len(local_offsets) and (local_offsets < 0).any():
+            raise WorkloadError("local offsets must be >= 0")
+        view.local_offsets = local_offsets
+        return view
+
     # ------------------------------------------------------------------
     @property
     def num_extents(self) -> int:
         return len(self.offsets)
+
+    @property
+    def required_buffer_bytes(self) -> int:
+        """Smallest local buffer that covers every extent's bytes.
+
+        Equals ``total_bytes`` for canonically packed views; larger for
+        :meth:`from_pieces` replay views addressing a full-size buffer.
+        """
+        if not len(self.offsets):
+            return 0
+        return int((self.local_offsets + self.lengths).max())
 
     @property
     def file_range(self) -> tuple[int, int]:

@@ -74,6 +74,36 @@ class WriteRetryExhaustedError(FileSystemError):
     ``__cause__`` carries the last underlying failure."""
 
 
+class TargetDownError(FileSystemError):
+    """A storage target is permanently down and rejected the request.
+
+    Unlike :class:`TransientWriteError`, retrying against the *same*
+    target cannot succeed; recovery requires remapping the target's
+    stripes onto survivors (see :mod:`repro.fs.striping`), after which a
+    reissued write lands on live targets.
+    """
+
+
+class RankCrashError(ReproError):
+    """A simulated rank died mid-collective (injected permanent fault).
+
+    Delivered by interrupting the rank's process generator; the engine
+    run aborts at the crash instant.  ``rank`` and ``time`` identify the
+    casualty for the recovery layer.
+    """
+
+    def __init__(self, rank: int, time: float) -> None:
+        super().__init__(f"rank {rank} crashed at t={time:.9f}")
+        self.rank = rank
+        self.time = time
+
+
+class RecoveryExhaustedError(ReproError):
+    """Crash-fault recovery gave up after its attempt budget.
+
+    ``__cause__`` carries the failure of the last attempt."""
+
+
 class ConfigurationError(ReproError):
     """Invalid configuration of a cluster, file system or experiment."""
 

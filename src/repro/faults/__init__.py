@@ -12,6 +12,10 @@ discrete-event simulation:
   synchronous fallback),
 * message-delivery jitter and delayed rendezvous handshakes in the MPI
   layer,
+* permanent crash-class faults — rank crashes (``rank_crash_rate``) and
+  storage-target outages (``ost_outage_rate``) inside ``crash_window``
+  — recovered by the restart-from-journal protocol of
+  :mod:`repro.recovery`,
 
 and provides the recovery mechanism the collective-write path uses to
 survive them: :class:`RetryPolicy` (bounded retries with exponential

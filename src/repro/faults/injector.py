@@ -81,6 +81,39 @@ class FaultInjector:
             return spec.straggler_factor
         return 1.0
 
+    # -- permanent faults ------------------------------------------------
+    def rank_crash_time(self, rank: int) -> float | None:
+        """One-time draw: when ``rank`` crashes, or None if it survives.
+
+        One uniform draw both decides the crash and places it in
+        ``[0, crash_window)`` (the same single-draw trick as
+        :meth:`storage_write_victim`), from a per-rank stream so skipping
+        an already-crashed rank on a recovery attempt never perturbs the
+        other ranks' schedules.  The firing site emits ``fault.rank_crash``
+        when the crash is actually delivered.
+        """
+        spec = self.spec
+        if spec.rank_crash_rate == 0.0 or spec.crash_window <= 0.0:
+            return None
+        u = float(self.rng.stream(f"faults.crash.r{rank}").random())
+        if u >= spec.rank_crash_rate:
+            return None
+        return (u / spec.rank_crash_rate) * spec.crash_window
+
+    def ost_outage_time(self, target_id: int) -> float | None:
+        """One-time draw: when the target goes down, or None if it stays up.
+
+        Mirrors :meth:`rank_crash_time`; the firing site emits
+        ``fault.ost_outage`` when the outage takes effect.
+        """
+        spec = self.spec
+        if spec.ost_outage_rate == 0.0 or spec.crash_window <= 0.0:
+            return None
+        u = float(self.rng.stream(f"faults.outage.t{target_id}").random())
+        if u >= spec.ost_outage_rate:
+            return None
+        return (u / spec.ost_outage_rate) * spec.crash_window
+
     # -- aio -------------------------------------------------------------
     def aio_submit_fails(self, client: int) -> bool:
         """Decide whether one aio submission by ``client`` is refused."""

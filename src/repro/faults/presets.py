@@ -8,7 +8,7 @@ fault surface sits next to the file-system presets it perturbs.
 from __future__ import annotations
 
 from repro.faults.spec import FaultSpec
-from repro.units import US
+from repro.units import MS, US
 
 __all__ = ["FAULT_PRESETS", "fault_preset"]
 
@@ -47,11 +47,40 @@ def stormy() -> FaultSpec:
     )
 
 
+def flaky_aggregator() -> FaultSpec:
+    """Crash-prone ranks: each rank has a 35% chance of dying mid-write.
+
+    The default ``crash_window`` suits the small test/CI scenarios; the
+    chaos bench rescales it to ~80% of the measured fault-free duration
+    so crashes land inside the collective whatever the scenario size.
+    """
+    return FaultSpec(rank_crash_rate=0.35, crash_window=2 * MS)
+
+
+def ost_outage() -> FaultSpec:
+    """Storage targets that go down and stay down (40% each)."""
+    return FaultSpec(ost_outage_rate=0.40, crash_window=2 * MS)
+
+
+def degraded_cluster() -> FaultSpec:
+    """Crashes, outages *and* transient noise at once — the full chaos mode."""
+    return FaultSpec(
+        rank_crash_rate=0.25,
+        ost_outage_rate=0.25,
+        crash_window=2 * MS,
+        write_fail_rate=0.05,
+        aio_submit_fail_rate=0.10,
+    )
+
+
 FAULT_PRESETS = {
     "flaky-targets": flaky_targets,
     "degraded-aio": degraded_aio,
     "jittery-network": jittery_network,
     "stormy": stormy,
+    "flaky_aggregator": flaky_aggregator,
+    "ost_outage": ost_outage,
+    "degraded_cluster": degraded_cluster,
 }
 
 

@@ -48,6 +48,20 @@ class FaultSpec:
     rendezvous_delay_rate: float = 0.0
     #: Mean extra rendezvous-handshake delay, seconds.
     rendezvous_delay: float = 0.0
+    #: Probability one rank crashes (permanently) during the run; the
+    #: crash instant is uniform in ``[0, crash_window)``.  One draw per
+    #: rank per run.  Unlike the transient faults above, crashes are not
+    #: absorbed by retries — they need :mod:`repro.recovery`.
+    rank_crash_rate: float = 0.0
+    #: Probability one storage target goes down (permanently) during the
+    #: run, rejecting every subsequent request with
+    #: :class:`~repro.errors.TargetDownError`.  One draw per target; the
+    #: outage instant is uniform in ``[0, crash_window)``.
+    ost_outage_rate: float = 0.0
+    #: Window (simulated seconds) in which permanent faults may fire.
+    #: Required > 0 when either permanent rate is set; pick it relative
+    #: to the run's fault-free duration (the chaos bench uses ~80% of it).
+    crash_window: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -56,6 +70,8 @@ class FaultSpec:
             "aio_submit_fail_rate",
             "message_delay_rate",
             "rendezvous_delay_rate",
+            "rank_crash_rate",
+            "ost_outage_rate",
         ):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
@@ -67,6 +83,15 @@ class FaultSpec:
         for name in ("message_delay", "rendezvous_delay"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
+        if self.crash_window < 0:
+            raise ConfigurationError(
+                f"crash_window must be >= 0, got {self.crash_window}"
+            )
+        if (self.rank_crash_rate > 0 or self.ost_outage_rate > 0) and self.crash_window <= 0:
+            raise ConfigurationError(
+                "rank_crash_rate/ost_outage_rate need a positive crash_window "
+                "(the interval in which permanent faults may fire)"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -77,6 +102,19 @@ class FaultSpec:
             or self.aio_submit_fail_rate > 0
             or (self.message_delay_rate > 0 and self.message_delay > 0)
             or (self.rendezvous_delay_rate > 0 and self.rendezvous_delay > 0)
+            or self.has_permanent
+        )
+
+    @property
+    def has_permanent(self) -> bool:
+        """True if crash-class (non-retryable) faults can fire.
+
+        Runs with permanent faults must go through
+        :func:`repro.recovery.manager.run_with_recovery`;
+        ``run_collective_write`` routes there automatically.
+        """
+        return self.crash_window > 0 and (
+            self.rank_crash_rate > 0 or self.ost_outage_rate > 0
         )
 
     def with_(self, **overrides) -> "FaultSpec":

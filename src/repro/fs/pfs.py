@@ -36,6 +36,7 @@ class ParallelFileSystem:
         rng: RngStreams | None = None,
         injector=None,
         tracer: Tracer | None = None,
+        down_targets: frozenset[int] = frozenset(),
     ) -> None:
         self.engine = engine
         self.spec = spec
@@ -54,6 +55,14 @@ class ParallelFileSystem:
             )
             for i in range(spec.num_targets)
         ]
+        #: Outages this client has *detected* (learned from a rejected
+        #: request, or carried in from a previous recovery attempt via
+        #: ``down_targets``).  Writes remap these targets' stripes onto
+        #: survivors; a target that is down but not yet known here still
+        #: rejects the first request that touches it.
+        self.known_down: set[int] = set(down_targets)
+        for t in down_targets:
+            self.targets[t].go_down()
         self._files: dict[str, SimFile] = {}
         #: Total bytes written through this file system (all files).
         self.bytes_written = 0
@@ -77,6 +86,15 @@ class ParallelFileSystem:
 
     def files(self) -> list[str]:
         return sorted(self._files)
+
+    def adopt_files(self, files: dict[str, SimFile]) -> None:
+        """Install a carried-over file store (durable state across worlds).
+
+        The recovery manager hands each attempt's world the previous
+        attempt's files: bytes that reached the storage targets survive a
+        client crash, exactly like a real PFS.
+        """
+        self._files = files
 
     # -- I/O ---------------------------------------------------------------
     def write(
@@ -115,11 +133,35 @@ class ParallelFileSystem:
         # One coalesced request per storage target: PFS clients stream all
         # stripes of a write to a target in a single RPC, so the per-request
         # latency is paid once per (write, target) pair, not per stripe.
-        per_target = self.layout.bytes_per_target(offset, size)
+        # Known-down targets' stripes are remapped onto survivors
+        # (degraded striping); an *undetected* outage rejects the request.
+        per_target = self.layout.bytes_per_target(
+            offset, size, down=frozenset(self.known_down)
+        )
         span = self.tracer.begin(
             self.engine.now, "pfs.write", "io.fs", flow="async",
             bytes=size, targets=len(per_target),
         )
+        undetected = sorted(
+            t for t in per_target if self.targets[t].down and t not in self.known_down
+        )
+        if undetected:
+            victim = undetected[0]
+            rejected = self.targets[victim].reject_write()
+
+            def learn(_evt, _t=victim):
+                if _t not in self.known_down:
+                    self.known_down.add(_t)
+                    self.tracer.emit(
+                        self.engine.now, "recovery.target_down", target=_t
+                    )
+
+            rejected.callbacks.insert(0, learn)
+            if span is not None:
+                rejected.callbacks.append(
+                    lambda evt, _s=span: self.tracer.end(_s, evt.engine.now)
+                )
+            return rejected
         if self.injector is not None:
             victim = self.injector.storage_write_victim(sorted(per_target))
             if victim is not None:
@@ -148,7 +190,9 @@ class ParallelFileSystem:
         The returned buffer is filled immediately (contents cannot change
         mid-flight in our write-once workloads); the event models timing.
         """
-        per_target = self.layout.bytes_per_target(offset, size)
+        per_target = self.layout.bytes_per_target(
+            offset, size, down=frozenset(self.known_down)
+        )
         span = self.tracer.begin(
             self.engine.now, "pfs.read", "io.fs", flow="async",
             bytes=size, targets=len(per_target),

@@ -62,11 +62,34 @@ class StripeLayout:
             pos = chunk_end
         return pieces
 
-    def bytes_per_target(self, offset: int, size: int) -> dict[int, int]:
-        """Total bytes of request ``[offset, offset+size)`` per target."""
+    def remap_target(self, target: int, down: frozenset[int]) -> int:
+        """Survivor serving ``target``'s stripes under degraded striping.
+
+        Dead targets are remapped deterministically onto the sorted
+        survivor list (``alive[target % len(alive)]``), so every client
+        that knows the same outage set routes the same stripes to the
+        same survivors — no coordination needed.  A live target maps to
+        itself.
+        """
+        if target not in down:
+            return target
+        alive = [t for t in range(self.num_targets) if t not in down]
+        if not alive:
+            raise ValueError("all storage targets are down")
+        return alive[target % len(alive)]
+
+    def bytes_per_target(
+        self, offset: int, size: int, down: frozenset[int] = frozenset()
+    ) -> dict[int, int]:
+        """Total bytes of request ``[offset, offset+size)`` per target.
+
+        With a non-empty ``down`` set, dead targets' bytes are folded
+        into their :meth:`remap_target` survivors (degraded striping).
+        """
         totals: dict[int, int] = {}
         for piece in self.split(offset, size):
-            totals[piece.target] = totals.get(piece.target, 0) + piece.size
+            target = self.remap_target(piece.target, down) if down else piece.target
+            totals[target] = totals.get(target, 0) + piece.size
         return totals
 
     def align_down(self, offset: int) -> int:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import TransientWriteError
+from repro.errors import TargetDownError, TransientWriteError
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import ServerQueue
 
@@ -45,6 +45,30 @@ class StorageTarget:
         )
         #: Injected write failures served by this target.
         self.writes_failed = 0
+        #: Requests rejected because the target was down.
+        self.writes_rejected = 0
+        #: Permanently down (OST outage).  In-flight requests drain —
+        #: events already queued complete — but new submissions must be
+        #: routed elsewhere (the PFS rejects, then remaps).
+        self.down = False
+
+    def go_down(self) -> None:
+        """Take the target down permanently (outage).  Idempotent."""
+        self.down = True
+
+    def reject_write(self) -> Event:
+        """Model one request bounced off a down target.
+
+        Detection costs the request latency (the client learns from the
+        error reply of the failed RPC); the returned event *fails* with
+        :class:`~repro.errors.TargetDownError` at that time.
+        """
+        self.writes_rejected += 1
+        failed = self.engine.event()
+        exc = TargetDownError(f"ost{self.target_id} is down")
+        fire = self.engine.timeout(self.queue.latency)
+        fire.callbacks.append(lambda _evt: failed.fail(exc))
+        return failed
 
     def submit(self, size: int, kind: str = "write") -> Event:
         """Enqueue an I/O of ``size`` bytes; returns the completion event.

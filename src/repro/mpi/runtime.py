@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.errors import MPIError
+from repro.errors import MPIError, RankCrashError
 from repro.mpi.message import (
     CONTROL_MESSAGE_SIZE,
     MESSAGE_HEADER_SIZE,
@@ -109,6 +109,30 @@ class RankRuntime:
         self.eager_sent = 0
         self.rendezvous_sent = 0
         self.progress_deferrals = 0
+        #: Set when an injected permanent fault killed this rank.
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Crash delivery (permanent-fault hook)
+    # ------------------------------------------------------------------
+    def deliver_crash(self, process, when: float) -> bool:
+        """Kill this rank's ``process`` at ``when`` (injected rank crash).
+
+        The library marks itself crashed, emits the ``fault.rank_crash``
+        trace event and interrupts the rank generator with
+        :class:`~repro.errors.RankCrashError`; the uncaught failure
+        aborts the engine run, which the recovery layer treats as the
+        survivors' timeout-based crash detection.  Returns False if the
+        rank already finished.
+        """
+        if self.crashed or process.triggered:
+            return False
+        self.crashed = True
+        injector = self.world.faults
+        if injector is not None:
+            injector.injected += 1
+        self.tracer.emit(when, "fault.rank_crash", rank=self.rank)
+        return process.interrupt(RankCrashError(self.rank, when))
 
     # ------------------------------------------------------------------
     # Progress engine

@@ -44,6 +44,9 @@ class World:
         seed: int = DEFAULT_SEED,
         faults: FaultSpec | None = None,
         tracer: Tracer | None = None,
+        journal=None,
+        crashed_ranks: frozenset[int] = frozenset(),
+        down_targets: frozenset[int] = frozenset(),
     ) -> None:
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
@@ -62,6 +65,16 @@ class World:
             if faults is not None and faults.enabled
             else None
         )
+        #: Cycle journal shared by the aggregators' commit protocol, or
+        #: None outside recovery runs (see :mod:`repro.recovery.journal`).
+        self.journal = journal
+        #: Ranks that died in *previous* recovery attempts.  They respawn
+        #: (participate in this attempt, so their data reaches the file)
+        #: but their crash draw is not re-armed — a rank crashes once.
+        self.crashed_ranks = frozenset(crashed_ranks)
+        #: Targets already known down from previous attempts; their
+        #: outage draw is likewise not re-armed.
+        self.down_targets = frozenset(down_targets)
         self.pfs = (
             ParallelFileSystem(
                 self.engine,
@@ -69,10 +82,26 @@ class World:
                 rng=self.cluster.rng,
                 injector=self.faults,
                 tracer=self.cluster.tracer,
+                down_targets=self.down_targets,
             )
             if fs_spec is not None
             else None
         )
+        # Permanent-fault schedules: one draw per rank/target, skipping
+        # entities whose fault already fired (per-entity streams keep the
+        # surviving draws identical across attempts).
+        self._crash_times: dict[int, float] = {}
+        self._outage_times: dict[int, float] = {}
+        if self.faults is not None and faults.has_permanent:
+            for r in range(nprocs):
+                t = self.faults.rank_crash_time(r)
+                if t is not None and r not in self.crashed_ranks:
+                    self._crash_times[r] = t
+            if self.pfs is not None:
+                for target in self.pfs.targets:
+                    t = self.faults.ost_outage_time(target.target_id)
+                    if t is not None and target.target_id not in self.down_targets:
+                        self._outage_times[target.target_id] = t
         self.coll = CollectiveEngine(
             self.engine,
             nprocs,
@@ -124,7 +153,37 @@ class World:
             self.engine.process(program(self._comms[r], *args, **kwargs), name=f"rank{r}")
             for r in range(self.nprocs)
         ]
-        return self.engine.run_until_complete(procs)
+        armed = self._arm_permanent_faults(procs)
+        return self.engine.run_until_complete(procs, stop_when_done=armed)
+
+    def _arm_permanent_faults(self, procs) -> bool:
+        """Schedule the drawn rank crashes and OST outages; True if any.
+
+        A crash timer interrupts the rank process (see
+        :meth:`~repro.mpi.runtime.RankRuntime.deliver_crash`), aborting
+        the run; an outage timer takes the target down in place —
+        in-flight requests drain, later ones are rejected/remapped.
+        Armed timers may outlive the program, so the caller must run the
+        engine with ``stop_when_done``.
+        """
+        for r, t in sorted(self._crash_times.items()):
+            fire = self.engine.timeout(t)
+            fire.callbacks.append(
+                lambda _evt, _r=r: self._runtimes[_r].deliver_crash(
+                    procs[_r], self.engine.now
+                )
+            )
+        for tid, t in sorted(self._outage_times.items()):
+            fire = self.engine.timeout(t)
+
+            def outage(_evt, _tid=tid):
+                self.pfs.targets[_tid].go_down()
+                if self.faults is not None:
+                    self.faults.injected += 1
+                self.cluster.tracer.emit(self.engine.now, "fault.ost_outage", target=_tid)
+
+            fire.callbacks.append(outage)
+        return bool(self._crash_times or self._outage_times)
 
     @property
     def now(self) -> float:

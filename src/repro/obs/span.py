@@ -47,10 +47,11 @@ __all__ = ["Span", "SpanRecorder", "SPAN_CATEGORIES", "total_time"]
 #: ``io.fs``      a striped write inside the parallel file system
 #: ``sync``       fences, barriers and lock epochs of the RMA shuffles
 #: ``retry``      one attempt of a retrying write (foreground or supervisor)
+#: ``recovery``   a recovery attempt or failover gap (crash-fault runs)
 #: =============  ========================================================
 SPAN_CATEGORIES = (
     "algo", "algo.cycle", "comm", "comm.call", "io", "io.call",
-    "io.aio", "io.fs", "sync", "retry",
+    "io.aio", "io.fs", "sync", "retry", "recovery",
 )
 
 

@@ -1,0 +1,26 @@
+"""Crash-fault recovery: cycle journal, failover, restart-from-journal.
+
+Sits above :mod:`repro.collio`: when a :class:`~repro.faults.spec.FaultSpec`
+carries crash-class rates (``rank_crash_rate`` / ``ost_outage_rate``),
+:func:`repro.collio.api.run_collective_write` hands the run to
+:func:`~repro.recovery.manager.run_with_recovery`, which reruns the
+collective after each permanent fault — re-electing aggregators without
+the crashed ranks, remapping stripes off dead targets, and replaying
+only the cycles the :class:`~repro.recovery.journal.CycleJournal` has
+not committed.
+"""
+
+from repro.recovery.journal import CycleJournal, CycleRecord, merge_intervals
+from repro.recovery.manager import run_with_recovery, subtract_intervals
+from repro.recovery.report import RecoveryReport
+from repro.recovery.spec import RecoverySpec
+
+__all__ = [
+    "CycleJournal",
+    "CycleRecord",
+    "RecoveryReport",
+    "RecoverySpec",
+    "merge_intervals",
+    "run_with_recovery",
+    "subtract_intervals",
+]

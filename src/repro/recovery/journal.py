@@ -1,0 +1,121 @@
+"""The cycle journal: the aggregators' commit protocol.
+
+Every aggregator records, for each internal cycle whose file write has
+*completed*, the written extent plus a checksum of its bytes — the
+moment of recording is the cycle's **commit point**.  After a crash, the
+successor aggregators scan the journal and re-verify each record against
+the durable file contents:
+
+* record present and checksum matches → the cycle is *committed*; its
+  bytes are excluded from replay;
+* record present but checksum mismatches → the cycle is *torn* (the
+  commit raced the crash); it is replayed as if never written;
+* no record → not committed; replayed.  Bytes that reached the file
+  without a journal record are simply rewritten — writes are idempotent,
+  so replaying is always safe.
+
+The journal itself is durable state: it survives the crash of any rank
+(think of it as a tiny metadata file next to the output file).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+__all__ = ["CycleRecord", "CycleJournal"]
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """One committed cycle: who wrote which extent, with what contents."""
+
+    agg_rank: int
+    agg_index: int
+    cycle: int
+    offset: int
+    nbytes: int
+    #: CRC-32 of the written bytes; None in size-only mode (no payloads
+    #: move, so commit is taken on trust).
+    checksum: int | None
+
+
+class CycleJournal:
+    """Append-mostly store of :class:`CycleRecord`, keyed by file extent.
+
+    Keyed by ``(offset, nbytes)`` rather than by aggregator: after a
+    failover the same extent may be committed again by a *different*
+    aggregator, and the newest record simply replaces the old one
+    (idempotent, like the write itself).
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[int, int], CycleRecord] = {}
+        #: Total commit operations (recommits included), for metrics.
+        self.commits = 0
+
+    @staticmethod
+    def checksum(payload) -> int:
+        """CRC-32 of a contiguous uint8 buffer."""
+        return zlib.crc32(memoryview(payload))
+
+    def commit(
+        self,
+        *,
+        agg_rank: int,
+        agg_index: int,
+        cycle: int,
+        offset: int,
+        nbytes: int,
+        checksum: int | None,
+    ) -> CycleRecord:
+        """Declare one cycle durable (its aggregator's write completed)."""
+        record = CycleRecord(agg_rank, agg_index, cycle, offset, nbytes, checksum)
+        self._records[(offset, nbytes)] = record
+        self.commits += 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[CycleRecord]:
+        """All records in file order."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    # ------------------------------------------------------------------
+    def committed_intervals(self, file) -> tuple[list[tuple[int, int]], int]:
+        """Verified committed file intervals, plus the torn-record count.
+
+        ``file`` is the durable :class:`~repro.fs.file.SimFile` (or None
+        when nothing was written yet).  Records whose checksum no longer
+        matches the file — torn commits — are dropped from the committed
+        set, so their extents get replayed.  Checksum-less records
+        (size-only mode) are trusted.  Intervals are returned sorted and
+        merged.
+        """
+        intervals: list[tuple[int, int]] = []
+        torn = 0
+        for record in self.records():
+            if record.checksum is not None:
+                if file is None:
+                    torn += 1
+                    continue
+                actual = zlib.crc32(memoryview(file.read(record.offset, record.nbytes)))
+                if actual != record.checksum:
+                    torn += 1
+                    continue
+            intervals.append((record.offset, record.offset + record.nbytes))
+        return merge_intervals(intervals), torn
+
+
+def merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sort and merge overlapping/adjacent half-open intervals."""
+    merged: list[tuple[int, int]] = []
+    for lo, hi in sorted(intervals):
+        if hi <= lo:
+            continue
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -1,0 +1,319 @@
+"""Aggregator failover: restart the collective from the cycle journal.
+
+The SPMD simulation cannot keep running a world whose rank generator
+died, so recovery is modelled the way checkpoint/restart-style MPI
+stacks (and the batch systems above them) actually behave: when the
+survivors detect a permanent fault, the collective is **re-launched** —
+crashed ranks respawn as plain senders, the aggregator set is
+deterministically re-elected without them, stripes of dead targets are
+remapped onto survivors, and only the cycles the journal has *not*
+committed are replayed.  Durable state carries across attempts: the file
+contents that reached storage, the cycle journal, and the sets of dead
+ranks/targets.
+
+Each failover charges the :class:`~repro.recovery.spec.RecoverySpec`'s
+detection timeout and failover overhead to the global clock, and the
+per-attempt span timelines are shifted onto that clock so one merged
+Chrome trace shows write → crash → failover gap → replay.
+
+Determinism: every injection draw comes from a per-entity stream keyed
+only by the world seed, the re-election is a pure function of the
+crashed set, and replay views are a pure function of the journal — so
+one ``(spec, seed)`` pair yields bit-identical recovery traces and file
+bytes on every run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collio.api import (
+    CollectiveWriteResult,
+    build_plan,
+    collective_write,
+    _verify_file,
+)
+from repro.collio.overlap import make_algorithm
+from repro.collio.view import FileView
+from repro.errors import (
+    ConfigurationError,
+    RankCrashError,
+    RecoveryExhaustedError,
+    ReproError,
+)
+from repro.mpi.world import World
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span, SpanRecorder
+from repro.recovery.journal import CycleJournal
+from repro.recovery.report import RecoveryReport
+from repro.recovery.spec import RecoverySpec
+
+__all__ = ["run_with_recovery", "subtract_intervals"]
+
+
+def _uncovered(lo: int, hi: int, intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sub-ranges of ``[lo, hi)`` not covered by the merged ``intervals``."""
+    out: list[tuple[int, int]] = []
+    cur = lo
+    for ilo, ihi in intervals:
+        if ihi <= cur:
+            continue
+        if ilo >= hi:
+            break
+        if ilo > cur:
+            out.append((cur, ilo))
+        cur = max(cur, ihi)
+        if cur >= hi:
+            return out
+    if cur < hi:
+        out.append((cur, hi))
+    return out
+
+
+def subtract_intervals(view: FileView, intervals: list[tuple[int, int]]) -> FileView:
+    """The replay view: ``view`` minus the journal-committed intervals.
+
+    Remaining pieces keep their *original* local buffer offsets, so the
+    rank replays straight out of its full payload buffer.
+    """
+    if not intervals or not view.num_extents:
+        return view
+    offs: list[int] = []
+    lens: list[int] = []
+    locs: list[int] = []
+    for off, ln, loc in zip(view.offsets, view.lengths, view.local_offsets):
+        for plo, phi in _uncovered(int(off), int(off + ln), intervals):
+            offs.append(plo)
+            lens.append(phi - plo)
+            locs.append(int(loc) + (plo - int(off)))
+    return FileView.from_pieces(
+        np.array(offs, dtype=np.int64),
+        np.array(lens, dtype=np.int64),
+        np.array(locs, dtype=np.int64),
+    )
+
+
+def run_with_recovery(spec, algorithm: str, config, auto_counters: dict | None):
+    """Run one collective write to completion under permanent faults.
+
+    Called by :func:`repro.collio.api.run_collective_write` when the
+    spec's :class:`~repro.faults.spec.FaultSpec` has crash-class faults;
+    ``algorithm`` is already resolved (never ``"auto"``).  Returns a
+    :class:`~repro.collio.api.CollectiveWriteResult` whose ``recovery``
+    field carries the :class:`~repro.recovery.report.RecoveryReport`.
+
+    Raises :class:`~repro.errors.RecoveryExhaustedError` if the attempt
+    budget runs out or a failed attempt yields no new fault information
+    (which would loop forever, as the schedule is deterministic).
+    """
+    rspec = spec.recovery if spec.recovery is not None else RecoverySpec()
+    if not isinstance(rspec, RecoverySpec):
+        raise ConfigurationError(
+            f"RunSpec.recovery must be a RecoverySpec or None, got {type(rspec).__name__}"
+        )
+    algo = make_algorithm(algorithm)
+    cycle_bytes = algo.cycle_bytes(config.cb_buffer_size)
+    payloads = {
+        r: spec.data_factory(r, spec.views[r].total_bytes) if spec.carry_data else None
+        for r in range(spec.nprocs)
+    }
+    budget = rspec.attempt_budget(spec.nprocs, spec.fs.num_targets)
+
+    journal = CycleJournal()
+    crashed: set[int] = set()
+    down: set[int] = set()
+    files = None  # durable file store, carried world to world
+    base = 0.0  # global-clock offset of the current attempt
+    all_spans: list[Span] = []
+    counters: dict[str, int] = {}
+    events: list[dict] = []
+    events_processed = 0
+    bytes_written = 0
+    writes_failed = 0
+    writes_rejected = 0
+    max_heap_len = 0
+    replayed_bytes = 0
+    torn_total = 0
+    total_failover = 0.0
+    plan0 = None  # the intended (attempt-1) plan, reported in the result
+    final_world = None
+    final_stats = None
+    attempt = 0
+    last_failure: BaseException | None = None
+
+    while attempt < budget:
+        attempt += 1
+        if len(down) >= spec.fs.num_targets:
+            raise RecoveryExhaustedError(
+                "all storage targets are down; no survivors to remap onto"
+            ) from last_failure
+        recorder = (
+            SpanRecorder(enabled=True, max_records=spec.max_trace_records)
+            if spec.trace
+            else None
+        )
+        world = World(
+            spec.cluster, spec.nprocs, fs_spec=spec.fs, seed=spec.seed,
+            faults=spec.faults, tracer=recorder, journal=journal,
+            crashed_ranks=frozenset(crashed), down_targets=frozenset(down),
+        )
+        if files is not None:
+            world.pfs.adopt_files(files)
+        durable = files.get(spec.path) if files is not None else None
+        intervals, torn = journal.committed_intervals(durable)
+        torn_total += torn
+        views = {
+            r: subtract_intervals(spec.views[r], intervals)
+            for r in range(spec.nprocs)
+        }
+        remaining = sum(v.total_bytes for v in views.values())
+        if attempt > 1:
+            replayed_bytes += remaining
+        plan = build_plan(
+            world.cluster, spec.nprocs, views, config, cycle_bytes,
+            stripe_size=spec.fs.stripe_size, exclude_ranks=frozenset(crashed),
+        )
+        if plan0 is None:
+            plan0 = plan
+        attempt_span = None
+        if recorder is not None:
+            attempt_span = recorder.begin(
+                0.0, f"attempt{attempt}", "recovery", flow="async",
+                attempt=attempt, remaining_bytes=remaining,
+                aggregators=list(plan.aggregators),
+            )
+
+        def program(mpi):
+            fh = yield from mpi.file_open(spec.path)
+            stats = yield from collective_write(
+                mpi, fh, views[mpi.rank], payloads[mpi.rank], plan,
+                algorithm=algorithm, shuffle=spec.shuffle, config=config,
+            )
+            return stats
+
+        failure: BaseException | None = None
+        stats = None
+        try:
+            stats = world.run(program)
+        except (ReproError, ValueError) as exc:
+            failure = exc
+        elapsed = world.now
+
+        # Harvest durable / diagnostic state from the attempt's world.
+        files = world.pfs._files
+        newly_down = sorted(
+            {t.target_id for t in world.pfs.targets if t.down} - down
+        )
+        down.update(newly_down)
+        for key, val in world.cluster.tracer.counters.items():
+            counters[key] = counters.get(key, 0) + val
+        events_processed += world.engine.events_processed
+        bytes_written += world.pfs.bytes_written
+        writes_failed += sum(t.writes_failed for t in world.pfs.targets)
+        writes_rejected += sum(t.writes_rejected for t in world.pfs.targets)
+        max_heap_len = max(max_heap_len, world.engine.max_heap_len)
+        if recorder is not None:
+            recorder.end(attempt_span, elapsed)
+            for span in recorder.closed_spans():
+                span.t0 += base
+                span.t1 += base
+                all_spans.append(span)
+
+        if failure is None:
+            events.append({
+                "attempt": attempt, "t": base + elapsed, "kind": "completed",
+                "replayed_bytes": remaining if attempt > 1 else 0,
+            })
+            final_world = world
+            final_stats = stats
+            base += elapsed
+            break
+
+        last_failure = failure
+        if isinstance(failure, RankCrashError):
+            crashed.add(failure.rank)
+            event_kind = "rank_crash"
+            detail = {"rank": failure.rank}
+        elif newly_down:
+            event_kind = "ost_outage"
+            detail = {"targets": newly_down}
+        else:
+            # No new fault information: the identical attempt would fail
+            # identically forever.  Give up rather than spin.
+            raise RecoveryExhaustedError(
+                f"attempt {attempt} failed with {type(failure).__name__} but "
+                "exposed no new crashed rank or down target"
+            ) from failure
+        failover = rspec.detection_timeout + rspec.failover_overhead
+        total_failover += failover
+        events.append({
+            "attempt": attempt, "t": base + elapsed, "kind": event_kind,
+            "error": type(failure).__name__, **detail,
+        })
+        if spec.trace:
+            all_spans.append(Span(
+                name="failover", category="recovery", rank=-1,
+                t0=base + elapsed, t1=base + elapsed + failover, flow="async",
+                attrs={"attempt": attempt, **detail},
+            ))
+        base += elapsed + failover
+
+    if final_world is None:
+        raise RecoveryExhaustedError(
+            f"collective write did not complete within {budget} attempts"
+        ) from last_failure
+
+    report = RecoveryReport(
+        attempts=attempt,
+        crashed_ranks=sorted(crashed),
+        down_targets=sorted(down),
+        failover_time=total_failover,
+        replayed_bytes=replayed_bytes,
+        torn_cycles=torn_total,
+        journal_commits=journal.commits,
+        completed=True,
+        events=events,
+    )
+    result = CollectiveWriteResult(
+        algorithm=algorithm,
+        shuffle=spec.shuffle,
+        nprocs=spec.nprocs,
+        num_aggregators=len(plan0.aggregators),
+        num_cycles=plan0.num_cycles,
+        cycle_bytes=plan0.cycle_bytes,
+        total_bytes=plan0.total_bytes,
+        elapsed=base,
+        write_bandwidth=plan0.total_bytes / base if base > 0 else 0.0,
+        per_rank_stats=final_stats,
+        trace_counters=dict(counters),
+        spans=all_spans,
+        recovery=report,
+    )
+    if auto_counters:
+        result.trace_counters.update(auto_counters)
+
+    registry = MetricsRegistry()
+    registry.merge_counters(counters)
+    if auto_counters:
+        registry.merge_counters(auto_counters)
+    registry.counter("sim.events_processed").inc(events_processed)
+    registry.gauge("sim.max_heap_len").set(max_heap_len)
+    registry.gauge("run.elapsed").set(result.elapsed)
+    registry.gauge("run.write_bandwidth").set(result.write_bandwidth)
+    registry.gauge("fs.bytes_written").set(bytes_written)
+    registry.counter("fs.writes_failed").inc(writes_failed)
+    registry.counter("fs.writes_rejected").inc(writes_rejected)
+    registry.gauge("fs.targets_down").set(len(down))
+    registry.counter("recovery.attempts").inc(attempt)
+    registry.counter("recovery.rank_crashes").inc(len(crashed))
+    registry.counter("recovery.ost_outages").inc(len(down))
+    registry.counter("recovery.replayed_bytes").inc(replayed_bytes)
+    registry.counter("recovery.torn_cycles").inc(torn_total)
+    registry.gauge("recovery.failover_time").set(total_failover)
+    for span in all_spans:
+        registry.histogram(f"span.{span.category}.dur").observe(span.dur)
+    result.metrics = registry.snapshot()
+
+    if spec.verify or config.verify:
+        result.verified = _verify_file(final_world, spec.path, spec.views, payloads)
+    return result

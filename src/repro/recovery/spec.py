@@ -1,0 +1,50 @@
+"""Configuration of the crash-fault recovery loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import US
+
+__all__ = ["RecoverySpec"]
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Tunables of the restart-from-journal recovery protocol.
+
+    The recovery manager reruns the collective after every permanent
+    fault, replaying only the cycles the journal has not committed.
+    Each failover charges ``detection_timeout`` (the survivors' shuffle /
+    commit-heartbeat timeout that reveals the crash) plus
+    ``failover_overhead`` (re-election, plan rebuild, journal scan) to
+    the end-to-end elapsed time.
+    """
+
+    #: Attempt budget; None = automatic (``nprocs + num_targets + 2``,
+    #: enough for every rank to crash and every target to go down once).
+    max_attempts: int | None = None
+    #: Simulated time until the survivors detect a crashed peer.
+    detection_timeout: float = 500 * US
+    #: Simulated time for re-election + plan rebuild + journal replay setup.
+    failover_overhead: float = 200 * US
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1 or None, got {self.max_attempts}"
+            )
+        if self.detection_timeout < 0:
+            raise ConfigurationError("detection_timeout must be >= 0")
+        if self.failover_overhead < 0:
+            raise ConfigurationError("failover_overhead must be >= 0")
+
+    def attempt_budget(self, nprocs: int, num_targets: int) -> int:
+        """The effective attempt cap for a given world size."""
+        if self.max_attempts is not None:
+            return self.max_attempts
+        return nprocs + num_targets + 2
+
+    def with_(self, **overrides) -> "RecoverySpec":
+        return replace(self, **overrides)

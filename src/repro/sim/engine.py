@@ -182,7 +182,40 @@ class Process(Event):
         """True while the generator has not terminated."""
         return not self.triggered
 
+    def interrupt(self, exception: BaseException) -> bool:
+        """Kill the process by throwing ``exception`` into its generator.
+
+        Used by the fault layer to deliver rank crashes: the generator is
+        unwound (whatever it was waiting on is abandoned), the process
+        event *fails* with ``exception``, and — unless something defuses
+        it — the failure aborts the engine run at the current instant.
+        Returns False (no-op) if the process already terminated.
+        """
+        if self.triggered:
+            return False
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        self.engine._active_processes -= 1
+        try:
+            self._generator.throw(exception)
+        except BaseException:
+            pass  # expected: the exception (or StopIteration) unwinding out
+        else:
+            # The generator caught the exception and yielded again; a
+            # crashed process gets no say — close it.
+            self._generator.close()
+        self.fail(exception)
+        return True
+
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Interrupted while a bridge/notification was in flight.
+            return
         self._waiting_on = None
         engine = self.engine
         engine._current = self
@@ -313,13 +346,33 @@ class Engine:
                 "still waiting — the simulated program is deadlocked"
             )
 
-    def run_until_complete(self, processes: Iterable[Process]) -> list[Any]:
+    def run_until_complete(
+        self, processes: Iterable[Process], stop_when_done: bool = False
+    ) -> list[Any]:
         """Run until every process in ``processes`` has terminated.
 
         Returns their values in order.  Any process failure propagates.
+
+        ``stop_when_done=True`` stops stepping as soon as all of
+        ``processes`` have been processed instead of draining the heap —
+        needed when far-future fault timers are armed (a crash scheduled
+        past the program's natural end must not advance the clock).
         """
         processes = list(processes)
-        self.run()
+        if stop_when_done:
+            state = {"pending": 0}
+
+            def _done(_evt: Event) -> None:
+                state["pending"] -= 1
+
+            for proc in processes:
+                if not proc.processed:
+                    state["pending"] += 1
+                    proc.callbacks.append(_done)
+            while self._heap and state["pending"] > 0:
+                self.step()
+        else:
+            self.run()
         results = []
         for proc in processes:
             if not proc.triggered:

@@ -1,0 +1,135 @@
+"""The cycle journal: commit semantics, torn detection, interval algebra."""
+
+import numpy as np
+import pytest
+
+from repro.fs.file import SimFile
+from repro.recovery import CycleJournal, merge_intervals
+from repro.recovery.manager import subtract_intervals
+from repro.collio.view import FileView
+
+
+def _commit(journal, offset, nbytes, payload=None, cycle=0):
+    checksum = None if payload is None else CycleJournal.checksum(payload)
+    journal.commit(agg_rank=0, agg_index=0, cycle=cycle, offset=offset,
+                   nbytes=nbytes, checksum=checksum)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_intervals([(10, 20), (0, 5)]) == [(0, 5), (10, 20)]
+
+    def test_overlapping_and_adjacent_merge(self):
+        assert merge_intervals([(0, 10), (5, 15), (15, 20)]) == [(0, 20)]
+
+    def test_empty_intervals_dropped(self):
+        assert merge_intervals([(5, 5), (3, 1)]) == []
+
+
+class TestCommit:
+    def test_recommit_same_extent_replaces(self):
+        journal = CycleJournal()
+        _commit(journal, 0, 64, np.zeros(64, dtype=np.uint8))
+        _commit(journal, 0, 64, np.ones(64, dtype=np.uint8))
+        assert len(journal) == 1
+        assert journal.commits == 2
+
+    def test_records_in_file_order(self):
+        journal = CycleJournal()
+        _commit(journal, 128, 64)
+        _commit(journal, 0, 64)
+        assert [r.offset for r in journal.records()] == [0, 128]
+
+
+class TestCommittedIntervals:
+    def test_matching_checksum_is_committed(self):
+        journal = CycleJournal()
+        file = SimFile("/f")
+        payload = np.arange(64, dtype=np.uint8)
+        file.write(0, payload)
+        _commit(journal, 0, 64, payload)
+        intervals, torn = journal.committed_intervals(file)
+        assert intervals == [(0, 64)]
+        assert torn == 0
+
+    def test_mismatching_checksum_is_torn(self):
+        journal = CycleJournal()
+        file = SimFile("/f")
+        file.write(0, np.zeros(64, dtype=np.uint8))
+        # Journal claims different bytes than the file holds: a commit
+        # that raced the crash.  The extent must be replayed.
+        _commit(journal, 0, 64, np.ones(64, dtype=np.uint8))
+        intervals, torn = journal.committed_intervals(file)
+        assert intervals == []
+        assert torn == 1
+
+    def test_checksummed_record_without_file_is_torn(self):
+        journal = CycleJournal()
+        _commit(journal, 0, 64, np.ones(64, dtype=np.uint8))
+        intervals, torn = journal.committed_intervals(None)
+        assert intervals == []
+        assert torn == 1
+
+    def test_checksum_free_record_is_trusted(self):
+        # Size-only mode journals no payload; commits are taken on trust.
+        journal = CycleJournal()
+        _commit(journal, 0, 64)
+        _commit(journal, 64, 64)
+        intervals, torn = journal.committed_intervals(None)
+        assert intervals == [(0, 128)]
+        assert torn == 0
+
+
+class TestSubtractIntervals:
+    def test_no_intervals_returns_view(self):
+        view = FileView.contiguous(0, 100)
+        assert subtract_intervals(view, []) is view
+
+    def test_committed_prefix_removed(self):
+        view = FileView.contiguous(0, 100)
+        out = subtract_intervals(view, [(0, 40)])
+        assert list(out.offsets) == [40]
+        assert list(out.lengths) == [60]
+        assert list(out.local_offsets) == [40]
+
+    def test_hole_splits_extent_keeping_local_offsets(self):
+        view = FileView.contiguous(0, 100)
+        out = subtract_intervals(view, [(30, 50)])
+        assert list(out.offsets) == [0, 50]
+        assert list(out.lengths) == [30, 50]
+        assert list(out.local_offsets) == [0, 50]
+
+    def test_fully_committed_view_is_empty(self):
+        view = FileView.contiguous(10, 90)
+        out = subtract_intervals(view, [(0, 200)])
+        assert out.num_extents == 0
+        assert out.total_bytes == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_subtracted_plus_committed_covers_view(self, seed):
+        rng = np.random.default_rng(seed)
+        # Distinct multiples of 256 with lengths < 256: sorted,
+        # non-overlapping extents as FileView requires.
+        offsets = np.sort(rng.choice(1000, size=20, replace=False)) * 256
+        lengths = rng.integers(1, 200, size=20)
+        view = FileView(offsets.astype(np.int64), lengths.astype(np.int64))
+        intervals = merge_intervals(
+            [(int(lo), int(lo + ln)) for lo, ln in
+             zip(rng.integers(0, 250_000, 10), rng.integers(1, 5_000, 10))]
+        )
+        out = subtract_intervals(view, intervals)
+        # Every original byte is either committed or still in the view.
+        covered = np.zeros(300_000, dtype=bool)
+        for lo, hi in intervals:
+            covered[lo:hi] = True
+        for off, ln in zip(out.offsets, out.lengths):
+            covered[off:off + ln] = True
+        for off, ln in zip(view.offsets, view.lengths):
+            assert covered[off:off + ln].all()
+        # And nothing in the replay view is committed.
+        for off, ln in zip(out.offsets, out.lengths):
+            for lo, hi in intervals:
+                assert off + ln <= lo or off >= hi
