@@ -22,7 +22,7 @@ from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 
 EXPERIMENTS = (
     "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
-    "read", "overlap", "ablations", "tune", "chaos", "all",
+    "read", "overlap", "twolayer", "ablations", "tune", "chaos", "all",
 )
 
 
@@ -164,6 +164,19 @@ def main(argv: list[str] | None = None) -> int:
 
             write_chrome_trace(args.trace_out, ov.spans)
             print(f"[wrote {args.trace_out}]", file=sys.stderr)
+    if args.experiment in ("twolayer", "all"):
+        def twolayer_progress(nodes, rpn, algorithm, shuffle, row):
+            print(f"  [{time.strftime('%H:%M:%S')}] twolayer {nodes}x{rpn} "
+                  f"{algorithm}/{shuffle}: inter {row.inter_base}->{row.inter_two} "
+                  f"({row.reduction:.1f}x), {row.speedup:.2f}x speedup",
+                  file=sys.stderr)
+
+        tl = experiments.twolayer_study(
+            mode=args.mode, reps=args.reps, scale=args.scale,
+            progress=None if args.quiet else twolayer_progress,
+        )
+        outputs.append(reporting.render_twolayer(tl))
+        csv_files["twolayer.csv"] = reporting.twolayer_csv(tl)
     if args.experiment == "tune":
         from repro.sim.trace import Tracer
         from repro.tune import autotune, default_space, full_space

@@ -49,6 +49,7 @@ __all__ = [
     "lustre_note",
     "read_study",
     "overlap_study",
+    "twolayer_study",
 ]
 
 ALGORITHM_ORDER = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
@@ -531,4 +532,132 @@ def lustre_note(
             times[algorithm] = series.point
         gain = relative_improvement(times["no_overlap"], times["write_overlap"])
         result.entries[fs_name] = (times["no_overlap"], times["write_overlap"], gain)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Two-layer aggregation study
+# --------------------------------------------------------------------------
+
+@dataclass
+class TwoLayerRow:
+    """One (placement, algorithm, shuffle) point of the two-layer sweep."""
+
+    nodes: int
+    ranks_per_node: int
+    nprocs: int
+    algorithm: str
+    shuffle: str
+    #: Inter-node message counts (single-layer vs two-layer).
+    inter_base: int
+    inter_two: int
+    #: Intra-node gather messages of the two-layer run.
+    gather: int
+    #: Min-of-series elapsed times, seconds.
+    t_base: float
+    t_two: float
+
+    @property
+    def reduction(self) -> float:
+        """Inter-node message-count reduction factor (base / two-layer)."""
+        return self.inter_base / self.inter_two if self.inter_two else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        return self.t_base / self.t_two if self.t_two else float("inf")
+
+
+@dataclass
+class TwoLayerStudyResult:
+    """The node-count x algorithm sweep of two-layer aggregation."""
+
+    cluster: str
+    benchmark: str
+    rows: list[TwoLayerRow] = field(default_factory=list)
+
+    def min_reduction(self, min_ranks_per_node: int = 4) -> float:
+        """Smallest message-reduction factor over placements with at
+        least ``min_ranks_per_node`` ranks per node (the acceptance bar:
+        it must be >= the ranks-per-node factor)."""
+        eligible = [r for r in self.rows if r.ranks_per_node >= min_ranks_per_node]
+        return min(r.reduction for r in eligible) if eligible else 0.0
+
+    def best_speedup(self) -> float:
+        return max((r.speedup for r in self.rows), default=0.0)
+
+
+def twolayer_study(
+    mode: str = "quick",
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    progress=None,
+) -> TwoLayerStudyResult:
+    """Sweep node counts x algorithms, single- vs two-layer aggregation.
+
+    Uses the comm-heavy regime: Ibex's fast BeeGFS keeps the
+    communication share high, and a segmented IOR layout (every segment
+    holds all ranks' blocks in rank order) interleaves each rank's data
+    across every aggregator's file domain, so nearly all shuffle traffic
+    crosses nodes.  Reports, per placement and algorithm, the inter-node
+    message counts of both layerings and their min-of-series times.
+    Message counts are deterministic (placement-derived), times use the
+    usual repetition methodology.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.bench.runner import specs_for
+
+    benchmark = "ior"
+    cluster = "ibex"
+    base_cluster, fs_spec = specs_for(cluster, scale)
+    if mode == "quick":
+        placements = [(2, 4), (4, 4), (4, 8), (16, 8)]
+        shuffles = ["two_sided", "one_sided_fence"]
+        size = {"block_size": 4096, "segment_count": 16}
+    else:
+        placements = [(2, 8), (4, 8), (8, 8), (16, 8), (16, 16)]
+        shuffles = list(SHUFFLE_ORDER)
+        size = {"block_size": 4096, "segment_count": 32}
+    result = TwoLayerStudyResult(cluster=cluster, benchmark=benchmark)
+    for nodes, rpn in placements:
+        nprocs = nodes * rpn
+        cluster_spec = _replace(base_cluster, cores_per_node=rpn)
+        workload = make_workload(benchmark, nprocs, scale=scale, **size)
+        config = CollectiveConfig.for_scale(
+            scale, extent_cost_factor=workload.extent_cost_factor
+        )
+        views = workload.views()
+        for algorithm in ALGORITHM_ORDER:
+            for shuffle in shuffles:
+                counts = {}
+                times = {}
+                for two_layer in (False, True):
+                    series = Series(key=(nodes, rpn), algorithm=algorithm)
+                    last = None
+                    for rep in range(reps):
+                        last = run_collective_write(
+                            RunSpec(
+                                cluster=cluster_spec, fs=fs_spec, nprocs=nprocs,
+                                views=views, algorithm=algorithm, shuffle=shuffle,
+                                config=config, seed=DEFAULT_SEED + 1000 * rep,
+                                carry_data=False, two_layer=two_layer,
+                            )
+                        )
+                        series.add(last.elapsed)
+                    counters = last.metrics.get("counters", {})
+                    counts[two_layer] = (
+                        counters.get("comm.messages_inter_node", 0),
+                        counters.get("intranode.gather_messages", 0),
+                    )
+                    times[two_layer] = series.point
+                row = TwoLayerRow(
+                    nodes=nodes, ranks_per_node=rpn, nprocs=nprocs,
+                    algorithm=algorithm, shuffle=shuffle,
+                    inter_base=counts[False][0], inter_two=counts[True][0],
+                    gather=counts[True][1],
+                    t_base=times[False], t_two=times[True],
+                )
+                result.rows.append(row)
+                if progress is not None:
+                    progress(nodes, rpn, algorithm, shuffle, row)
     return result

@@ -24,6 +24,7 @@ __all__ = [
     "render_breakdown",
     "render_lustre",
     "render_overlap",
+    "render_twolayer",
     "render_tuning",
     "render_chaos",
     "chaos_csv",
@@ -32,6 +33,7 @@ __all__ = [
     "improvements_csv",
     "fig4_csv",
     "overlap_csv",
+    "twolayer_csv",
     "tuning_csv",
 ]
 
@@ -359,5 +361,44 @@ def chaos_csv(result) -> str:
         ["algorithm", "level", "runs", "completions", "completion_rate",
          "attempts_mean", "slowdown_mean", "recovery_latency_seconds",
          "rank_crashes", "ost_outages", "replayed_bytes"],
+        rows,
+    )
+
+
+def render_twolayer(result) -> str:
+    """X9: two-layer aggregation — inter-node messages and times."""
+    header = ["Nodes", "R/node", "Algorithm", "Shuffle",
+              "Inter msgs", "2-layer", "Reduction", "Gather",
+              "Time", "2-layer time", "Speedup"]
+    rows = []
+    for r in result.rows:
+        rows.append([
+            r.nodes, r.ranks_per_node, _ALGO_LABEL[r.algorithm],
+            _SHUFFLE_LABEL[r.shuffle], r.inter_base, r.inter_two,
+            f"{r.reduction:.1f}x", r.gather,
+            fmt_time(r.t_base), fmt_time(r.t_two), f"{r.speedup:.2f}x",
+        ])
+    return (
+        "X9 — two-layer intra-node aggregation "
+        f"({result.benchmark}@{result.cluster}, size-only runs)\n"
+        + _table(header, rows)
+        + "\nreduction = inter-node messages single-layer / two-layer; "
+        f"min reduction at >=4 ranks/node: {result.min_reduction(4):.1f}x; "
+        f"best speedup: {result.best_speedup():.2f}x"
+    )
+
+
+def twolayer_csv(result) -> str:
+    """Two-layer sweep as CSV (placement, algorithm, messages, times)."""
+    rows = [
+        [r.nodes, r.ranks_per_node, r.nprocs, r.algorithm, r.shuffle,
+         r.inter_base, r.inter_two, f"{r.reduction:.3f}", r.gather,
+         f"{r.t_base:.9f}", f"{r.t_two:.9f}", f"{r.speedup:.4f}"]
+        for r in result.rows
+    ]
+    return _csv(
+        ["nodes", "ranks_per_node", "nprocs", "algorithm", "shuffle",
+         "inter_messages_single", "inter_messages_twolayer", "reduction",
+         "gather_messages", "seconds_single", "seconds_twolayer", "speedup"],
         rows,
     )

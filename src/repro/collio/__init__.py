@@ -24,7 +24,7 @@ component on the simulated substrate, with the paper's additions:
 
 from repro.collio.config import CollectiveConfig
 from repro.collio.view import FileView
-from repro.collio.plan import TwoPhasePlan
+from repro.collio.plan import TwoLayerPlan, TwoPhasePlan
 from repro.collio.api import (
     CollectiveWriteResult,
     RunSpec,
@@ -44,6 +44,7 @@ from repro.collio.read import (
 __all__ = [
     "CollectiveConfig",
     "FileView",
+    "TwoLayerPlan",
     "TwoPhasePlan",
     "CollectiveWriteResult",
     "RunSpec",

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import Cluster
 
-__all__ = ["select_aggregators"]
+__all__ = ["select_aggregators", "elect_leaders"]
 
 
 def select_aggregators(
@@ -69,3 +69,33 @@ def select_aggregators(
         by_volume = max(1, total_bytes // max(1, cb_buffer_size))
         count = max(1, min(len(nodes_used), by_volume, nprocs))
     return sorted(candidates[:count])
+
+
+def elect_leaders(
+    cluster: Cluster,
+    nprocs: int,
+    exclude: frozenset[int] = frozenset(),
+) -> dict[int, int]:
+    """Elect one intra-node *leader* per node; returns rank -> leader rank.
+
+    The leader of a node is its lowest-ranked eligible process; every
+    co-resident rank (including excluded ones, which still carry data)
+    maps to it.  ``exclude`` bars ranks from leadership — the same
+    crash-aware contract as :func:`select_aggregators`: after a leader
+    crash every survivor re-runs this pure function with the crashed set
+    and deterministically agrees on the successor without communicating.
+    If every rank on a node is excluded the exclusion is ignored for
+    that node (a fully-respawned node still needs a gather point).
+    """
+    if nprocs < 1:
+        raise ConfigurationError("nprocs must be >= 1")
+    members: dict[int, list[int]] = {}
+    for rank in range(nprocs):
+        members.setdefault(cluster.node_of_rank(rank), []).append(rank)
+    leader_of_rank: dict[int, int] = {}
+    for node, ranks in members.items():
+        eligible = [r for r in ranks if r not in exclude]
+        leader = min(eligible) if eligible else min(ranks)
+        for r in ranks:
+            leader_of_rank[r] = leader
+    return leader_of_rank

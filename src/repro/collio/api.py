@@ -29,12 +29,13 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.collio.aggregation import select_aggregators
+from repro.collio.aggregation import elect_leaders, select_aggregators
 from repro.collio.config import CollectiveConfig
 from repro.collio.context import AlgoContext
 from repro.collio.domains import partition_domains
+from repro.collio.intranode import TwoLayerShuffle
 from repro.collio.overlap import ALGORITHMS, make_algorithm
-from repro.collio.plan import TwoPhasePlan
+from repro.collio.plan import TwoLayerPlan, TwoPhasePlan
 from repro.collio.shuffle import SHUFFLE_PRIMITIVES, make_shuffle
 from repro.collio.view import FileView
 from repro.config import DEFAULT_SEED
@@ -80,6 +81,9 @@ class RunSpec:
     algorithm: str = "write_overlap"
     shuffle: str = "two_sided"
     config: CollectiveConfig | None = None
+    #: Shorthand for ``config.with_(two_layer=...)``: two-layer intra-node
+    #: aggregation (True/False/"auto"); None keeps the config's setting.
+    two_layer: bool | str | None = None
     seed: int = DEFAULT_SEED
     verify: bool = False
     #: False = size-only mode (identical timing, no payload bytes move).
@@ -115,6 +119,10 @@ class RunSpec:
             raise ConfigurationError(
                 f"unknown shuffle {self.shuffle!r}; known: {sorted(SHUFFLE_PRIMITIVES)}"
             )
+        if self.two_layer not in (None, True, False, "auto"):
+            raise ConfigurationError(
+                f"two_layer must be True, False, 'auto' or None, got {self.two_layer!r}"
+            )
         config = self.config or CollectiveConfig()
         if (self.verify or config.verify) and not self.carry_data:
             raise ConfigurationError("verify=True requires carry_data=True")
@@ -133,6 +141,8 @@ class RunSpec:
         config = self.config or CollectiveConfig()
         if self.retry is not None:
             config = config.with_(retry=self.retry)
+        if self.two_layer is not None:
+            config = config.with_(two_layer=self.two_layer)
         return config
 
 
@@ -154,6 +164,7 @@ def build_plan(
     cycle_bytes: int,
     stripe_size: int | None = None,
     exclude_ranks: frozenset[int] = frozenset(),
+    two_layer: bool | str | None = None,
 ) -> TwoPhasePlan:
     """Select aggregators, partition domains and schedule all cycles.
 
@@ -161,7 +172,12 @@ def build_plan(
     rank placement is used, so a throwaway instance works); the plan is a
     pure data object reusable across repeated runs of the same case.
     ``exclude_ranks`` bars ranks from aggregator duty (crashed ranks
-    during recovery failover) without removing them as data senders.
+    during recovery failover) without removing them as data senders; it
+    equally bars them from intra-node leadership when the plan is
+    two-layer.  ``two_layer`` overrides ``config.two_layer`` (None keeps
+    it); ``"auto"`` resolves to enabled when the run places at least two
+    ranks per used node, where the inter-node message-count win exists.
+    Two-layer runs return a :class:`~repro.collio.plan.TwoLayerPlan`.
     """
     total_bytes = sum(v.total_bytes for v in views.values())
     aggregators = select_aggregators(
@@ -178,6 +194,16 @@ def build_plan(
     hi = max(ends) if ends else 0
     stripe = stripe_size if config.stripe_align_domains else None
     domains = partition_domains(lo, hi, len(aggregators), stripe_size=stripe)
+    if two_layer is None:
+        two_layer = config.two_layer
+    if two_layer == "auto":
+        nodes_used = {cluster.node_of_rank(r) for r in range(nprocs)}
+        two_layer = nprocs >= 2 * len(nodes_used)
+    if two_layer:
+        leader_of_rank = elect_leaders(cluster, nprocs, exclude=exclude_ranks)
+        return TwoLayerPlan.build_two_layer(
+            views, aggregators, domains, cycle_bytes, leader_of_rank
+        )
     return TwoPhasePlan.build(views, aggregators, domains, cycle_bytes)
 
 
@@ -201,6 +227,8 @@ def collective_write(
     config = config or CollectiveConfig()
     algo = make_algorithm(algorithm)
     engine = make_shuffle(shuffle)
+    if isinstance(plan, TwoLayerPlan):
+        engine = TwoLayerShuffle(engine)
     ctx = AlgoContext(mpi, fh, plan, view, data, config, nsub=algo.nsub)
     # Planning phase: exchange view metadata (cost model; the plan itself
     # is precomputed deterministically, as every rank would compute the
@@ -443,6 +471,21 @@ def _run_metrics(
         )
         registry.gauge("fs.targets_down").set(
             sum(1 for t in world.pfs.targets if t.down)
+        )
+    registry.counter("comm.messages_inter_node").inc(
+        result.aggregate_counter("messages_inter_node")
+    )
+    registry.counter("comm.messages_intra_node").inc(
+        result.aggregate_counter("messages_intra_node")
+    )
+    gather_messages = result.aggregate_counter("gather_messages")
+    if gather_messages:
+        registry.counter("intranode.gather_messages").inc(gather_messages)
+        registry.counter("intranode.gather_bytes").inc(
+            result.aggregate_counter("gather_bytes")
+        )
+        registry.counter("intranode.leader_local_copies").inc(
+            result.aggregate_counter("gather_local_copies")
         )
     for span in result.spans:
         registry.histogram(f"span.{span.category}.dur").observe(span.dur)

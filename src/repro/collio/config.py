@@ -31,6 +31,12 @@ class CollectiveConfig:
     cb_buffer_size: int = CB_BUFFER_SIZE_UNSCALED // DEFAULT_SCALE
     #: Fixed aggregator count; None = automatic selection (paper ref [5]).
     num_aggregators: int | None = None
+    #: Two-layer aggregation: coalesce each node's cycle data at an
+    #: elected node-local leader before the inter-node shuffle (Kang et
+    #: al., intra-node request aggregation).  ``True``/``False`` force
+    #: it; ``"auto"`` enables it when the run places at least two ranks
+    #: per used node (where the inter-node message-count win exists).
+    two_layer: bool | str = False
     #: Align file-domain boundaries down to stripe boundaries.
     stripe_align_domains: bool = True
     #: CPU cost of handling one extent while packing at a sender, seconds.
@@ -58,6 +64,10 @@ class CollectiveConfig:
             raise ConfigurationError("cb_buffer_size must be >= 2 bytes")
         if self.num_aggregators is not None and self.num_aggregators < 1:
             raise ConfigurationError("num_aggregators must be >= 1 or None")
+        if self.two_layer not in (True, False, "auto"):
+            raise ConfigurationError(
+                f"two_layer must be True, False or 'auto', got {self.two_layer!r}"
+            )
         for field_name in (
             "pack_overhead_per_extent",
             "unpack_overhead_per_extent",

@@ -105,6 +105,9 @@ class AlgoContext:
         # them for one-sided shuffles.
         self._buffers: list[np.ndarray] | None = None
         self._windows: list["WindowHandle"] | None = None
+        # Two-layer staging: a leader's per-sub-buffer assembly area for
+        # its node's coalesced cycle data (see repro.collio.intranode).
+        self._staging: list[np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +149,53 @@ class AlgoContext:
             win = yield from self.mpi.win_allocate(size)
             windows.append(win)
         self._windows = windows
+
+    def allocate_staging(self) -> None:
+        """Leader staging buffers for two-layer gather (no-op otherwise).
+
+        One slot per sub-buffer: slot ``c % nsub`` is reused once cycle
+        ``c``'s forward shuffle has been waited, the same reuse
+        discipline the collective sub-buffers follow.
+        """
+        from repro.collio.plan import TwoLayerPlan  # local: avoids a cycle at import
+
+        plan = self.plan
+        if not isinstance(plan, TwoLayerPlan) or not plan.uses_staging(self.rank):
+            return
+        if not self.carries_data:
+            return
+        size = plan.staging_bytes(self.rank)
+        self._staging = [np.zeros(size, dtype=np.uint8) for _ in range(self.nsub)]
+
+    def staging(self, sub: int) -> np.ndarray:
+        if self._staging is None:
+            raise ConfigurationError("staging not allocated on this rank")
+        return self._staging[sub]
+
+    def send_source(self, cycle: int) -> np.ndarray | None:
+        """The array backing this rank's sends in ``cycle``.
+
+        The user buffer normally; a leader's staging slot when the plan
+        coalesces node-local data (its send assignments' local offsets
+        then index staging).  None in size-only mode.
+        """
+        if self._staging is not None:
+            return self._staging[self.sub_of_cycle(cycle)]
+        return self.data
+
+    def note_message(self, dest_rank: int, nbytes: int, stage: str = "shuffle") -> None:
+        """Count one message by locality (inter- vs intra-node).
+
+        ``stage`` is ``"shuffle"`` for the (leader-to-)aggregator
+        transfer and ``"gather"`` for the intra-node pre-aggregation
+        hop; the bench's message-count columns read these counters.
+        """
+        cluster = self.mpi.world.cluster
+        local = cluster.node_of_rank(dest_rank) == cluster.node_of_rank(self.rank)
+        self.stats.bump("messages_intra_node" if local else "messages_inter_node")
+        if stage == "gather":
+            self.stats.bump("gather_messages")
+            self.stats.bump("gather_bytes", nbytes)
 
     def buffer(self, sub: int) -> np.ndarray:
         """The sub-buffer an aggregator assembles cycle data in."""

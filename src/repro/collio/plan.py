@@ -24,7 +24,7 @@ import numpy as np
 from repro.collio.view import FileView
 from repro.errors import ConfigurationError
 
-__all__ = ["SendAssignment", "RecvExpectation", "TwoPhasePlan"]
+__all__ = ["SendAssignment", "RecvExpectation", "TwoPhasePlan", "TwoLayerPlan"]
 
 _EMPTY = np.zeros(0, dtype=np.int64)
 
@@ -215,5 +215,193 @@ class TwoPhasePlan:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<TwoPhasePlan aggs={len(self.aggregators)} cycles={self.num_cycles} "
+            f"cycle_bytes={self.cycle_bytes} total={self.total_bytes}>"
+        )
+
+
+class TwoLayerPlan(TwoPhasePlan):
+    """Two-layer schedule: node-local gather, then inter-node shuffle.
+
+    Layer 1 (*gather*): every rank sends its cycle contributions — one
+    contiguous intra-node message per cycle — to its node's elected
+    leader, which assembles them in a staging buffer.  Layer 2
+    (*forward*): only leaders talk to the global aggregators, each
+    sending one coalesced message per (aggregator, cycle) in which
+    file-contiguous pieces from different co-resident ranks have been
+    merged.  Per cycle the inter-node message count drops from
+    O(ranks x aggregators) to O(nodes x aggregators), and the
+    aggregator-side unpack handles fewer, larger pieces.
+
+    The inherited query API (:meth:`sends_for` / :meth:`recvs_for`)
+    describes the *leader-level* inter-node schedule, so the existing
+    shuffle primitives run layer 2 unchanged; the member-level schedule
+    that drives layer 1 moves to :meth:`member_sends_for` and the
+    ``gather_*`` queries.  Leaders of single-rank nodes are
+    *pass-through*: their sends keep the original user-buffer offsets
+    and no staging is allocated, so a one-rank-per-node cluster degrades
+    to exactly the single-layer schedule.
+    """
+
+    @classmethod
+    def build_two_layer(
+        cls,
+        views: dict[int, FileView],
+        aggregators: list[int],
+        domains: list[tuple[int, int]],
+        cycle_bytes: int,
+        leader_of_rank: dict[int, int],
+    ) -> "TwoLayerPlan":
+        """Base schedule first, then the node-local coalescing pass."""
+        plan = cls.build(views, aggregators, domains, cycle_bytes)
+        plan._layer(leader_of_rank)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _layer(self, leader_of_rank: dict[int, int]) -> None:
+        self.leader_of_rank = dict(leader_of_rank)
+        self.leaders = sorted(set(self.leader_of_rank.values()))
+        self.members_of_leader: dict[int, list[int]] = {}
+        for rank in sorted(self.leader_of_rank):
+            self.members_of_leader.setdefault(self.leader_of_rank[rank], []).append(rank)
+        #: Leaders that stage (more than one rank on their node); others
+        #: pass their own assignments through untouched.
+        self.staging_leaders = frozenset(
+            lead for lead, members in self.members_of_leader.items() if len(members) > 1
+        )
+        # The base schedule becomes the member (gather) layer.
+        self._member_send = self._send
+        self._send = {}
+        self._recv = {}
+        #: (rank, cycle) -> (bytes, pieces) a member contributes that cycle.
+        self._gather_load: dict[tuple[int, int], tuple[int, int]] = {}
+        #: (cycle, src_rank) -> staging offsets (int64 array), one per
+        #: piece of the member's pack stream, in stream order.
+        self._gather_scatter: dict[tuple[int, int], np.ndarray] = {}
+        #: leader -> staging bytes needed per sub-buffer slot.
+        self._staging_need: dict[int, int] = {}
+
+        # Group member pieces by (leader, cycle, agg): piece arrays plus
+        # their source rank and position in the source's pack stream.
+        groups: dict[tuple[int, int, int], list[tuple]] = {}
+        for (rank, cycle), assignments in self._member_send.items():
+            leader = self.leader_of_rank[rank]
+            pieces = sum(sa.npieces for sa in assignments)
+            nbytes = sum(sa.nbytes for sa in assignments)
+            self._gather_load[(rank, cycle)] = (nbytes, pieces)
+            if leader not in self.staging_leaders:
+                # Pass-through: the singleton leader keeps its base
+                # assignments (local_offsets index its own user buffer).
+                self._send[(rank, cycle)] = assignments
+                for sa in assignments:
+                    self._recv.setdefault((sa.agg_index, cycle), []).append(
+                        RecvExpectation(rank, sa.nbytes, sa.npieces)
+                    )
+                continue
+            stream_pos = 0
+            for sa in assignments:
+                idx = np.arange(stream_pos, stream_pos + sa.npieces, dtype=np.int64)
+                groups.setdefault((leader, cycle, sa.agg_index), []).append(
+                    (sa.offsets, sa.lengths, np.full(sa.npieces, rank, dtype=np.int64), idx)
+                )
+                stream_pos += sa.npieces
+
+        # Lay out each staging leader's per-cycle buffer and derive the
+        # coalesced forward schedule.
+        cursors: dict[tuple[int, int], int] = {}
+        for (leader, cycle, agg) in sorted(groups):
+            parts = groups[(leader, cycle, agg)]
+            offs = np.concatenate([p[0] for p in parts]).astype(np.int64, copy=False)
+            lens = np.concatenate([p[1] for p in parts]).astype(np.int64, copy=False)
+            srcs = np.concatenate([p[2] for p in parts])
+            stream = np.concatenate([p[3] for p in parts])
+            order = np.lexsort((srcs, offs))
+            offs, lens, srcs, stream = offs[order], lens[order], srcs[order], stream[order]
+            base = cursors.get((leader, cycle), 0)
+            stag = base + np.concatenate(([0], np.cumsum(lens)[:-1]))
+            cursors[(leader, cycle)] = base + int(lens.sum())
+            # Tell each member where its stream pieces land in staging.
+            for src in np.unique(srcs):
+                mask = srcs == src
+                key = (cycle, int(src))
+                dest = self._gather_scatter.get(key)
+                if dest is None:
+                    dest = np.zeros(self._gather_load[(int(src), cycle)][1], dtype=np.int64)
+                    self._gather_scatter[key] = dest
+                dest[stream[mask]] = stag[mask]
+            # Merge file-contiguous runs (staging is contiguous in the
+            # same order by construction).
+            starts = np.flatnonzero(
+                np.concatenate(([True], offs[1:] != offs[:-1] + lens[:-1]))
+            )
+            run_lens = np.add.reduceat(lens, starts)
+            sa = SendAssignment(agg, offs[starts], run_lens, stag[starts])
+            self._send.setdefault((leader, cycle), []).append(sa)
+            self._recv.setdefault((agg, cycle), []).append(
+                RecvExpectation(leader, sa.nbytes, sa.npieces)
+            )
+        for (leader, _cycle), need in cursors.items():
+            self._staging_need[leader] = max(self._staging_need.get(leader, 0), need)
+
+    # ------------------------------------------------------------------
+    # Layer-1 (gather) queries
+    # ------------------------------------------------------------------
+    def is_leader(self, rank: int) -> bool:
+        return self.leader_of_rank.get(rank) == rank
+
+    def uses_staging(self, rank: int) -> bool:
+        """Whether this rank forwards out of a staging buffer."""
+        return rank in self.staging_leaders
+
+    def member_sends_for(self, rank: int, cycle: int) -> list[SendAssignment]:
+        """The rank's own (pre-coalescing) contributions in ``cycle``."""
+        return self._member_send.get((rank, cycle), [])
+
+    def gather_load(self, rank: int, cycle: int) -> tuple[int, int]:
+        """(bytes, pieces) the rank contributes to its leader in ``cycle``."""
+        return self._gather_load.get((rank, cycle), (0, 0))
+
+    def gather_scatter(self, cycle: int, src_rank: int) -> np.ndarray | None:
+        """Staging offsets of ``src_rank``'s pack stream (leader side)."""
+        return self._gather_scatter.get((cycle, src_rank))
+
+    def staging_bytes(self, rank: int) -> int:
+        """Staging bytes this rank needs per sub-buffer slot (0 if none)."""
+        return self._staging_need.get(rank, 0)
+
+    # ------------------------------------------------------------------
+    def check_consistency(self, views: dict[int, FileView]) -> None:
+        """Both layers must cover every view byte exactly once."""
+        # Layer 1: the member schedule is the base schedule.
+        member = TwoPhasePlan(
+            self.aggregators, self.domains, self.cycle_bytes,
+            self.file_start, self.file_end,
+        )
+        member._send = self._member_send
+        member.check_consistency(views)
+        # Layer 2: per (leader, cycle) the forwarded bytes equal the
+        # node's contributed bytes, and stay inside domain/cycle bounds.
+        contributed: dict[tuple[int, int], int] = {}
+        for (rank, cycle), (nbytes, _pieces) in self._gather_load.items():
+            key = (self.leader_of_rank[rank], cycle)
+            contributed[key] = contributed.get(key, 0) + nbytes
+        forwarded: dict[tuple[int, int], int] = {}
+        for (sender, cycle), assignments in self._send.items():
+            leader = self.leader_of_rank[sender]
+            for sa in assignments:
+                forwarded[(leader, cycle)] = (
+                    forwarded.get((leader, cycle), 0) + sa.nbytes
+                )
+                rng = self.cycle_range(sa.agg_index, cycle)
+                assert rng is not None
+                assert (sa.offsets >= rng[0]).all()
+                assert (sa.offsets + sa.lengths <= rng[1]).all()
+        assert forwarded == contributed, (
+            "leader forwards do not match node contributions"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TwoLayerPlan aggs={len(self.aggregators)} "
+            f"leaders={len(self.leaders)} cycles={self.num_cycles} "
             f"cycle_bytes={self.cycle_bytes} total={self.total_bytes}>"
         )

@@ -482,9 +482,10 @@ def run_collective_read(
     world = World(cluster_spec, nprocs, fs_spec=fs_spec, seed=seed)
     algo = READ_ALGORITHMS[algorithm]()
     cycle_bytes = max(1, config.cb_buffer_size // algo.nsub)
+    # Reads have no gather stage: always a single-layer plan.
     plan = build_plan(
         world.cluster, nprocs, views, config, cycle_bytes,
-        stripe_size=fs_spec.stripe_size,
+        stripe_size=fs_spec.stripe_size, two_layer=False,
     )
     # Pre-populate the file contents (out-of-band; the read is what's timed).
     payloads = {r: data_factory(r, views[r].total_bytes) for r in range(nprocs)}

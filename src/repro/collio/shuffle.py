@@ -135,12 +135,13 @@ class TwoSidedShuffle:
                 )
                 handle.requests.append(req)
                 handle.unpacks.append((exp.src_rank, buf))
+        src = ctx.send_source(cycle)
         for sa in plan.sends_for(ctx.rank, cycle):
             agg_rank = plan.aggregators[sa.agg_index]
             if agg_rank == ctx.rank:
                 handle.local_copies.append(sa)
                 continue
-            payload = _pack(ctx.data, sa)
+            payload = _pack(src, sa)
             cost = ctx.pack_cost(sa.nbytes, sa.npieces)
             if cost:
                 yield from ctx.mpi.compute(cost)
@@ -150,6 +151,7 @@ class TwoSidedShuffle:
             )
             handle.requests.append(req)
             ctx.stats.bump("messages_sent")
+            ctx.note_message(agg_rank, sa.nbytes)
         ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
         return handle
@@ -192,7 +194,7 @@ class TwoSidedShuffle:
             if cost:
                 yield from ctx.mpi.compute(cost)
         for sa in handle.local_copies:
-            _scatter(ctx, cycle, sa, _pack(ctx.data, sa))
+            _scatter(ctx, cycle, sa, _pack(ctx.send_source(cycle), sa))
             yield from ctx.mpi.compute(ctx.local_copy_cost(sa.nbytes, sa.npieces))
         # This cycle's data is now fully placed in the sub-buffer — the
         # in-flight shuffle ends here (covers both the wait() path and
@@ -220,6 +222,7 @@ class _OneSidedBase:
     def _issue_puts(self, ctx: AlgoContext, cycle: int):
         plan = ctx.plan
         win = ctx.window(ctx.sub_of_cycle(cycle))
+        src = ctx.send_source(cycle)
         nputs = 0
         for sa in plan.sends_for(ctx.rank, cycle):
             agg_rank = plan.aggregators[sa.agg_index]
@@ -227,8 +230,9 @@ class _OneSidedBase:
             assert crange is not None
             base = crange[0]
             for off, ln, loc in zip(sa.offsets, sa.lengths, sa.local_offsets):
-                piece = ctx.data[int(loc) : int(loc) + int(ln)] if ctx.carries_data else None
+                piece = src[int(loc) : int(loc) + int(ln)] if src is not None else None
                 yield from win.put(agg_rank, piece, int(off) - base, size=int(ln))
+                ctx.note_message(agg_rank, int(ln))
                 nputs += 1
         extra = ctx.extra_put_cost(nputs)
         if extra:
@@ -322,6 +326,7 @@ class OneSidedLockShuffle(_OneSidedBase):
         ctx.recorder.end(barrier_span, ctx.mpi.now)
         plan = ctx.plan
         win = ctx.window(ctx.sub_of_cycle(cycle))
+        src = ctx.send_source(cycle)
         targets: dict[int, list[SendAssignment]] = {}
         for sa in plan.sends_for(ctx.rank, cycle):
             targets.setdefault(plan.aggregators[sa.agg_index], []).append(sa)
@@ -337,8 +342,9 @@ class OneSidedLockShuffle(_OneSidedBase):
                 assert crange is not None
                 base = crange[0]
                 for off, ln, loc in zip(sa.offsets, sa.lengths, sa.local_offsets):
-                    piece = ctx.data[int(loc) : int(loc) + int(ln)] if ctx.carries_data else None
+                    piece = src[int(loc) : int(loc) + int(ln)] if src is not None else None
                     yield from win.put(agg_rank, piece, int(off) - base, size=int(ln))
+                    ctx.note_message(agg_rank, int(ln))
                     nputs += 1
             yield from win.unlock(agg_rank, exclusive=False)
             ctx.recorder.end(epoch_span, ctx.mpi.now)

@@ -154,18 +154,28 @@ class MPIFile:
         else:
             raise ValueError("set_view needs a datatype or a FileView")
 
-    def _collective_plan(self, views: dict, config, cycle_bytes: int):
-        """Build (or fetch) the shared plan for one collective operation."""
+    def _collective_plan(
+        self, views: dict, config, cycle_bytes: int, two_layer=None
+    ):
+        """Build (or fetch) the shared plan for one collective operation.
+
+        ``two_layer`` overrides ``config.two_layer`` (reads force it off:
+        the scatter direction has no gather stage).
+        """
         from repro.collio.api import build_plan
 
         world = self.comm.world
         self._coll_count += 1
-        key = (self.path, self._coll_count, cycle_bytes, config.cb_buffer_size)
+        layering = config.two_layer if two_layer is None else two_layer
+        key = (
+            self.path, self._coll_count, cycle_bytes, config.cb_buffer_size,
+            layering,
+        )
         plan = world.plan_cache.get(key)
         if plan is None:
             plan = build_plan(
                 world.cluster, world.nprocs, views, config, cycle_bytes,
-                stripe_size=self.pfs.spec.stripe_size,
+                stripe_size=self.pfs.spec.stripe_size, two_layer=layering,
             )
             world.plan_cache[key] = plan
         return plan
@@ -230,7 +240,7 @@ class MPIFile:
         views = dict(enumerate(gathered))
         nsub = READ_ALGORITHMS[algorithm].nsub
         cycle_bytes = max(1, config.cb_buffer_size // nsub)
-        plan = self._collective_plan(views, config, cycle_bytes)
+        plan = self._collective_plan(views, config, cycle_bytes, two_layer=False)
         stats = yield from collective_read(
             self.comm, self, view, out, plan,
             algorithm=algorithm, scatter=scatter, config=config,

@@ -124,6 +124,8 @@ class Candidate:
     cb_buffer_size: int | None = None
     #: Fixed aggregator count; None = automatic selection.
     num_aggregators: int | None = None
+    #: Two-layer intra-node aggregation (True/False/"auto").
+    two_layer: bool | str = False
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -138,6 +140,10 @@ class Candidate:
             raise ConfigurationError("cb_buffer_size must be >= 2 bytes or None")
         if self.num_aggregators is not None and self.num_aggregators < 1:
             raise ConfigurationError("num_aggregators must be >= 1 or None")
+        if self.two_layer not in (True, False, "auto"):
+            raise ConfigurationError(
+                f"two_layer must be True, False or 'auto', got {self.two_layer!r}"
+            )
 
     @property
     def label(self) -> str:
@@ -148,6 +154,8 @@ class Candidate:
             parts.append(f"cb={self.cb_buffer_size // MiB}MiB")
         if self.num_aggregators is not None:
             parts.append(f"aggr={self.num_aggregators}")
+        if self.two_layer:
+            parts.append("2layer" if self.two_layer is True else "2layer=auto")
         return "/".join(parts)
 
     def key(self) -> dict:
@@ -157,6 +165,7 @@ class Candidate:
             "shuffle": self.shuffle,
             "cb_buffer_size": self.cb_buffer_size,
             "num_aggregators": self.num_aggregators,
+            "two_layer": self.two_layer,
         }
 
     def sort_key(self) -> tuple:
@@ -166,6 +175,7 @@ class Candidate:
             self.shuffle,
             self.cb_buffer_size if self.cb_buffer_size is not None else -1,
             self.num_aggregators if self.num_aggregators is not None else -1,
+            str(self.two_layer),
         )
 
     def config_for(self, scenario: ScenarioSpec) -> CollectiveConfig:
@@ -173,6 +183,7 @@ class Candidate:
         overrides: dict = {
             "extent_cost_factor": scenario.workload().extent_cost_factor,
             "num_aggregators": self.num_aggregators,
+            "two_layer": self.two_layer,
         }
         if self.cb_buffer_size is not None:
             overrides["cb_buffer_size"] = scaled(self.cb_buffer_size, scenario.scale)
@@ -187,13 +198,15 @@ class TuningSpace:
     shuffles: tuple = ("two_sided",)
     cb_buffer_sizes: tuple = (None,)
     num_aggregators: tuple = (None,)
+    two_layer: tuple = (False,)
 
     def candidates(self) -> list[Candidate]:
         """All grid points in deterministic (sorted) enumeration order."""
         return [
-            Candidate(a, s, cb, na)
-            for a, s, cb, na in itertools.product(
-                self.algorithms, self.shuffles, self.cb_buffer_sizes, self.num_aggregators
+            Candidate(a, s, cb, na, tl)
+            for a, s, cb, na, tl in itertools.product(
+                self.algorithms, self.shuffles, self.cb_buffer_sizes,
+                self.num_aggregators, self.two_layer,
             )
         ]
 
@@ -203,6 +216,7 @@ class TuningSpace:
             * len(self.shuffles)
             * len(self.cb_buffer_sizes)
             * len(self.num_aggregators)
+            * len(self.two_layer)
         )
 
 
@@ -214,9 +228,11 @@ def default_space() -> TuningSpace:
 
 
 def full_space() -> TuningSpace:
-    """The exhaustive space: every shuffle, 4 buffer sizes, 4 aggregator counts."""
+    """The exhaustive space: every shuffle, 4 buffer sizes, 4 aggregator
+    counts, single- and two-layer aggregation."""
     return TuningSpace(
         shuffles=tuple(sorted(SHUFFLE_PRIMITIVES)),
         cb_buffer_sizes=(8 * MiB, 16 * MiB, None, 64 * MiB),
         num_aggregators=(None, 2, 4, 8),
+        two_layer=(False, True),
     )

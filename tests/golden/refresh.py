@@ -1,0 +1,42 @@
+"""Regenerate the golden fingerprints after an *intentional* change.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/refresh.py
+
+Overwrites ``tests/golden/fingerprints.json``.  Review the diff before
+committing: every changed hash is a behavioural change of the simulator
+that same-seed reproducibility no longer covers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+sys.path.insert(0, _REPO_ROOT)
+
+from tests.golden.scenario import case_key, fingerprint, golden_cases  # noqa: E402
+
+OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fingerprints.json")
+
+
+def main() -> int:
+    fingerprints = {}
+    for algorithm, shuffle, two_layer in golden_cases():
+        key = case_key(algorithm, shuffle, two_layer)
+        fingerprints[key] = fingerprint(algorithm, shuffle, two_layer)
+        print(f"  {key}: {fingerprints[key]['file_sha256'][:12]}", file=sys.stderr)
+    with open(OUT, "w") as fh:
+        json.dump(fingerprints, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[wrote {OUT}: {len(fingerprints)} fingerprints]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""Same-seed golden regression: 5 algorithms x 3 shuffles x 2 layerings.
+
+Each case re-runs the pinned scenario (tests/golden/scenario.py) and
+compares its fingerprint — written-file hash, cycle count, span-count
+summary — against tests/golden/fingerprints.json.  A mismatch means the
+simulator's deterministic behaviour drifted; if the change is
+intentional, regenerate with ``PYTHONPATH=src python
+tests/golden/refresh.py`` and commit the diff.
+"""
+
+import json
+import os
+
+import pytest
+
+from tests.golden.scenario import case_key, fingerprint, golden_cases
+
+_FINGERPRINTS = os.path.join(os.path.dirname(__file__), "fingerprints.json")
+
+
+def _load() -> dict:
+    with open(_FINGERPRINTS) as fh:
+        return json.load(fh)
+
+
+def test_fingerprint_file_covers_all_cases():
+    recorded = _load()
+    expected = {case_key(*case) for case in golden_cases()}
+    assert set(recorded) == expected
+
+
+@pytest.mark.parametrize(
+    "algorithm,shuffle,two_layer",
+    golden_cases(),
+    ids=[case_key(*case) for case in golden_cases()],
+)
+def test_same_seed_fingerprint(algorithm, shuffle, two_layer):
+    recorded = _load()[case_key(algorithm, shuffle, two_layer)]
+    actual = fingerprint(algorithm, shuffle, two_layer)
+    assert actual == recorded, (
+        f"golden fingerprint drifted for {case_key(algorithm, shuffle, two_layer)}; "
+        "if intentional: PYTHONPATH=src python tests/golden/refresh.py"
+    )
+
+
+def test_two_layer_file_hash_matches_single_layer():
+    """Two-layer aggregation must not change the written bytes."""
+    recorded = _load()
+    for algorithm, shuffle, two_layer in golden_cases():
+        if not two_layer:
+            continue
+        single = recorded[case_key(algorithm, shuffle, False)]
+        double = recorded[case_key(algorithm, shuffle, True)]
+        assert single["file_sha256"] == double["file_sha256"]
+        assert single["num_cycles"] == double["num_cycles"]

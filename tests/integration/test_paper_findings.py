@@ -1,0 +1,113 @@
+"""Acceptance tests for the paper's two headline findings.
+
+Unlike the golden-fingerprint suite (which pins *placement* and ignores
+timing), these tests pin the *qualitative timing conclusions* the paper
+draws, on a small fixed matrix of real simulated runs:
+
+1. Sec. IV-A / Table I: the asynchronous-write variants (Write Overlap,
+   Write-Comm, Write-Comm-2) beat plain Comm Overlap in a majority of
+   cases — deferring the file write off the critical path is the bigger
+   lever than overlapping the shuffle alone.
+2. Sec. IV-B / Fig. 4: the two-sided shuffle beats both one-sided
+   (RMA) variants in roughly three quarters of cases.
+
+Thresholds are calibrated against the current cost model (measured:
+async-write wins 4/6, two-sided wins 6/8) and asserted with slack so
+that deliberate cost-model tuning does not trip them, while a regression
+that inverts either conclusion does.  Runs use ``reps=1`` with the
+default seed, so each matrix is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import Case, run_matrix
+
+_IOR = (("block_size", 1 << 16),)
+_TILE = (("rows", 256), ("row_elements", 16))
+
+#: Benchmark x platform spread for the algorithm comparison (Table I).
+ALGO_CASES = [
+    Case("ior", "crill", 96, _IOR),
+    Case("ior", "ibex", 96, _IOR),
+    Case("tile_256", "crill", 64, _TILE),
+    Case("tile_256", "ibex", 64, _TILE),
+    Case("flash", "crill", 96, ()),
+    Case("flash", "ibex", 96, ()),
+]
+
+ASYNC_WRITE_ALGOS = ("write_overlap", "write_comm", "write_comm2")
+
+#: Fig. 4's spread (write_comm2 only): both platforms, several scales.
+SHUFFLE_CASES = [
+    Case("ior", "crill", 96, _IOR),
+    Case("ior", "crill", 144, _IOR),
+    Case("ior", "ibex", 96, _IOR),
+    Case("ior", "ibex", 144, _IOR),
+    Case("tile_256", "crill", 64, _TILE),
+    Case("tile_256", "crill", 100, _TILE),
+    Case("tile_256", "ibex", 64, _TILE),
+    Case("tile_1m", "ibex", 144, ()),
+]
+
+SHUFFLES = ("two_sided", "one_sided_fence", "one_sided_lock")
+
+
+@pytest.fixture(scope="module")
+def algo_matrix():
+    return run_matrix(
+        ALGO_CASES,
+        ["comm_overlap", *ASYNC_WRITE_ALGOS],
+        shuffles=("two_sided",),
+        reps=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def shuffle_matrix():
+    return run_matrix(SHUFFLE_CASES, ["write_comm2"], shuffles=SHUFFLES, reps=1)
+
+
+def test_async_write_variants_beat_comm_overlap_in_majority(algo_matrix):
+    """Table I: asynchronous file writes win more cases than they lose."""
+    wins = 0
+    for case_result in algo_matrix.results:
+        by_algo = case_result.by_algorithm("two_sided")
+        best_async = min(by_algo[a].point for a in ASYNC_WRITE_ALGOS)
+        wins += best_async < by_algo["comm_overlap"].point
+    share = wins / len(algo_matrix.results)
+    assert share > 0.5, (
+        f"async-write variants won only {wins}/{len(algo_matrix.results)} cases; "
+        "the paper's Table I conclusion no longer holds"
+    )
+
+
+def test_write_overlap_never_loses_to_comm_overlap_on_crill(algo_matrix):
+    """On the slow-fabric platform the write is always worth deferring."""
+    for case_result in algo_matrix.cases(cluster="crill"):
+        by_algo = case_result.by_algorithm("two_sided")
+        best_async = min(by_algo[a].point for a in ASYNC_WRITE_ALGOS)
+        assert best_async < by_algo["comm_overlap"].point, case_result.case.label
+
+
+def test_two_sided_beats_one_sided_in_most_cases(shuffle_matrix):
+    """Fig. 4: two-sided wins ~75% of cases (calibrated 6/8; floor 60%)."""
+    wins = 0
+    for case_result in shuffle_matrix.results:
+        by_shuffle = case_result.by_shuffle("write_comm2")
+        winner = min(by_shuffle.items(), key=lambda kv: (kv[1].point, kv[0]))[0]
+        wins += winner == "two_sided"
+    share = wins / len(shuffle_matrix.results)
+    assert share >= 0.6, (
+        f"two-sided won only {wins}/{len(shuffle_matrix.results)} cases; "
+        "the paper's Fig. 4 conclusion no longer holds"
+    )
+
+
+def test_one_sided_never_wins_on_crill(shuffle_matrix):
+    """Sec. IV-B: RMA shuffles only pay off on the faster Ibex fabric."""
+    for case_result in shuffle_matrix.cases(cluster="crill"):
+        by_shuffle = case_result.by_shuffle("write_comm2")
+        winner = min(by_shuffle.items(), key=lambda kv: (kv[1].point, kv[0]))[0]
+        assert winner == "two_sided", case_result.case.label

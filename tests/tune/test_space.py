@@ -80,6 +80,6 @@ class TestTuningSpace:
 
     def test_default_and_full_spaces(self):
         assert len(default_space()) == 15
-        assert len(full_space()) == 5 * 3 * 4 * 4
+        assert len(full_space()) == 5 * 3 * 4 * 4 * 2  # x2: two_layer axis
         # every grid point is constructible (validation runs in __post_init__)
         assert all(isinstance(c, Candidate) for c in default_space().candidates())
