@@ -22,7 +22,8 @@ from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 
 EXPERIMENTS = (
     "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
-    "read", "overlap", "twolayer", "ablations", "tune", "chaos", "all",
+    "read", "overlap", "twolayer", "staging", "ablations", "tune",
+    "chaos", "all",
 )
 
 
@@ -81,6 +82,13 @@ def main(argv: list[str] | None = None) -> int:
     chaos_group.add_argument("--check-complete", action="store_true",
                              help="exit non-zero unless every chaos run completed "
                                   "and verified (the CI smoke assertion)")
+    staging_group = parser.add_argument_group(
+        "staging", "options for the 'staging' experiment")
+    staging_group.add_argument(
+        "--check-staging", action="store_true",
+        help="exit non-zero unless async drain beats end_of_job on the "
+             "drain-bound tier for every algorithm AND file bytes are "
+             "identical across staging on/off (the CI smoke assertion)")
     args = parser.parse_args(argv)
 
     if args.reps < 1:
@@ -98,15 +106,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.screen_reps > args.reps:
         parser.error(f"--screen-reps ({args.screen_reps}) cannot exceed "
                      f"--reps ({args.reps})")
-    if args.trace_out and args.experiment not in ("overlap", "all"):
-        parser.error("--trace-out is only meaningful with the 'overlap' "
-                     "experiment (or 'all')")
+    if args.trace_out and args.experiment not in ("overlap", "staging", "all"):
+        parser.error("--trace-out is only meaningful with the 'overlap' or "
+                     "'staging' experiments (or 'all')")
     if (args.faults or args.check_complete) and args.experiment not in ("chaos", "all"):
         parser.error("--faults/--check-complete are only meaningful with the "
                      "'chaos' experiment (or 'all')")
+    if args.check_staging and args.experiment not in ("staging", "all"):
+        parser.error("--check-staging is only meaningful with the 'staging' "
+                     "experiment (or 'all')")
 
     csv_files: dict[str, str] = {}
     chaos_failed = False
+    staging_failed = False
 
     progress = None if args.quiet else _progress
     kwargs = dict(mode=args.mode, reps=args.reps, scale=args.scale)
@@ -177,6 +189,34 @@ def main(argv: list[str] | None = None) -> int:
         )
         outputs.append(reporting.render_twolayer(tl))
         csv_files["twolayer.csv"] = reporting.twolayer_csv(tl)
+    if args.experiment in ("staging", "all"):
+        def staging_progress(regime, algorithm, row):
+            print(f"  [{time.strftime('%H:%M:%S')}] staging {regime:13s} "
+                  f"{algorithm}: eoj {row.times['end_of_job']:.4f}s -> "
+                  f"imm {row.times['immediate']:.4f}s "
+                  f"({row.speedup('immediate'):.2f}x)", file=sys.stderr)
+
+        st = experiments.staging_study(
+            mode=args.mode, reps=args.reps, scale=args.scale,
+            progress=None if args.quiet else staging_progress,
+        )
+        outputs.append(reporting.render_staging(st))
+        csv_files["staging.csv"] = reporting.staging_csv(st)
+        if args.trace_out and args.experiment == "staging":
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(args.trace_out, st.spans)
+            print(f"[wrote {args.trace_out}]", file=sys.stderr)
+        if args.check_staging:
+            if not st.async_wins_everywhere():
+                print("staging check FAILED: end_of_job was not beaten by an "
+                      "overlapped drain policy for every algorithm on the "
+                      "drain-bound tier", file=sys.stderr)
+                staging_failed = True
+            if not st.sha_identical():
+                print("staging check FAILED: file bytes differ between "
+                      "staging-on and staging-off runs", file=sys.stderr)
+                staging_failed = True
     if args.experiment == "tune":
         from repro.sim.trace import Tracer
         from repro.tune import autotune, default_space, full_space
@@ -242,7 +282,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
     print(f"\n[elapsed {time.time() - started:.0f}s, mode={args.mode}, "
           f"reps={args.reps}, scale={args.scale}]", file=sys.stderr)
-    return 1 if chaos_failed else 0
+    return 1 if (chaos_failed or staging_failed) else 0
 
 
 if __name__ == "__main__":

@@ -50,6 +50,8 @@ __all__ = [
     "read_study",
     "overlap_study",
     "twolayer_study",
+    "staging_study",
+    "STAGING_POLICY_ORDER",
 ]
 
 ALGORITHM_ORDER = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
@@ -660,4 +662,194 @@ def twolayer_study(
                 result.rows.append(row)
                 if progress is not None:
                     progress(nodes, rpn, algorithm, shuffle, row)
+    return result
+
+
+# --------------------------------------------------------------------------
+# X10 — burst-buffer staging: drain policies vs direct writes
+# --------------------------------------------------------------------------
+
+#: Order the staging study reports policies in (off first, then the
+#: paper-style escalation from fully deferred to fully overlapped).
+STAGING_POLICY_ORDER = ["end_of_job", "watermark", "immediate"]
+
+
+@dataclass
+class StagingRow:
+    """One (algorithm, regime) cell of the staging study."""
+
+    algorithm: str
+    regime: str
+    t_direct: float
+    #: Min-of-series elapsed per drain policy.
+    times: dict = field(default_factory=dict)
+    #: Back-pressure stall count per policy (last rep's counters).
+    stalls: dict = field(default_factory=dict)
+    #: Drained bytes per policy (conservation witness).
+    drained: dict = field(default_factory=dict)
+
+    def speedup(self, policy: str) -> float:
+        """end_of_job time over this policy's time (>1 = overlap won)."""
+        t = self.times.get(policy, 0.0)
+        return self.times.get("end_of_job", 0.0) / t if t else float("inf")
+
+    @property
+    def async_wins(self) -> bool:
+        """True when the best overlapping policy strictly beats end_of_job."""
+        overlapped = min(self.times["immediate"], self.times["watermark"])
+        return overlapped < self.times["end_of_job"]
+
+
+@dataclass
+class StagingStudyResult:
+    """The algorithm x regime sweep of the burst-buffer staging tier."""
+
+    cluster: str
+    benchmark: str
+    nprocs: int
+    rows: list[StagingRow] = field(default_factory=list)
+    #: Per-algorithm file hashes: {algorithm: {label: sha256}} where the
+    #: labels are "direct" and the three drain policies.  Identical
+    #: hashes across labels prove staging never changes file contents.
+    shas: dict = field(default_factory=dict)
+    #: Spans of one traced drain-bound immediate run (for --trace-out).
+    spans: list = field(default_factory=list, repr=False)
+
+    def sha_identical(self) -> bool:
+        return all(len(set(by_label.values())) == 1 for by_label in self.shas.values())
+
+    def async_wins_everywhere(self) -> bool:
+        """The acceptance bar: on the drain-bound regime, overlapped
+        draining strictly beats end_of_job for every algorithm."""
+        drain_bound = [r for r in self.rows if r.regime == "drain_bound"]
+        return bool(drain_bound) and all(r.async_wins for r in drain_bound)
+
+
+def _staging_regimes(scale: int, capacity: int) -> dict[str, "object"]:
+    """The two staging regimes of the study, as scaled StagingSpecs.
+
+    * ``drain_bound`` — a fast NVMe absorbs at 8 GB/s but the shared
+      node-to-PFS drain link runs at 300 MB/s: the slow link bounds how
+      much of the drain any schedule can hide, so the policies separate
+      by how early they start it.
+    * ``absorb_bound`` — the mirror image (slow absorb, fast drain link):
+      the PFS becomes the drain bottleneck and an overlapped drain hides
+      nearly all of it behind the slow absorbs — the largest wins.
+
+    ``capacity`` (scaled bytes) is sized by the caller just above the
+    per-node job bytes: ``end_of_job`` defers everything (the un-overlapped
+    baseline), while the lowered high watermark makes the ``watermark``
+    policy start draining mid-job — three visibly distinct schedules.
+    """
+    from repro.staging import StagingSpec
+    from repro.units import GB, MB
+
+    marks = {"high_watermark": 0.3, "low_watermark": 0.1}
+    return {
+        "drain_bound": StagingSpec.for_scale(
+            scale, capacity=capacity,
+            absorb_bandwidth=8 * GB, drain_bandwidth=300 * MB, **marks,
+        ),
+        "absorb_bound": StagingSpec.for_scale(
+            scale, capacity=capacity,
+            absorb_bandwidth=300 * MB, drain_bandwidth=8 * GB, **marks,
+        ),
+    }
+
+
+def staging_study(
+    mode: str = "quick",
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    progress=None,
+) -> StagingStudyResult:
+    """Sweep algorithms x drain policies on drain- and absorb-bound tiers.
+
+    Timing rows use size-only runs with the usual repetition methodology
+    (min-of-series, fresh noise seeds).  A separate verified pass runs
+    every (algorithm, policy) with real data and records the sha256 of
+    the file bytes read back from the PFS: staging must never change
+    what lands in the file, only when it lands.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.config import scaled
+    from repro.units import MiB
+
+    benchmark = "ior"
+    cluster = "crill"
+    base_cluster, fs_spec = specs_for(cluster, scale)
+    if mode == "quick":
+        rpn, nodes = 8, 2
+        size = {"block_size": 256 * 1024, "segment_count": 8}
+    else:
+        rpn, nodes = 8, 4
+        size = {"block_size": 512 * 1024, "segment_count": 16}
+    nprocs = rpn * nodes
+    cluster_spec = _replace(base_cluster, cores_per_node=rpn)
+    workload = make_workload(benchmark, nprocs, scale=scale, **size)
+    # A small collective buffer gives the job many internal cycles (the
+    # units the drain scheduler overlaps); the tier capacity sits just
+    # above a node's job bytes so end_of_job fully defers while the
+    # lowered watermark starts draining mid-job.
+    config = CollectiveConfig.for_scale(
+        scale, extent_cost_factor=workload.extent_cost_factor,
+        cb_buffer_size=scaled(2 * MiB, scale),
+    )
+    views = workload.views()
+    total_bytes = sum(v.total_bytes for v in views.values())
+    capacity = max(scaled(2 * MiB, scale) * 2, total_bytes // nodes * 5 // 4)
+    regimes = _staging_regimes(scale, capacity)
+    result = StagingStudyResult(cluster=cluster, benchmark=benchmark, nprocs=nprocs)
+
+    def timed(algorithm, staging):
+        series = Series(key=(algorithm,), algorithm=algorithm)
+        last = None
+        for rep in range(reps):
+            last = run_collective_write(RunSpec(
+                cluster=cluster_spec, fs=fs_spec, nprocs=nprocs, views=views,
+                algorithm=algorithm, config=config, staging=staging,
+                seed=DEFAULT_SEED + 1000 * rep, carry_data=False,
+            ))
+            series.add(last.elapsed)
+        return series.point, last.metrics.get("counters", {})
+
+    for regime, spec in regimes.items():
+        for algorithm in ALGORITHM_ORDER:
+            t_direct, _ = timed(algorithm, None)
+            row = StagingRow(algorithm=algorithm, regime=regime, t_direct=t_direct)
+            for policy in STAGING_POLICY_ORDER:
+                t, counters = timed(algorithm, spec.with_(policy=policy))
+                row.times[policy] = t
+                row.stalls[policy] = counters.get("staging.stalls", 0)
+                row.drained[policy] = counters.get("staging.drained_bytes", 0)
+            result.rows.append(row)
+            if progress is not None:
+                progress(regime, algorithm, row)
+
+    # Identity pass: real data, verify=True, hash of the actual file.
+    small = make_workload(benchmark, nprocs, scale=scale,
+                          block_size=16 * 1024, segment_count=4)
+    small_views = small.views()
+    for algorithm in ALGORITHM_ORDER:
+        by_label: dict[str, str] = {}
+        for label, staging in [("direct", None)] + [
+            (p, regimes["drain_bound"].with_(policy=p)) for p in STAGING_POLICY_ORDER
+        ]:
+            run = run_collective_write(RunSpec(
+                cluster=cluster_spec, fs=fs_spec, nprocs=nprocs,
+                views=small_views, algorithm=algorithm, config=config,
+                staging=staging, verify=True,
+            ))
+            assert run.verified is True
+            by_label[label] = run.file_sha256
+        result.shas[algorithm] = by_label
+
+    # One traced drain-bound immediate run for the --trace-out artifact.
+    traced = run_collective_write(RunSpec(
+        cluster=cluster_spec, fs=fs_spec, nprocs=nprocs, views=small_views,
+        algorithm="write_overlap", config=config,
+        staging=regimes["drain_bound"], verify=True, trace=True,
+    ))
+    result.spans = traced.spans
     return result

@@ -23,6 +23,7 @@ The pre-RunSpec keyword signature still works but emits a
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable
@@ -93,6 +94,10 @@ class RunSpec:
     faults: FaultSpec | None = None
     #: Shorthand for ``config.with_(retry=...)``.
     retry: RetryPolicy | None = None
+    #: Shorthand for ``config.with_(staging=...)``: the node-local
+    #: burst-buffer tier (a :class:`~repro.staging.spec.StagingSpec`);
+    #: None keeps the config's setting.
+    staging: Any = None
     #: Tunables of the crash-recovery loop (a
     #: :class:`~repro.recovery.spec.RecoverySpec`); only consulted when
     #: ``faults`` has crash-class rates.  ``None`` = defaults.  Typed
@@ -123,6 +128,14 @@ class RunSpec:
             raise ConfigurationError(
                 f"two_layer must be True, False, 'auto' or None, got {self.two_layer!r}"
             )
+        if self.staging is not None:
+            from repro.staging.spec import StagingSpec  # local: layering
+
+            if not isinstance(self.staging, StagingSpec):
+                raise ConfigurationError(
+                    f"staging must be a StagingSpec or None, "
+                    f"got {type(self.staging).__name__}"
+                )
         config = self.config or CollectiveConfig()
         if (self.verify or config.verify) and not self.carry_data:
             raise ConfigurationError("verify=True requires carry_data=True")
@@ -137,12 +150,14 @@ class RunSpec:
         return replace(self, **overrides)
 
     def resolved_config(self) -> CollectiveConfig:
-        """The effective config: defaults applied, ``retry`` folded in."""
+        """The effective config: defaults applied, shorthands folded in."""
         config = self.config or CollectiveConfig()
         if self.retry is not None:
             config = config.with_(retry=self.retry)
         if self.two_layer is not None:
             config = config.with_(two_layer=self.two_layer)
+        if self.staging is not None:
+            config = config.with_(staging=self.staging)
         return config
 
 
@@ -229,6 +244,12 @@ def collective_write(
     engine = make_shuffle(shuffle)
     if isinstance(plan, TwoLayerPlan):
         engine = TwoLayerShuffle(engine)
+    if config.staging is not None and config.staging.enabled:
+        # First rank in creates the world's tier; peers reuse it (the
+        # same get-or-create pattern ``world.journal`` follows).
+        from repro.staging.tier import StagingTier  # local: layering
+
+        StagingTier.ensure(mpi.world, config.staging)
     ctx = AlgoContext(mpi, fh, plan, view, data, config, nsub=algo.nsub)
     # Planning phase: exchange view metadata (cost model; the plan itself
     # is precomputed deterministically, as every rank would compute the
@@ -242,6 +263,7 @@ def collective_write(
         cycles=plan.num_cycles,
     )
     yield from algo.run(ctx, engine)
+    yield from ctx.staging_flush()
     ctx.stats.add_time("total", mpi.now - t0)
     yield from mpi.barrier()
     ctx.recorder.end(algo_span, mpi.now)
@@ -266,6 +288,9 @@ class CollectiveWriteResult:
     write_bandwidth: float
     per_rank_stats: list = field(default_factory=list)
     verified: bool | None = None
+    #: SHA-256 of the actual file bytes read back from the simulated PFS
+    #: (set by verification runs; None when ``verify`` was off).
+    file_sha256: str | None = None
     #: Snapshot of the world tracer's always-on counters after the run
     #: (``fault.*`` injections, ``retry.*`` recoveries, protocol events).
     trace_counters: dict = field(default_factory=dict)
@@ -445,7 +470,9 @@ def _run(spec: RunSpec) -> CollectiveWriteResult:
         result.spans = recorder.closed_spans()
     result.metrics = _run_metrics(world, result, auto_counters).snapshot()
     if spec.verify or config.verify:
-        result.verified = _verify_file(world, spec.path, spec.views, payloads)
+        result.verified, result.file_sha256 = _verify_file(
+            world, spec.path, spec.views, payloads
+        )
     return result
 
 
@@ -478,6 +505,13 @@ def _run_metrics(
     registry.counter("comm.messages_intra_node").inc(
         result.aggregate_counter("messages_intra_node")
     )
+    tier = getattr(world, "staging", None)
+    if tier is not None:
+        for name, value in tier.counter_totals().items():
+            registry.counter(name).inc(value)
+        registry.gauge("staging.occupancy_peak").set(tier.occupancy_peak())
+        registry.gauge("staging.capacity").set(tier.spec.capacity)
+        registry.gauge("staging.undrained_bytes").set(tier.undrained_bytes())
     gather_messages = result.aggregate_counter("gather_messages")
     if gather_messages:
         registry.counter("intranode.gather_messages").inc(gather_messages)
@@ -497,8 +531,13 @@ def _verify_file(
     path: str,
     views: dict[int, FileView],
     payloads: dict[int, np.ndarray],
-) -> bool:
-    """Byte-exact check of the written file against the views' expectation."""
+) -> tuple[bool, str]:
+    """Byte-exact check of the written file against the views' expectation.
+
+    Returns ``(ok, sha256)`` where the hash is of the *actual* file bytes
+    read back from the simulated PFS — the identity witness the staging
+    acceptance check compares across staging-on/off runs.
+    """
     ends = [v.file_range[1] for v in views.values() if v.num_extents]
     size = max(ends) if ends else 0
     expected = np.zeros(size, dtype=np.uint8)
@@ -514,4 +553,5 @@ def _verify_file(
             f"collective write corrupted the file: {bad.size} wrong bytes, "
             f"first at offset {bad[0] if bad.size else '?'}"
         )
-    return ok
+    digest = hashlib.sha256(np.ascontiguousarray(actual).tobytes()).hexdigest()
+    return ok, digest

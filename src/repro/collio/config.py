@@ -11,6 +11,7 @@ from repro.units import MiB
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.retry import RetryPolicy
+    from repro.staging.spec import StagingSpec
 
 __all__ = ["CollectiveConfig"]
 
@@ -58,6 +59,11 @@ class CollectiveConfig:
     #: write failures propagate immediately, as before the fault
     #: subsystem existed).  See :class:`repro.faults.retry.RetryPolicy`.
     retry: "RetryPolicy | None" = None
+    #: Node-local burst-buffer tier (None or a disabled spec = write
+    #: straight to the PFS).  See :class:`repro.staging.spec.StagingSpec`:
+    #: aggregators absorb into the per-node buffer and a background
+    #: scheduler drains it to the file system.
+    staging: "StagingSpec | None" = None
 
     def __post_init__(self) -> None:
         if self.cb_buffer_size < 2:
@@ -75,6 +81,14 @@ class CollectiveConfig:
         ):
             if getattr(self, field_name) < 0:
                 raise ConfigurationError(f"{field_name} must be >= 0")
+        if self.staging is not None:
+            from repro.staging.spec import StagingSpec  # local: layering
+
+            if not isinstance(self.staging, StagingSpec):
+                raise ConfigurationError(
+                    f"staging must be a StagingSpec or None, "
+                    f"got {type(self.staging).__name__}"
+                )
 
     @classmethod
     def for_scale(cls, scale: int = DEFAULT_SCALE, **overrides) -> "CollectiveConfig":
@@ -98,7 +112,9 @@ class CollectiveConfig:
 
         Used by :mod:`repro.tune` to key persistent caches: every field
         that influences simulated timing participates.  ``retry`` is a
-        nested policy object, so its ``repr`` stands in for it.
+        nested policy object, so its ``repr`` stands in for it;
+        ``staging`` is a dataclass of scalars, so ``asdict`` already
+        flattened it.
         """
         key = asdict(self)
         key["retry"] = None if self.retry is None else repr(self.retry)

@@ -95,6 +95,16 @@ class AlgoContext:
         self.journal = getattr(mpi.world, "journal", None)
         #: Journal entries of posted-but-unwaited writes, by handle id.
         self._pending_commits: dict[int, tuple] = {}
+        #: This node's burst-buffer drain scheduler when the run stages
+        #: writes (see repro.staging), or None: aggregators then absorb
+        #: into the node-local buffer instead of writing to the PFS, and
+        #: journal commits defer to drain completion (durability point).
+        tier = getattr(mpi.world, "staging", None)
+        self.stager = (
+            tier.scheduler_for_rank(self.rank)
+            if tier is not None and self.is_aggregator
+            else None
+        )
         if config.retry is not None:
             from repro.faults.retry import ReliableWriter  # local: avoids a cycle
 
@@ -262,6 +272,14 @@ class AlgoContext:
             rank=self.rank, cycle=cycle, bytes=nbytes,
         )
 
+    def _drain_commit(self, entry):
+        """Deferred commit for staged writes: burst-buffer contents are
+        volatile, so a cycle is durable only once its extents *drained*
+        to the PFS — the callback the drain scheduler fires then."""
+        if entry is None:
+            return None
+        return lambda: self._journal_commit(entry)
+
     def write_blocking(self, cycle: int):
         """Blocking file-access phase for ``cycle`` (no MPI progress)."""
         sliced = self._write_slice(cycle)
@@ -276,13 +294,19 @@ class AlgoContext:
         io_span = self.recorder.begin(
             t0, "write", "io", rank=self.rank, cycle=cycle, flow="async", bytes=nbytes
         )
-        if self.writer is not None:
+        if self.stager is not None:
+            yield from self.fh.stage_at(
+                self.stager, offset, payload, size=nbytes, cycle=cycle,
+                on_drained=self._drain_commit(entry),
+            )
+        elif self.writer is not None:
             yield from self.writer.write_at(offset, payload, size=nbytes)
         else:
             yield from self.fh.write_at(offset, payload, size=nbytes)
         self.recorder.end(io_span, self.mpi.now)
         self.recorder.end(call_span, self.mpi.now)
-        self._journal_commit(entry)
+        if self.stager is None:
+            self._journal_commit(entry)
         self.stats.add_time("write", self.mpi.now - t0)
         self.stats.bump("writes")
 
@@ -300,14 +324,19 @@ class AlgoContext:
             t0, "write", "io", rank=self.rank, cycle=cycle, flow="async", bytes=nbytes
         )
         entry = self._journal_entry(cycle, offset, payload, nbytes)
-        if self.writer is not None:
+        if self.stager is not None:
+            req = yield from self.fh.istage_at(
+                self.stager, offset, payload, size=nbytes, cycle=cycle,
+                on_drained=self._drain_commit(entry),
+            )
+        elif self.writer is not None:
             req = yield from self.writer.iwrite_at(offset, payload, size=nbytes)
         else:
             req = yield from self.fh.iwrite_at(offset, payload, size=nbytes)
         self.recorder.end(call_span, self.mpi.now)
         if io_span is not None:
             self._write_spans[id(req)] = io_span
-        if entry is not None:
+        if entry is not None and self.stager is None:
             self._pending_commits[id(req)] = entry
         self.stats.add_time("write_post", self.mpi.now - t0)
         self.stats.bump("writes")
@@ -347,6 +376,28 @@ class AlgoContext:
         value = handle.event.value if handle.event.triggered else None
         done_at = value if isinstance(value, (int, float)) else self.mpi.now
         self.recorder.end(io_span, min(float(done_at), self.mpi.now))
+
+    def staging_flush(self):
+        """Make everything this node staged durable (end of the collective).
+
+        No-op without a staging tier.  For the ``end_of_job`` policy this
+        is where the whole drain happens, serialized after the last
+        cycle; the asynchronous policies only wait out the in-flight
+        tail.  Waiting is an MPI call (progress keeps running — peers on
+        other nodes may still be shuffling their final cycles).
+        """
+        if self.stager is None:
+            return
+        from repro.mpi.request import Request  # local: avoids a cycle
+
+        t0 = self.mpi.now
+        span = self.recorder.begin(
+            t0, "flush", "staging", rank=self.rank,
+            policy=self.stager.spec.policy,
+        )
+        yield from self.mpi.wait(Request(self.stager.flush(), "staging_flush"))
+        self.recorder.end(span, self.mpi.now)
+        self.stats.add_time("staging_flush", self.mpi.now - t0)
 
     @contextmanager
     def iteration(self, cycle: int):

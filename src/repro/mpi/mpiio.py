@@ -110,6 +110,66 @@ class MPIFile:
             rt.exit_progress()
         return Request(req.event, "iwrite", req)
 
+    def stage_at(
+        self,
+        scheduler,
+        offset: int,
+        data: np.ndarray | None = None,
+        size: int | None = None,
+        cycle: int = -1,
+        on_drained=None,
+    ):
+        """Blocking write into the node's burst buffer (staging tier).
+
+        Same calling shape and cost structure as :meth:`write_at` — the
+        rank is stuck in the absorb call with no MPI progress — but the
+        completion means "the staging device holds the bytes", not
+        durability; the tier's drain scheduler lands them on the PFS in
+        the background and fires ``on_drained`` then.
+        """
+        view, nbytes = _as_bytes(data, size)
+        self.bytes_written += nbytes
+        self.sync_writes += 1
+        done = scheduler.absorb(
+            self.file, offset, view, nbytes, rank=self.comm.rank,
+            cycle=cycle, on_drained=on_drained,
+        )
+        yield from self.comm.io_wait(done, setup_cost=self.pfs.spec.client_overhead)
+
+    def istage_at(
+        self,
+        scheduler,
+        offset: int,
+        data: np.ndarray | None = None,
+        size: int | None = None,
+        cycle: int = -1,
+        on_drained=None,
+    ):
+        """Asynchronous write into the node's burst buffer; returns a Request.
+
+        The posting cost mirrors :meth:`iwrite_at` (an MPI call plus the
+        client overhead, under a progress window); the request completes
+        when the absorb finishes — drain durability is signalled via
+        ``on_drained``.
+        """
+        view, nbytes = _as_bytes(data, size)
+        self.bytes_written += nbytes
+        self.async_writes += 1
+        world = self.comm.world
+        rt = world.runtime(self.comm.rank)
+        rt.enter_progress()
+        try:
+            yield world.engine.timeout(
+                world.cluster.spec.mpi_call_overhead + self.pfs.spec.client_overhead
+            )
+            done = scheduler.absorb(
+                self.file, offset, view, nbytes, rank=self.comm.rank,
+                cycle=cycle, on_drained=on_drained,
+            )
+        finally:
+            rt.exit_progress()
+        return Request(done, "istage")
+
     def read_at(self, offset: int, size: int):
         """Blocking read; returns the bytes (zeros past EOF)."""
         done, out = self.pfs.read(self.file, offset, size)

@@ -68,6 +68,10 @@ class World:
         #: Cycle journal shared by the aggregators' commit protocol, or
         #: None outside recovery runs (see :mod:`repro.recovery.journal`).
         self.journal = journal
+        #: The burst-buffer staging tier, attached lazily by the first
+        #: collective write whose config enables staging (see
+        #: :meth:`repro.staging.tier.StagingTier.ensure`); None otherwise.
+        self.staging = None
         #: Ranks that died in *previous* recovery attempts.  They respawn
         #: (participate in this attempt, so their data reaches the file)
         #: but their crash draw is not re-armed — a rank crashes once.

@@ -22,8 +22,15 @@ def main(argv: list[str] | None = None) -> int:
     ns = parser.parse_args(argv)
 
     if ns.command == "validate":
-        with open(ns.path, "r", encoding="utf-8") as fh:
-            trace = json.load(fh)
+        try:
+            with open(ns.path, "r", encoding="utf-8") as fh:
+                trace = json.load(fh)
+        except OSError as exc:
+            print(f"INVALID: cannot read {ns.path}: {exc}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"INVALID: {ns.path} is not JSON: {exc}", file=sys.stderr)
+            return 1
         try:
             n = validate_chrome_trace(trace)
         except ValueError as exc:

@@ -6,6 +6,9 @@ directly in ``chrome://tracing`` and https://ui.perfetto.dev.  Mapping:
 * pid 0 is the compute side — one tid (track) per MPI rank;
 * pid 1 is the storage side — spans recorded with ``rank < 0`` (the
   parallel file system's stripe writes);
+* pid 2 is the staging tier — ``staging``-category spans recorded with
+  ``rank <= -2`` (per-node burst-buffer absorb/drain intervals; the
+  encoded node id ``-rank - 2`` becomes the tid);
 * sync spans become ``"X"`` (complete) events, which Chrome renders as
   a properly nested flame per track;
 * async spans (in-flight shuffles, aio requests) become ``"b"``/``"e"``
@@ -29,6 +32,7 @@ from repro.obs.span import Span
 __all__ = [
     "COMPUTE_PID",
     "STORAGE_PID",
+    "STAGING_PID",
     "chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",
@@ -40,14 +44,18 @@ __all__ = [
 #: pid used for rank (compute) tracks and for storage-side spans.
 COMPUTE_PID = 0
 STORAGE_PID = 1
+#: pid of the burst-buffer staging tier (one tid per node's buffer).
+STAGING_PID = 2
 
 _US = 1e6  # simulated seconds -> trace microseconds
 
 
 def _track(span: Span) -> tuple[int, int]:
-    """(pid, tid) placement for a span: ranks on pid 0, storage on pid 1."""
+    """(pid, tid) placement: ranks pid 0, storage pid 1, staging pid 2."""
     if span.rank >= 0:
         return COMPUTE_PID, span.rank
+    if span.category == "staging" and span.rank <= -2:
+        return STAGING_PID, -span.rank - 2
     return STORAGE_PID, 0
 
 
@@ -106,15 +114,20 @@ def chrome_trace(spans: Iterable[Span]) -> dict[str, Any]:
             )
 
     # Metadata first: names for the processes and one track per rank.
+    process_labels = {COMPUTE_PID: "ranks", STORAGE_PID: "storage", STAGING_PID: "staging"}
     pids = sorted({pid for pid, _ in tracks_seen})
     for pid in pids:
-        label = "ranks" if pid == COMPUTE_PID else "storage"
         events.append(
             {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
-             "args": {"name": label}}
+             "args": {"name": process_labels[pid]}}
         )
     for pid, tid in sorted(tracks_seen):
-        label = f"rank {tid}" if pid == COMPUTE_PID else "pfs"
+        if pid == COMPUTE_PID:
+            label = f"rank {tid}"
+        elif pid == STAGING_PID:
+            label = f"node {tid} buffer"
+        else:
+            label = "pfs"
         events.append(
             {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
              "args": {"name": label}}
@@ -149,6 +162,10 @@ _REQUIRED = {
     "M": ("ph", "pid", "name", "args"),
 }
 
+#: The process tracks this exporter emits: compute ranks, the parallel
+#: file system, and the burst-buffer staging tier.
+_KNOWN_PROCESS_LABELS = ("ranks", "storage", "staging")
+
 
 def validate_chrome_trace(trace: Any) -> int:
     """Check a Chrome ``trace_event`` object; returns the event count.
@@ -177,6 +194,13 @@ def validate_chrome_trace(trace: Any) -> int:
             if key not in ev:
                 raise ValueError(f"event #{i} (ph={ph}) missing field {key!r}")
         if ph == "M":
+            if ev["name"] == "process_name":
+                label = ev.get("args", {}).get("name")
+                if label not in _KNOWN_PROCESS_LABELS:
+                    raise ValueError(
+                        f"event #{i}: unknown process track {label!r}; "
+                        f"known: {', '.join(_KNOWN_PROCESS_LABELS)}"
+                    )
             continue
         ts = ev["ts"]
         if not isinstance(ts, (int, float)) or ts < 0:

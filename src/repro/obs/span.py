@@ -48,10 +48,12 @@ __all__ = ["Span", "SpanRecorder", "SPAN_CATEGORIES", "total_time"]
 #: ``sync``       fences, barriers and lock epochs of the RMA shuffles
 #: ``retry``      one attempt of a retrying write (foreground or supervisor)
 #: ``recovery``   a recovery attempt or failover gap (crash-fault runs)
+#: ``staging``    the burst-buffer tier: per-node absorb/drain intervals
+#:                (async, on the staging track) and rank-side flush waits
 #: =============  ========================================================
 SPAN_CATEGORIES = (
     "algo", "algo.cycle", "comm", "comm.call", "io", "io.call",
-    "io.aio", "io.fs", "sync", "retry", "recovery",
+    "io.aio", "io.fs", "sync", "retry", "recovery", "staging",
 )
 
 

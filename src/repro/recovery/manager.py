@@ -134,6 +134,10 @@ def run_with_recovery(spec, algorithm: str, config, auto_counters: dict | None):
     max_heap_len = 0
     replayed_bytes = 0
     torn_total = 0
+    staging_counters: dict[str, int] = {}
+    staging_peak = 0
+    staging_lost = 0
+    staging_used = False
     total_failover = 0.0
     plan0 = None  # the intended (attempt-1) plan, reported in the result
     final_world = None
@@ -212,6 +216,19 @@ def run_with_recovery(spec, algorithm: str, config, auto_counters: dict | None):
         writes_failed += sum(t.writes_failed for t in world.pfs.targets)
         writes_rejected += sum(t.writes_rejected for t in world.pfs.targets)
         max_heap_len = max(max_heap_len, world.engine.max_heap_len)
+        # Burst-buffer accounting: the tier is per-attempt (volatile — a
+        # crash loses whatever had not drained), so counters accumulate
+        # across attempts and undrained bytes of a *failed* attempt are
+        # the data the crash destroyed (the journal never committed them,
+        # so replay re-drives those cycles).
+        tier = getattr(world, "staging", None)
+        if tier is not None:
+            staging_used = True
+            for name, value in tier.counter_totals().items():
+                staging_counters[name] = staging_counters.get(name, 0) + value
+            staging_peak = max(staging_peak, tier.occupancy_peak())
+            if failure is not None:
+                staging_lost += tier.undrained_bytes()
         if recorder is not None:
             recorder.end(attempt_span, elapsed)
             for span in recorder.closed_spans():
@@ -310,10 +327,16 @@ def run_with_recovery(spec, algorithm: str, config, auto_counters: dict | None):
     registry.counter("recovery.replayed_bytes").inc(replayed_bytes)
     registry.counter("recovery.torn_cycles").inc(torn_total)
     registry.gauge("recovery.failover_time").set(total_failover)
+    if staging_used:
+        registry.merge_counters(staging_counters)
+        registry.counter("staging.lost_bytes").inc(staging_lost)
+        registry.gauge("staging.occupancy_peak").set(staging_peak)
     for span in all_spans:
         registry.histogram(f"span.{span.category}.dur").observe(span.dur)
     result.metrics = registry.snapshot()
 
     if spec.verify or config.verify:
-        result.verified = _verify_file(final_world, spec.path, spec.views, payloads)
+        result.verified, result.file_sha256 = _verify_file(
+            final_world, spec.path, spec.views, payloads
+        )
     return result

@@ -1,0 +1,20 @@
+"""Node-local burst-buffer staging tier (see DESIGN.md, Appendix C).
+
+Aggregators write into a per-node staging buffer at device speed; a
+drain scheduler moves the staged extents to the parallel file system in
+the background, overlapping subsequent cycles' communication and absorb
+phases — the storage-hierarchy generalization of the paper's
+communication/I-O overlap.
+"""
+
+from repro.staging.spec import DRAIN_POLICIES, StagingSpec, nvme_staging
+from repro.staging.tier import BurstBuffer, DrainScheduler, StagingTier
+
+__all__ = [
+    "DRAIN_POLICIES",
+    "StagingSpec",
+    "nvme_staging",
+    "BurstBuffer",
+    "DrainScheduler",
+    "StagingTier",
+]

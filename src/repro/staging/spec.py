@@ -1,0 +1,119 @@
+"""Configuration of the node-local burst-buffer staging tier.
+
+A :class:`StagingSpec` describes one tier the way :class:`~repro.fs.presets.FsSpec`
+describes a parallel file system: static capacities, bandwidths and
+latencies, plus the drain policy.  All sizes are *already scaled* (use
+:meth:`StagingSpec.for_scale` to build a spec in the paper's physical
+units); bandwidths stay physical, latencies compress with the scale —
+the same convention every other spec in the repository follows.
+
+The three drain policies:
+
+``immediate``
+    Drain each cycle's extents as soon as they land in the buffer: drain
+    traffic overlaps the following cycles' shuffle and absorb phases.
+``watermark``
+    Start draining when occupancy crosses ``high_watermark * capacity``,
+    stop once it falls to ``low_watermark * capacity`` — batched drains
+    that keep the device half-empty without paying per-cycle drain RPCs.
+``end_of_job``
+    Keep everything buffered until the collective's final flush, then
+    drain serially — the classic "stage out after the job" baseline.
+
+Whatever the policy, a full buffer *stalls* absorbs (back-pressure) and
+force-starts a drain so the job cannot deadlock against its own tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+
+from repro.config import DEFAULT_SCALE, scaled
+from repro.errors import ConfigurationError
+from repro.units import GB, GiB, US
+
+__all__ = ["DRAIN_POLICIES", "StagingSpec", "nvme_staging"]
+
+#: The drain policies the scheduler implements.
+DRAIN_POLICIES = ("immediate", "watermark", "end_of_job")
+
+#: Default per-node buffer capacity (unscaled): a small NVMe partition.
+CAPACITY_UNSCALED: int = 4 * GiB
+
+
+@dataclass(frozen=True)
+class StagingSpec:
+    """Static description of a node-local burst-buffer tier."""
+
+    #: Master switch; a disabled spec behaves exactly like ``staging=None``.
+    enabled: bool = True
+    #: Per-node buffer capacity, bytes (already scaled).
+    capacity: int = CAPACITY_UNSCALED // DEFAULT_SCALE
+    #: Absorb (ingest) bandwidth of one node's device, bytes/s.
+    absorb_bandwidth: float = 5 * GB
+    #: Per-request absorb latency (submission + device), seconds.
+    absorb_latency: float = 20 * US / DEFAULT_SCALE
+    #: Shared drain bandwidth from one node's buffer to the PFS, bytes/s.
+    drain_bandwidth: float = 1 * GB
+    #: Per-request drain latency (RPC to the PFS client path), seconds.
+    drain_latency: float = 100 * US / DEFAULT_SCALE
+    #: Drain policy: ``immediate``, ``watermark`` or ``end_of_job``.
+    policy: str = "immediate"
+    #: Occupancy fraction that starts a watermark drain.
+    high_watermark: float = 0.75
+    #: Occupancy fraction at which a watermark (or forced) drain stops.
+    low_watermark: float = 0.25
+    #: Transient drain-write failures tolerated per extent before the
+    #: failure propagates (the drain path hits the same injected faults
+    #: and outages a foreground write would).
+    max_drain_retries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1 byte, got {self.capacity}")
+        if self.absorb_bandwidth <= 0 or self.drain_bandwidth <= 0:
+            raise ConfigurationError("staging bandwidths must be positive")
+        if self.absorb_latency < 0 or self.drain_latency < 0:
+            raise ConfigurationError("staging latencies must be >= 0")
+        if self.policy not in DRAIN_POLICIES:
+            raise ConfigurationError(
+                f"unknown drain policy {self.policy!r}; known: {list(DRAIN_POLICIES)}"
+            )
+        if not (0.0 < self.low_watermark < self.high_watermark <= 1.0):
+            raise ConfigurationError(
+                "watermarks must satisfy 0 < low < high <= 1, got "
+                f"low={self.low_watermark}, high={self.high_watermark}"
+            )
+        if self.max_drain_retries < 0:
+            raise ConfigurationError("max_drain_retries must be >= 0")
+
+    @classmethod
+    def for_scale(cls, scale: int = DEFAULT_SCALE, **overrides) -> "StagingSpec":
+        """A spec in physical units scaled by ``scale``.
+
+        Capacity shrinks with the data sizes, latencies compress with the
+        time unit, bandwidths stay physical — exactly the convention of
+        :meth:`~repro.fs.presets.FsSpec.with_time_scale`.
+        """
+        defaults = cls()
+        overrides.setdefault("capacity", scaled(CAPACITY_UNSCALED, scale))
+        overrides.setdefault("absorb_latency", 20 * US / scale)
+        overrides.setdefault("drain_latency", 100 * US / scale)
+        return cls(**overrides)
+
+    def with_(self, **overrides) -> "StagingSpec":
+        return replace(self, **overrides)
+
+    def cache_key(self) -> dict:
+        """Canonical plain-data form for stable hashing (tune caches)."""
+        return asdict(self)
+
+
+def nvme_staging(scale: int = DEFAULT_SCALE, **overrides) -> "StagingSpec":
+    """The default tier: one NVMe-class device per node.
+
+    Absorb is an order of magnitude faster than a spinning-disk PFS
+    share, drain is a single shared link per node — the drain-bound
+    regime where asynchronous drain pays off.
+    """
+    return StagingSpec.for_scale(scale, **overrides)

@@ -33,6 +33,7 @@ from repro.collio.shuffle import SHUFFLE_PRIMITIVES
 from repro.config import DEFAULT_SCALE, scaled
 from repro.errors import ConfigurationError
 from repro.fs.presets import FsSpec, fs_preset
+from repro.staging.spec import DRAIN_POLICIES, StagingSpec
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.presets import PRESETS, preset
 from repro.units import MiB
@@ -126,6 +127,9 @@ class Candidate:
     num_aggregators: int | None = None
     #: Two-layer intra-node aggregation (True/False/"auto").
     two_layer: bool | str = False
+    #: Burst-buffer staging: a drain-policy name enables the tier with
+    #: the scenario-scaled NVMe defaults; None runs without staging.
+    staging: str | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -144,6 +148,10 @@ class Candidate:
             raise ConfigurationError(
                 f"two_layer must be True, False or 'auto', got {self.two_layer!r}"
             )
+        if self.staging is not None and self.staging not in DRAIN_POLICIES:
+            raise ConfigurationError(
+                f"staging must be None or one of {DRAIN_POLICIES}, got {self.staging!r}"
+            )
 
     @property
     def label(self) -> str:
@@ -156,6 +164,8 @@ class Candidate:
             parts.append(f"aggr={self.num_aggregators}")
         if self.two_layer:
             parts.append("2layer" if self.two_layer is True else "2layer=auto")
+        if self.staging is not None:
+            parts.append(f"staging={self.staging}")
         return "/".join(parts)
 
     def key(self) -> dict:
@@ -166,6 +176,7 @@ class Candidate:
             "cb_buffer_size": self.cb_buffer_size,
             "num_aggregators": self.num_aggregators,
             "two_layer": self.two_layer,
+            "staging": self.staging,
         }
 
     def sort_key(self) -> tuple:
@@ -176,6 +187,7 @@ class Candidate:
             self.cb_buffer_size if self.cb_buffer_size is not None else -1,
             self.num_aggregators if self.num_aggregators is not None else -1,
             str(self.two_layer),
+            self.staging or "",
         )
 
     def config_for(self, scenario: ScenarioSpec) -> CollectiveConfig:
@@ -187,6 +199,10 @@ class Candidate:
         }
         if self.cb_buffer_size is not None:
             overrides["cb_buffer_size"] = scaled(self.cb_buffer_size, scenario.scale)
+        if self.staging is not None:
+            overrides["staging"] = StagingSpec.for_scale(
+                scenario.scale, policy=self.staging
+            )
         return CollectiveConfig.for_scale(scenario.scale, **overrides)
 
 
@@ -199,14 +215,15 @@ class TuningSpace:
     cb_buffer_sizes: tuple = (None,)
     num_aggregators: tuple = (None,)
     two_layer: tuple = (False,)
+    staging: tuple = (None,)
 
     def candidates(self) -> list[Candidate]:
         """All grid points in deterministic (sorted) enumeration order."""
         return [
-            Candidate(a, s, cb, na, tl)
-            for a, s, cb, na, tl in itertools.product(
+            Candidate(a, s, cb, na, tl, st)
+            for a, s, cb, na, tl, st in itertools.product(
                 self.algorithms, self.shuffles, self.cb_buffer_sizes,
-                self.num_aggregators, self.two_layer,
+                self.num_aggregators, self.two_layer, self.staging,
             )
         ]
 
@@ -217,6 +234,7 @@ class TuningSpace:
             * len(self.cb_buffer_sizes)
             * len(self.num_aggregators)
             * len(self.two_layer)
+            * len(self.staging)
         )
 
 
@@ -229,10 +247,11 @@ def default_space() -> TuningSpace:
 
 def full_space() -> TuningSpace:
     """The exhaustive space: every shuffle, 4 buffer sizes, 4 aggregator
-    counts, single- and two-layer aggregation."""
+    counts, single- and two-layer aggregation, staging off/immediate."""
     return TuningSpace(
         shuffles=tuple(sorted(SHUFFLE_PRIMITIVES)),
         cb_buffer_sizes=(8 * MiB, 16 * MiB, None, 64 * MiB),
         num_aggregators=(None, 2, 4, 8),
         two_layer=(False, True),
+        staging=(None, "immediate"),
     )

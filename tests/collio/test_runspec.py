@@ -127,6 +127,32 @@ class TestLegacyShim:
         assert legacy.elapsed == modern.elapsed
         assert legacy.num_cycles == modern.num_cycles
 
+    def test_legacy_shim_warns_exactly_once_and_is_byte_identical(self):
+        # The shim must warn once per call — not zero, not per-argument —
+        # and produce output indistinguishable from the RunSpec path:
+        # identical file bytes (sha of the PFS read-back) and an
+        # identical span timeline.
+        from repro.obs.export import chrome_trace_json
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = run_collective_write(
+                small_cluster(), small_fs(), 4, views_for(4),
+                algorithm="write_overlap", config=CFG,
+                verify=True, trace=True,
+            )
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        modern = run_collective_write(spec(
+            algorithm="write_overlap", carry_data=True,
+            verify=True, trace=True,
+        ))
+        assert legacy.verified is True and modern.verified is True
+        assert legacy.file_sha256 == modern.file_sha256
+        assert legacy.elapsed == modern.elapsed
+        assert chrome_trace_json(legacy.spans) == chrome_trace_json(modern.spans)
+
     def test_legacy_renamed_keywords_still_work(self):
         with pytest.warns(DeprecationWarning):
             result = run_collective_write(

@@ -27,9 +27,9 @@ OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fingerprints.jso
 
 def main() -> int:
     fingerprints = {}
-    for algorithm, shuffle, two_layer in golden_cases():
-        key = case_key(algorithm, shuffle, two_layer)
-        fingerprints[key] = fingerprint(algorithm, shuffle, two_layer)
+    for case in golden_cases():
+        key = case_key(*case)
+        fingerprints[key] = fingerprint(*case)
         print(f"  {key}: {fingerprints[key]['file_sha256'][:12]}", file=sys.stderr)
     with open(OUT, "w") as fh:
         json.dump(fingerprints, fh, indent=2, sort_keys=True)

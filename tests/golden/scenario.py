@@ -3,11 +3,11 @@
 A fingerprint captures what a same-seed simulated collective write must
 reproduce exactly:
 
-* ``file_sha256`` — hash of the verified written file's bytes (the
-  simulation runs with ``verify=True``, so the hashed bytes are the
-  actual file contents, independently checked against the views);
+* ``file_sha256`` — hash of the written file's bytes read back from the
+  simulated PFS (the run verifies against the views first, so the hash
+  is also the hash of the independently-checked expectation);
 * ``num_cycles`` — the plan's cycle count;
-* ``spans`` — closed-span count per category (algo/io/comm/intranode
+* ``spans`` — closed-span count per category (algo/io/comm/staging
   ...), a cheap structural summary of the run's event timeline.
 
 Timing values are deliberately NOT part of the fingerprint: cost-model
@@ -15,20 +15,23 @@ tuning may move them, while data placement, plan shape and span
 structure must not drift silently.  Regenerate with::
 
     PYTHONPATH=src python tests/golden/refresh.py
+
+Cases are ``(algorithm, shuffle, two_layer, staging_policy)`` tuples;
+``staging_policy`` is ``None`` (direct writes — the original 30 cases,
+whose keys and fingerprints are unchanged) or a drain-policy name that
+routes the aggregators' writes through the burst-buffer tier.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import replace
 
-import numpy as np
-
-from repro.collio.api import RunSpec, default_data, run_collective_write
+from repro.collio.api import RunSpec, run_collective_write
 from repro.collio.overlap import ALGORITHMS
 from repro.collio.shuffle import SHUFFLE_PRIMITIVES
 from repro.fs.presets import beegfs_crill
 from repro.hardware.presets import crill
+from repro.staging import DRAIN_POLICIES, StagingSpec
 from repro.workloads import make_workload
 
 #: 8 ranks on 2 nodes; segmented IOR interleaves every rank's blocks
@@ -38,21 +41,33 @@ CORES_PER_NODE = 4
 WORKLOAD_KWARGS = {"block_size": 4096, "segment_count": 8}
 
 
-def golden_cases() -> list[tuple[str, str, bool]]:
-    """Every (algorithm, shuffle, two_layer) combination, sorted."""
-    return [
-        (algorithm, shuffle, two_layer)
+def golden_cases() -> list[tuple[str, str, bool, str | None]]:
+    """Every (algorithm, shuffle, two_layer) combination without staging,
+    plus every (algorithm, drain policy) combination with it."""
+    direct = [
+        (algorithm, shuffle, two_layer, None)
         for algorithm in sorted(ALGORITHMS)
         for shuffle in sorted(SHUFFLE_PRIMITIVES)
         for two_layer in (False, True)
     ]
+    staged = [
+        (algorithm, "two_sided", False, policy)
+        for algorithm in sorted(ALGORITHMS)
+        for policy in DRAIN_POLICIES
+    ]
+    return direct + staged
 
 
-def case_key(algorithm: str, shuffle: str, two_layer: bool) -> str:
-    return f"{algorithm}/{shuffle}" + ("/two_layer" if two_layer else "")
+def case_key(
+    algorithm: str, shuffle: str, two_layer: bool, staging: str | None = None
+) -> str:
+    key = f"{algorithm}/{shuffle}" + ("/two_layer" if two_layer else "")
+    return key + (f"/staging-{staging}" if staging else "")
 
 
-def golden_spec(algorithm: str, shuffle: str, two_layer: bool) -> RunSpec:
+def golden_spec(
+    algorithm: str, shuffle: str, two_layer: bool, staging: str | None = None
+) -> RunSpec:
     workload = make_workload("ior", NPROCS, **WORKLOAD_KWARGS)
     return RunSpec(
         cluster=replace(crill(), cores_per_node=CORES_PER_NODE),
@@ -62,30 +77,24 @@ def golden_spec(algorithm: str, shuffle: str, two_layer: bool) -> RunSpec:
         algorithm=algorithm,
         shuffle=shuffle,
         two_layer=two_layer,
+        staging=None if staging is None else StagingSpec.for_scale(policy=staging),
         verify=True,
         trace=True,
     )
 
 
-def fingerprint(algorithm: str, shuffle: str, two_layer: bool) -> dict:
+def fingerprint(
+    algorithm: str, shuffle: str, two_layer: bool, staging: str | None = None
+) -> dict:
     """Run the pinned scenario once and fingerprint the outcome."""
-    spec = golden_spec(algorithm, shuffle, two_layer)
+    spec = golden_spec(algorithm, shuffle, two_layer, staging)
     result = run_collective_write(spec)
     assert result.verified is True
-    # The run verified the file against the views, so hashing the
-    # expectation hashes the actual file bytes.
-    ends = [v.file_range[1] for v in spec.views.values() if v.num_extents]
-    size = max(ends) if ends else 0
-    contents = np.zeros(size, dtype=np.uint8)
-    for rank, view in spec.views.items():
-        data = default_data(rank, view.total_bytes)
-        for off, ln, loc in zip(view.offsets, view.lengths, view.local_offsets):
-            contents[off : off + ln] = data[loc : loc + ln]
     spans: dict[str, int] = {}
     for span in result.spans:
         spans[span.category] = spans.get(span.category, 0) + 1
     return {
-        "file_sha256": hashlib.sha256(contents.tobytes()).hexdigest(),
+        "file_sha256": result.file_sha256,
         "num_cycles": result.num_cycles,
         "spans": dict(sorted(spans.items())),
     }

@@ -1,4 +1,4 @@
-"""Same-seed golden regression: 5 algorithms x 3 shuffles x 2 layerings.
+"""Same-seed golden regression: algorithms x shuffles x layerings x staging.
 
 Each case re-runs the pinned scenario (tests/golden/scenario.py) and
 compares its fingerprint — written-file hash, cycle count, span-count
@@ -30,15 +30,16 @@ def test_fingerprint_file_covers_all_cases():
 
 
 @pytest.mark.parametrize(
-    "algorithm,shuffle,two_layer",
+    "algorithm,shuffle,two_layer,staging",
     golden_cases(),
     ids=[case_key(*case) for case in golden_cases()],
 )
-def test_same_seed_fingerprint(algorithm, shuffle, two_layer):
-    recorded = _load()[case_key(algorithm, shuffle, two_layer)]
-    actual = fingerprint(algorithm, shuffle, two_layer)
+def test_same_seed_fingerprint(algorithm, shuffle, two_layer, staging):
+    key = case_key(algorithm, shuffle, two_layer, staging)
+    recorded = _load()[key]
+    actual = fingerprint(algorithm, shuffle, two_layer, staging)
     assert actual == recorded, (
-        f"golden fingerprint drifted for {case_key(algorithm, shuffle, two_layer)}; "
+        f"golden fingerprint drifted for {key}; "
         "if intentional: PYTHONPATH=src python tests/golden/refresh.py"
     )
 
@@ -46,10 +47,25 @@ def test_same_seed_fingerprint(algorithm, shuffle, two_layer):
 def test_two_layer_file_hash_matches_single_layer():
     """Two-layer aggregation must not change the written bytes."""
     recorded = _load()
-    for algorithm, shuffle, two_layer in golden_cases():
+    for algorithm, shuffle, two_layer, staging in golden_cases():
         if not two_layer:
             continue
-        single = recorded[case_key(algorithm, shuffle, False)]
-        double = recorded[case_key(algorithm, shuffle, True)]
+        single = recorded[case_key(algorithm, shuffle, False, staging)]
+        double = recorded[case_key(algorithm, shuffle, True, staging)]
         assert single["file_sha256"] == double["file_sha256"]
         assert single["num_cycles"] == double["num_cycles"]
+
+
+def test_staging_file_hash_matches_direct():
+    """Routing writes through the burst buffer must not change the
+    written bytes or the plan's cycle count — only the span timeline
+    (which gains absorb/drain/flush staging spans)."""
+    recorded = _load()
+    staged_cases = [c for c in golden_cases() if c[3] is not None]
+    assert staged_cases
+    for algorithm, shuffle, two_layer, staging in staged_cases:
+        direct = recorded[case_key(algorithm, shuffle, two_layer)]
+        staged = recorded[case_key(algorithm, shuffle, two_layer, staging)]
+        assert staged["file_sha256"] == direct["file_sha256"]
+        assert staged["num_cycles"] == direct["num_cycles"]
+        assert staged["spans"].get("staging", 0) > 0

@@ -1,0 +1,68 @@
+"""``python -m repro.obs validate``: exit codes and one-line diagnoses.
+
+The CI smoke jobs pipe bench trace artifacts through this command, so
+the contract is strict: exit 0 with an ``OK`` line for a valid trace
+(including the staging track), exit 1 with a single ``INVALID:`` line
+naming the violation for anything else — unreadable files and non-JSON
+included.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+def _write(tmp_path, obj, name="trace.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(obj))
+    return str(path)
+
+
+def test_valid_trace_with_staging_track_ok(tmp_path, capsys):
+    from repro.collio.api import RunSpec, run_collective_write
+    from repro.collio.view import FileView
+    from repro.obs.export import chrome_trace
+    from repro.staging import StagingSpec
+
+    from tests.collio.test_algorithms import small_cluster, small_fs
+
+    result = run_collective_write(RunSpec(
+        cluster=small_cluster(), fs=small_fs(), nprocs=4,
+        views={r: FileView.contiguous(r * 4096, 4096) for r in range(4)},
+        staging=StagingSpec(policy="immediate"), trace=True, carry_data=False,
+    ))
+    assert any(s.category == "staging" for s in result.spans)
+    path = _write(tmp_path, chrome_trace(result.spans))
+    assert main(["validate", path]) == 0
+    assert capsys.readouterr().out.startswith("OK:")
+
+
+def test_schema_violation_exits_nonzero_with_reason(tmp_path, capsys):
+    path = _write(tmp_path, {"traceEvents": [
+        {"ph": "M", "pid": 3, "tid": 0, "name": "process_name",
+         "args": {"name": "imposter"}},
+    ]})
+    assert main(["validate", path]) == 1
+    err = capsys.readouterr().err
+    assert err.count("\n") == 1 and "unknown process track" in err
+
+
+def test_missing_file_exits_nonzero(tmp_path, capsys):
+    assert main(["validate", str(tmp_path / "nope.json")]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("INVALID: cannot read")
+
+
+def test_non_json_file_exits_nonzero(tmp_path, capsys):
+    path = tmp_path / "garbage.json"
+    path.write_text("this is not json {")
+    assert main(["validate", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("INVALID:") and "not JSON" in err
+
+
+def test_unknown_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

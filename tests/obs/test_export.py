@@ -60,6 +60,39 @@ class TestChromeTrace:
         }
         assert names == {(COMPUTE_PID, "ranks"), (STORAGE_PID, "storage")}
 
+    def test_staging_spans_land_on_staging_track(self):
+        from repro.obs.export import STAGING_PID
+        from repro.staging.tier import staging_rank
+
+        spans = _sample_spans() + [
+            Span("absorb", "staging", rank=staging_rank(0),
+                 t0=0.2, t1=0.4, flow="async"),
+            Span("drain", "staging", rank=staging_rank(1),
+                 t0=0.5, t1=0.9, flow="async"),
+            # A rank-side staging span (the flush wait) stays on the
+            # rank's own track.
+            Span("flush", "staging", rank=2, t0=5.0, t1=6.0),
+        ]
+        trace = chrome_trace(spans)
+        validate_chrome_trace(trace)
+        events = trace["traceEvents"]
+        staging = [e for e in events
+                   if e["ph"] != "M" and e["pid"] == STAGING_PID]
+        assert {e["tid"] for e in staging} == {0, 1}  # node ids as tids
+        flush = [e for e in events if e.get("name") == "flush" and e["ph"] == "X"]
+        assert flush and flush[0]["pid"] == COMPUTE_PID and flush[0]["tid"] == 2
+        labels = {
+            (e["pid"], e["args"]["name"]) for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert (STAGING_PID, "staging") in labels
+        thread_labels = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == STAGING_PID
+        }
+        assert thread_labels == {"node 0 buffer", "node 1 buffer"}
+
     def test_open_spans_are_skipped(self):
         spans = _sample_spans() + [Span("open", "io", rank=0, t0=9.0)]
         trace = chrome_trace(spans)
@@ -95,6 +128,21 @@ class TestValidate:
                                   "ts": 0, "pid": 0, "tid": 0}]}  # no dur
         with pytest.raises(ValueError, match="missing field 'dur'"):
             validate_chrome_trace(trace)
+
+    def test_rejects_unknown_process_track(self):
+        trace = {"traceEvents": [
+            {"ph": "M", "pid": 9, "tid": 0, "name": "process_name",
+             "args": {"name": "mystery"}},
+        ]}
+        with pytest.raises(ValueError, match="unknown process track 'mystery'"):
+            validate_chrome_trace(trace)
+
+    def test_accepts_staging_process_track(self):
+        trace = {"traceEvents": [
+            {"ph": "M", "pid": 2, "tid": 0, "name": "process_name",
+             "args": {"name": "staging"}},
+        ]}
+        assert validate_chrome_trace(trace) == 1
 
     def test_rejects_unknown_ph(self):
         with pytest.raises(ValueError, match="unsupported ph"):

@@ -1,0 +1,109 @@
+"""Hypothesis properties of the staging tier.
+
+Three invariants no drain policy may bend, over randomized workload
+shapes, algorithms and seeds:
+
+* **Conservation** — at job end every absorbed byte has drained and the
+  drained total equals the bytes the file was asked to hold;
+* **Bounded occupancy** — the buffer never holds more than its capacity;
+* **Transparency** — a staged run writes byte-identical file contents to
+  the same-seed direct run (staging moves bytes in time, never in space).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio.api import RunSpec
+from repro.collio.view import FileView
+from repro.staging import DRAIN_POLICIES, StagingSpec
+
+from tests.collio.test_algorithms import ALL_ALGORITHMS, small_cluster, small_fs
+
+
+def interleaved_views(nprocs: int, block: int, count: int) -> dict[int, FileView]:
+    import numpy as np
+
+    return {
+        r: FileView(
+            np.array([(i * nprocs + r) * block for i in range(count)], dtype=np.int64),
+            np.full(count, block, dtype=np.int64),
+        )
+        for r in range(nprocs)
+    }
+
+
+def staged_run(nprocs, block, count, algorithm, policy, seed, capacity=1 << 20):
+    return run_collective_write(RunSpec(
+        cluster=small_cluster(), fs=small_fs(), nprocs=nprocs,
+        views=interleaved_views(nprocs, block, count), algorithm=algorithm,
+        config=CollectiveConfig(cb_buffer_size=8192), seed=seed,
+        staging=StagingSpec(policy=policy, capacity=capacity),
+        verify=True,
+    ))
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    nprocs=st.integers(2, 8),
+    block=st.integers(64, 4096),
+    count=st.integers(1, 5),
+    algorithm=st.sampled_from(ALL_ALGORITHMS),
+    policy=st.sampled_from(DRAIN_POLICIES),
+    seed=st.integers(0, 2**16),
+)
+def test_drained_equals_absorbed_equals_file_bytes(
+    nprocs, block, count, algorithm, policy, seed
+):
+    result = staged_run(nprocs, block, count, algorithm, policy, seed)
+    assert result.verified is True
+    counters = result.metrics["counters"]
+    total = nprocs * block * count
+    assert counters["staging.absorbed_bytes"] == total
+    assert counters["staging.drained_bytes"] == total
+    assert result.metrics["gauges"]["staging.undrained_bytes"] == 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    nprocs=st.integers(2, 8),
+    block=st.integers(64, 2048),
+    count=st.integers(1, 4),
+    policy=st.sampled_from(DRAIN_POLICIES),
+    capacity=st.integers(12 * 1024, 1 << 20),
+    seed=st.integers(0, 2**16),
+)
+def test_occupancy_never_exceeds_capacity(
+    nprocs, block, count, policy, capacity, seed
+):
+    # Capacity down to 1.5 cycles: the small end exercises back-pressure.
+    result = staged_run(
+        nprocs, block, count, "write_overlap", policy, seed, capacity=capacity
+    )
+    gauges = result.metrics["gauges"]
+    assert 0 < gauges["staging.occupancy_peak"] <= capacity
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    nprocs=st.integers(2, 8),
+    block=st.integers(64, 4096),
+    count=st.integers(1, 5),
+    algorithm=st.sampled_from(ALL_ALGORITHMS),
+    policy=st.sampled_from(DRAIN_POLICIES),
+    seed=st.integers(0, 2**16),
+)
+def test_staged_file_is_byte_identical_to_direct(
+    nprocs, block, count, algorithm, policy, seed
+):
+    views = interleaved_views(nprocs, block, count)
+    base = dict(
+        cluster=small_cluster(), fs=small_fs(), nprocs=nprocs, views=views,
+        algorithm=algorithm, config=CollectiveConfig(cb_buffer_size=8192),
+        seed=seed, verify=True,
+    )
+    direct = run_collective_write(RunSpec(**base))
+    staged = run_collective_write(RunSpec(
+        **base, staging=StagingSpec(policy=policy, capacity=1 << 20)
+    ))
+    assert direct.verified is True and staged.verified is True
+    assert direct.file_sha256 == staged.file_sha256

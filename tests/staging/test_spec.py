@@ -1,0 +1,74 @@
+"""Validation and scaling behavior of :class:`StagingSpec`."""
+
+import pytest
+
+from repro.config import DEFAULT_SCALE, scaled
+from repro.errors import ConfigurationError
+from repro.staging import DRAIN_POLICIES, StagingSpec, nvme_staging
+from repro.staging.spec import CAPACITY_UNSCALED
+from repro.units import US
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            StagingSpec(capacity=0)
+
+    def test_rejects_bad_bandwidths_and_latencies(self):
+        with pytest.raises(ConfigurationError):
+            StagingSpec(absorb_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            StagingSpec(drain_bandwidth=-1)
+        with pytest.raises(ConfigurationError):
+            StagingSpec(absorb_latency=-1e-9)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            StagingSpec(policy="sometimes")
+
+    def test_rejects_inverted_watermarks(self):
+        with pytest.raises(ConfigurationError):
+            StagingSpec(high_watermark=0.2, low_watermark=0.5)
+        with pytest.raises(ConfigurationError):
+            StagingSpec(high_watermark=1.5)
+        with pytest.raises(ConfigurationError):
+            StagingSpec(low_watermark=0.0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ConfigurationError):
+            StagingSpec(max_drain_retries=-1)
+
+    def test_all_policies_construct(self):
+        for policy in DRAIN_POLICIES:
+            assert StagingSpec(policy=policy).policy == policy
+
+
+class TestScaling:
+    def test_for_scale_compresses_capacity_and_latencies(self):
+        spec = StagingSpec.for_scale(128)
+        assert spec.capacity == scaled(CAPACITY_UNSCALED, 128)
+        assert spec.absorb_latency == pytest.approx(20 * US / 128)
+        assert spec.drain_latency == pytest.approx(100 * US / 128)
+        # Bandwidths stay physical.
+        assert spec.absorb_bandwidth == StagingSpec().absorb_bandwidth
+
+    def test_for_scale_overrides_win(self):
+        spec = StagingSpec.for_scale(64, capacity=12345, policy="end_of_job")
+        assert spec.capacity == 12345
+        assert spec.policy == "end_of_job"
+
+    def test_default_spec_matches_default_scale(self):
+        assert StagingSpec() == StagingSpec.for_scale(DEFAULT_SCALE)
+
+    def test_nvme_preset_is_a_scaled_spec(self):
+        assert nvme_staging(64) == StagingSpec.for_scale(64)
+
+    def test_with_and_cache_key(self):
+        spec = StagingSpec()
+        assert spec.with_(policy="watermark").policy == "watermark"
+        key = spec.cache_key()
+        assert key["policy"] == "immediate"
+        assert all(
+            isinstance(v, (str, int, float, bool)) for v in key.values()
+        )
+        assert key != spec.with_(drain_bandwidth=1.0).cache_key()

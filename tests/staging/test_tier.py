@@ -1,0 +1,185 @@
+"""Behavioral tests of the burst-buffer tier inside collective writes.
+
+Covers the three drain policies' scheduling shapes (overlap vs deferral),
+back-pressure stalls, conservation of bytes, instrumentation, and the
+acceptance regression: an overlapped drain strictly beats ``end_of_job``
+on a drain-bound tier for every overlap algorithm.
+"""
+
+import pytest
+
+from repro.collio import CollectiveConfig, run_collective_write
+from repro.collio.api import RunSpec
+from repro.collio.view import FileView
+from repro.errors import ConfigurationError
+from repro.staging import DRAIN_POLICIES, StagingSpec
+from repro.units import GB, MB
+
+from tests.collio.test_algorithms import ALL_ALGORITHMS, small_cluster, small_fs
+
+PER_RANK = 64 * 1024
+NPROCS = 8
+
+
+def views_for(nprocs=NPROCS, per_rank=PER_RANK):
+    return {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+
+
+def staged_spec(policy="immediate", capacity=32 * 1024 * 1024, **kw):
+    return StagingSpec(policy=policy, capacity=capacity, **kw)
+
+
+def run(policy=None, algorithm="write_overlap", cb=8192, staging=None, **kw):
+    if staging is None and policy is not None:
+        staging = staged_spec(policy)
+    defaults = dict(
+        cluster=small_cluster(), fs=small_fs(), nprocs=NPROCS,
+        views=views_for(), algorithm=algorithm,
+        config=CollectiveConfig(cb_buffer_size=cb), staging=staging,
+        verify=True, trace=True,
+    )
+    defaults.update(kw)
+    return run_collective_write(RunSpec(**defaults))
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", DRAIN_POLICIES)
+    def test_absorbed_equals_drained_equals_file_bytes(self, policy):
+        result = run(policy)
+        assert result.verified is True
+        counters = result.metrics["counters"]
+        total = NPROCS * PER_RANK
+        assert counters["staging.absorbed_bytes"] == total
+        assert counters["staging.drained_bytes"] == total
+        assert counters["staging.extents_absorbed"] == \
+            counters["staging.extents_drained"]
+        assert result.metrics["gauges"]["staging.undrained_bytes"] == 0
+
+    @pytest.mark.parametrize("policy", DRAIN_POLICIES)
+    def test_occupancy_never_exceeds_capacity(self, policy):
+        result = run(policy)
+        gauges = result.metrics["gauges"]
+        assert 0 < gauges["staging.occupancy_peak"] <= gauges["staging.capacity"]
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_every_algorithm_verifies_with_staging(self, algorithm):
+        result = run("immediate", algorithm=algorithm)
+        assert result.verified is True
+        assert result.metrics["counters"]["staging.drained_bytes"] == \
+            NPROCS * PER_RANK
+
+
+class TestPolicyScheduling:
+    def test_end_of_job_defers_drains_past_absorbs(self):
+        # Ample capacity: every drain span starts after the last absorb
+        # has finished (the flush is the only thing that drains).
+        result = run("end_of_job")
+        absorbs = [s for s in result.spans if s.name == "absorb"]
+        drains = [s for s in result.spans if s.name == "drain"]
+        assert absorbs and drains
+        assert min(d.t0 for d in drains) >= max(a.t1 for a in absorbs) - 1e-12
+
+    def test_immediate_overlaps_drains_with_absorbs(self):
+        result = run("immediate")
+        absorbs = [s for s in result.spans if s.name == "absorb"]
+        drains = [s for s in result.spans if s.name == "drain"]
+        assert min(d.t0 for d in drains) < max(a.t1 for a in absorbs)
+
+    def test_watermark_starts_mid_job_with_small_buffer(self):
+        # Capacity ~2.5 cycles: the high watermark is crossed while
+        # absorbs are still arriving, so drains overlap absorbs ...
+        result = run(staging=staged_spec("watermark", capacity=20 * 1024))
+        assert result.verified is True
+        absorbs = [s for s in result.spans if s.name == "absorb"]
+        drains = [s for s in result.spans if s.name == "drain"]
+        assert min(d.t0 for d in drains) < max(a.t1 for a in absorbs)
+
+    def test_watermark_defers_with_ample_buffer(self):
+        # ... but with everything below the watermark, nothing drains
+        # until the flush, exactly like end_of_job.
+        wm = run("watermark")
+        eoj = run("end_of_job")
+        assert wm.elapsed == pytest.approx(eoj.elapsed)
+
+    def test_flush_span_on_rank_track(self):
+        result = run("end_of_job")
+        flushes = [s for s in result.spans
+                   if s.category == "staging" and s.name == "flush"]
+        assert flushes and all(s.rank >= 0 for s in flushes)
+
+
+class TestBackPressure:
+    def test_full_buffer_stalls_and_force_drains(self):
+        # Capacity holds barely more than one cycle: end_of_job cannot
+        # actually defer, back-pressure forces drains mid-job.
+        result = run(staging=staged_spec("end_of_job", capacity=12 * 1024))
+        assert result.verified is True
+        counters = result.metrics["counters"]
+        assert counters["staging.stalls"] > 0
+        assert counters["staging.forced_drains"] > 0
+        gauges = result.metrics["gauges"]
+        assert gauges["staging.occupancy_peak"] <= gauges["staging.capacity"]
+
+    def test_extent_larger_than_capacity_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run(staging=staged_spec("immediate", capacity=4096), cb=64 * 1024)
+
+
+class TestOverlapWins:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_immediate_beats_end_of_job_on_drain_bound_tier(self, algorithm):
+        # The paper's thesis applied to the staging tier: overlapping the
+        # (slow) drain with subsequent cycles strictly beats deferring it.
+        times = {}
+        for policy in ("immediate", "end_of_job"):
+            staging = staged_spec(
+                policy, absorb_bandwidth=8 * GB, drain_bandwidth=50 * MB)
+            result = run(algorithm=algorithm, staging=staging,
+                         verify=False, trace=False, carry_data=False)
+            times[policy] = result.elapsed
+        assert times["immediate"] < times["end_of_job"]
+
+
+class TestWiring:
+    def test_disabled_spec_behaves_like_no_staging(self):
+        off = run(staging=None)
+        disabled = run(staging=StagingSpec(enabled=False))
+        assert disabled.elapsed == off.elapsed
+        assert "staging.absorbed_bytes" not in disabled.metrics["counters"]
+
+    def test_staging_off_and_on_produce_identical_file_bytes(self):
+        shas = {
+            label: run(staging=staging).file_sha256
+            for label, staging in [
+                ("off", None),
+                ("immediate", staged_spec("immediate")),
+                ("end_of_job", staged_spec("end_of_job")),
+            ]
+        }
+        assert len(set(shas.values())) == 1
+
+    def test_staging_spans_live_on_staging_track(self):
+        from repro.obs.export import STAGING_PID, chrome_trace, validate_chrome_trace
+
+        result = run("immediate")
+        trace = chrome_trace(result.spans)
+        validate_chrome_trace(trace)
+        staging_events = [
+            e for e in trace["traceEvents"]
+            if e.get("pid") == STAGING_PID and e.get("ph") in ("b", "e")
+        ]
+        assert staging_events
+        assert {e["name"] for e in staging_events} == {"absorb", "drain"}
+
+    def test_runspec_rejects_wrong_staging_type(self):
+        with pytest.raises(ConfigurationError):
+            run(staging="immediate")
+
+    def test_conflicting_tier_specs_rejected(self):
+        from repro.mpi.world import World
+        from repro.staging.tier import StagingTier
+
+        world = World(small_cluster(), 4, fs_spec=small_fs())
+        StagingTier.ensure(world, staged_spec("immediate"))
+        with pytest.raises(ConfigurationError):
+            StagingTier.ensure(world, staged_spec("end_of_job"))

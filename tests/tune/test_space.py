@@ -80,6 +80,7 @@ class TestTuningSpace:
 
     def test_default_and_full_spaces(self):
         assert len(default_space()) == 15
-        assert len(full_space()) == 5 * 3 * 4 * 4 * 2  # x2: two_layer axis
+        # x2 two_layer axis, x2 staging axis (off / immediate)
+        assert len(full_space()) == 5 * 3 * 4 * 4 * 2 * 2
         # every grid point is constructible (validation runs in __post_init__)
         assert all(isinstance(c, Candidate) for c in default_space().candidates())
