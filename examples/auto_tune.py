@@ -17,14 +17,18 @@ Run:  python examples/auto_tune.py
 
 import tempfile
 
+from repro.api import (
+    CollectiveConfig,
+    RunSpec,
+    autotune,
+    beegfs_crill,
+    crill,
+    make_workload,
+    run_collective_write,
+)
 from repro.bench.reporting import render_tuning
-from repro.collio import CollectiveConfig, RunSpec, run_collective_write
-from repro.fs import beegfs_crill
-from repro.hardware import crill
 from repro.sim import Tracer
-from repro.tune import autotune
 from repro.units import fmt_time
-from repro.workloads import make_workload
 
 #: Small scenario so the whole example runs in seconds.
 NPROCS = 8

@@ -20,11 +20,15 @@ the `RecoveryReport`.
 Run:  python examples/chaos_recovery.py
 """
 
-from repro.collio import CollectiveConfig, RunSpec, run_collective_write
-from repro.collio.view import FileView
-from repro.faults import FaultSpec
-from repro.fs import FsSpec
-from repro.hardware import ClusterSpec
+from repro.api import (
+    ClusterSpec,
+    CollectiveConfig,
+    FaultSpec,
+    FileView,
+    FsSpec,
+    RunSpec,
+    run_collective_write,
+)
 from repro.units import MB, fmt_bytes, fmt_time
 
 #: Small platform: 4 nodes, 4 storage targets — an outage takes out a

@@ -11,11 +11,9 @@ read-ahead.
 Run:  python examples/collective_read.py
 """
 
-from repro.collio import CollectiveConfig, run_collective_read
-from repro.fs import beegfs_ibex
-from repro.hardware import ibex
+from repro.api import CollectiveConfig, beegfs_ibex, ibex, make_workload
+from repro.collio import run_collective_read
 from repro.units import fmt_bandwidth, fmt_time
-from repro.workloads import make_workload
 
 NPROCS = 64
 

@@ -11,10 +11,9 @@ Run:  python examples/flash_checkpoint.py [--nprocs 96]
 
 import argparse
 
+from repro.api import CollectiveConfig, RunSpec, make_workload, run_collective_write
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import fmt_time
-from repro.workloads import make_workload
 
 ALGORITHMS = ["no_overlap", "comm_overlap", "write_overlap", "write_comm2"]
 

@@ -14,10 +14,9 @@ Run:  python examples/ior_sweep.py [--counts 96 144 192] [--reps 3]
 import argparse
 
 from repro.analysis.stats import Series, relative_improvement
+from repro.api import CollectiveConfig, RunSpec, make_workload, run_collective_write
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import fmt_time
-from repro.workloads import make_workload
 
 ALGORITHMS = ["no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2"]
 

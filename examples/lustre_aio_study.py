@@ -11,10 +11,9 @@ evaporating, while the communication-only overlap is unaffected.
 Run:  python examples/lustre_aio_study.py
 """
 
+from repro.api import CollectiveConfig, RunSpec, make_workload, run_collective_write
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import MiB, fmt_time
-from repro.workloads import make_workload
 
 NPROCS = 96
 

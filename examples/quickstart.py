@@ -9,11 +9,15 @@ resulting file.
 Run:  python examples/quickstart.py
 """
 
-from repro.collio import CollectiveConfig, RunSpec, run_collective_write
-from repro.fs import beegfs_crill
-from repro.hardware import crill
+from repro.api import (
+    CollectiveConfig,
+    RunSpec,
+    beegfs_crill,
+    crill,
+    make_workload,
+    run_collective_write,
+)
 from repro.units import fmt_bandwidth, fmt_time
-from repro.workloads import make_workload
 
 NPROCS = 64
 #: Per-rank block size.  Small enough that byte-exact verification is

@@ -18,10 +18,9 @@ Run:  python examples/tile_io_primitives.py [--nprocs 100] [--reps 3]
 import argparse
 
 from repro.analysis.stats import Series, relative_improvement
+from repro.api import CollectiveConfig, RunSpec, make_workload, run_collective_write
 from repro.bench.runner import specs_for
-from repro.collio import CollectiveConfig, RunSpec, run_collective_write
 from repro.units import fmt_time
-from repro.workloads import make_workload
 
 SHUFFLES = ["two_sided", "one_sided_fence", "one_sided_lock"]
 

@@ -1,0 +1,79 @@
+"""The package's front door: one import surface for the common workflow.
+
+Everything a typical study touches — describing a run (:class:`RunSpec`
+and the rest of the ``*Spec`` family), executing it
+(:func:`run_collective_write`, :func:`run_with_recovery`), and tuning it
+(:func:`autotune`) — is re-exported here so user code can say::
+
+    from repro.api import RunSpec, run_collective_write, crill, beegfs_crill
+
+    spec = RunSpec(cluster=crill(), fs=beegfs_crill(), nprocs=16,
+                   views=make_workload("ior", 16).views())
+    result = run_collective_write(spec)
+
+The deep module paths (``repro.collio.api`` etc.) remain import-stable —
+this facade adds, it does not move.  Specialized surfaces (``repro.sim``
+primitives, ``repro.obs`` exporters, ``repro.bench`` harnesses) stay in
+their own modules on purpose: they are subsystem tooling, not the
+everyday API.
+"""
+
+from __future__ import annotations
+
+from repro.collio.api import (
+    CollectiveWriteResult,
+    RunSpec,
+    build_plan,
+    collective_write,
+    default_data,
+    run_collective_write,
+)
+from repro.collio.config import CollectiveConfig
+from repro.collio.view import FileView
+from repro.faults.retry import RetryPolicy
+from repro.faults.spec import FaultSpec
+from repro.fs.presets import FsSpec, beegfs_crill, beegfs_ibex, fs_preset
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.presets import crill, ibex, preset
+from repro.recovery.manager import run_with_recovery
+from repro.recovery.spec import RecoverySpec
+from repro.specbase import SpecBase
+from repro.staging.spec import StagingSpec, nvme_staging
+from repro.tune.api import autotune
+from repro.tune.space import Candidate, ScenarioSpec, TuningSpace
+from repro.workloads import make_workload
+
+__all__ = [
+    # -- describing a run: the spec family ------------------------------
+    "SpecBase",
+    "RunSpec",
+    "FaultSpec",
+    "RecoverySpec",
+    "StagingSpec",
+    "ScenarioSpec",
+    "ClusterSpec",
+    "FsSpec",
+    "CollectiveConfig",
+    "RetryPolicy",
+    "Candidate",
+    "TuningSpace",
+    # -- building the inputs ---------------------------------------------
+    "FileView",
+    "make_workload",
+    "default_data",
+    "build_plan",
+    "crill",
+    "ibex",
+    "preset",
+    "beegfs_crill",
+    "beegfs_ibex",
+    "fs_preset",
+    "nvme_staging",
+    # -- running ----------------------------------------------------------
+    "run_collective_write",
+    "run_with_recovery",
+    "collective_write",
+    "CollectiveWriteResult",
+    # -- tuning -----------------------------------------------------------
+    "autotune",
+]

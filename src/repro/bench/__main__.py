@@ -23,7 +23,7 @@ from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 EXPERIMENTS = (
     "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
     "read", "overlap", "twolayer", "staging", "ablations", "tune",
-    "chaos", "all",
+    "chaos", "perf", "all",
 )
 
 
@@ -89,6 +89,22 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless async drain beats end_of_job on the "
              "drain-bound tier for every algorithm AND file bytes are "
              "identical across staging on/off (the CI smoke assertion)")
+    perf_group = parser.add_argument_group("perf", "options for the 'perf' experiment")
+    perf_group.add_argument("--perf-out", default="BENCH_perf.json",
+                            metavar="BENCH_perf.json",
+                            help="where to write the perf trajectory point "
+                                 "(default: BENCH_perf.json)")
+    perf_group.add_argument("--baseline", default=None, metavar="PATH",
+                            help="recorded BENCH_perf baseline to gate against")
+    perf_group.add_argument("--min-speedup", type=float, default=None,
+                            metavar="X",
+                            help="fail unless the calibrated medium-scenario "
+                                 "speedup vs --baseline is >= X (e.g. 2.0)")
+    perf_group.add_argument("--max-regression", type=float, default=None,
+                            metavar="FRAC",
+                            help="fail if the calibrated medium scenario is "
+                                 "more than FRAC slower than --baseline "
+                                 "(e.g. 0.10 for 10%%)")
     args = parser.parse_args(argv)
 
     if args.reps < 1:
@@ -115,10 +131,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_staging and args.experiment not in ("staging", "all"):
         parser.error("--check-staging is only meaningful with the 'staging' "
                      "experiment (or 'all')")
+    if (args.baseline or args.min_speedup or args.max_regression) \
+            and args.experiment != "perf":
+        parser.error("--baseline/--min-speedup/--max-regression are only "
+                     "meaningful with the 'perf' experiment")
+    if (args.min_speedup or args.max_regression) and not args.baseline:
+        parser.error("--min-speedup/--max-regression need --baseline")
 
     csv_files: dict[str, str] = {}
     chaos_failed = False
     staging_failed = False
+    perf_failed = False
 
     progress = None if args.quiet else _progress
     kwargs = dict(mode=args.mode, reps=args.reps, scale=args.scale)
@@ -264,6 +287,40 @@ def main(argv: list[str] | None = None) -> int:
         if chaos_failed:
             print(f"chaos check FAILED: completion rate "
                   f"{chaos.completion_rate:.0%} < 100%", file=sys.stderr)
+    if args.experiment == "perf":
+        import json
+
+        from repro.bench import perf as perf_mod
+
+        def perf_progress(case):
+            print(f"  [{time.strftime('%H:%M:%S')}] perf {case.scale:7s} "
+                  f"{case.algorithm:15s} staging={'on' if case.staging else 'off':3s} "
+                  f"{case.wall_s:.4f}s {case.events_per_s:,.0f} ev/s",
+                  file=sys.stderr)
+
+        report = perf_mod.run_perf(
+            reps=args.reps, seed=args.seed,
+            progress=None if args.quiet else perf_progress,
+        )
+        outputs.append(report.render())
+        report.write(args.perf_out)
+        print(f"[wrote {args.perf_out}]", file=sys.stderr)
+        if args.baseline:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+            failures = perf_mod.check_against(
+                report, baseline,
+                min_speedup=args.min_speedup,
+                max_regression=args.max_regression,
+            )
+            for failure in failures:
+                print(f"perf check FAILED: {failure}", file=sys.stderr)
+            perf_failed = bool(failures)
+            if not failures and (args.min_speedup or args.max_regression):
+                base_norm = baseline["normalized_medium"]
+                cur = report.normalized_medium
+                print(f"perf check ok: medium {base_norm / cur:.2f}x vs "
+                      f"{args.baseline}", file=sys.stderr)
     if args.experiment == "ablations":
         from repro.bench.ablations import ALL_ABLATIONS
 
@@ -282,7 +339,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
     print(f"\n[elapsed {time.time() - started:.0f}s, mode={args.mode}, "
           f"reps={args.reps}, scale={args.scale}]", file=sys.stderr)
-    return 1 if (chaos_failed or staging_failed) else 0
+    return 1 if (chaos_failed or staging_failed or perf_failed) else 0
 
 
 if __name__ == "__main__":

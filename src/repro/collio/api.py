@@ -24,9 +24,11 @@ The pre-RunSpec keyword signature still works but emits a
 from __future__ import annotations
 
 import hashlib
+import os
+import sys
 import warnings
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Callable
+from typing import Any, Callable, ClassVar
 
 import numpy as np
 
@@ -36,7 +38,13 @@ from repro.collio.context import AlgoContext
 from repro.collio.domains import partition_domains
 from repro.collio.intranode import TwoLayerShuffle
 from repro.collio.overlap import ALGORITHMS, make_algorithm
-from repro.collio.plan import TwoLayerPlan, TwoPhasePlan
+from repro.collio.plan import (
+    TwoLayerPlan,
+    TwoPhasePlan,
+    cached_plan,
+    plan_content_key,
+    store_plan,
+)
 from repro.collio.shuffle import SHUFFLE_PRIMITIVES, make_shuffle
 from repro.collio.view import FileView
 from repro.config import DEFAULT_SEED
@@ -48,6 +56,7 @@ from repro.hardware.cluster import ClusterSpec
 from repro.mpi.world import World
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.span import SpanRecorder
+from repro.specbase import SpecBase
 
 __all__ = [
     "CollectiveWriteResult",
@@ -60,19 +69,34 @@ __all__ = [
 
 
 def default_data(rank: int, nbytes: int) -> np.ndarray:
-    """Deterministic, rank-distinguishable payload bytes."""
-    return ((np.arange(nbytes, dtype=np.int64) * 31 + rank * 65537) % 251).astype(np.uint8)
+    """Deterministic, rank-distinguishable payload bytes.
+
+    Byte ``i`` is ``(i * 31 + rank * 65537) % 251``.  Because 31 and 251
+    are coprime, the sequence over ``i`` is periodic with period 251, so
+    it is materialized by tiling one precomputed period instead of
+    running the modular arithmetic over a full-length ``int64`` arange
+    (which cost two transient ``8 * nbytes`` arrays per rank and
+    dominated payload-carrying benchmark runs).
+    """
+    period = ((np.arange(251, dtype=np.int64) * 31 + rank * 65537) % 251).astype(np.uint8)
+    reps = -(-nbytes // 251)  # ceil
+    return np.tile(period, reps)[:nbytes]
 
 
 @dataclass(frozen=True)
-class RunSpec:
+class RunSpec(SpecBase):
     """Complete description of one simulated collective write.
 
     Groups the scenario (cluster, file system, ranks, views), the
     algorithm choice, fault/retry behaviour and observability options
     that used to travel as ~16 loose keyword arguments.  Frozen so specs
-    can be shared, cached and varied safely with :meth:`replace`.
+    can be shared, cached and varied safely with :meth:`replace`, and a
+    :class:`~repro.specbase.SpecBase`, so it serializes
+    (``to_dict``/``to_json``) and hashes canonically (``spec_sha256``).
+    A prebuilt ``plan`` is derived state and is not serialized.
     """
+
+    _transient: ClassVar[frozenset[str]] = frozenset({"plan"})
 
     cluster: ClusterSpec
     fs: FsSpec
@@ -170,6 +194,38 @@ _LEGACY_POSITIONAL = (
 #: Old keyword spellings that were renamed in RunSpec.
 _LEGACY_RENAMES = {"cluster_spec": "cluster", "fs_spec": "fs"}
 
+#: Call sites (file, line) that already received the legacy deprecation
+#: warning — each site warns once, so a sweep looping over the shim does
+#: not drown its own output.
+_LEGACY_WARNED_SITES: set[tuple[str, int]] = set()
+
+
+def _legacy_call_check() -> None:
+    """Reject (strict mode) or warn about a legacy loose-argument call.
+
+    ``REPRO_STRICT_API=1`` turns the deprecated calling convention into
+    an immediate ``TypeError`` — the migration endgame, and a cheap way
+    for a CI job to prove a tree is shim-free.  Otherwise the shim emits
+    one ``DeprecationWarning`` per call site pointing at :class:`RunSpec`.
+    """
+    if os.environ.get("REPRO_STRICT_API", "") not in ("", "0"):
+        raise TypeError(
+            "REPRO_STRICT_API is set: run_collective_write() requires a "
+            "RunSpec; the legacy loose-argument convention is disabled. "
+            "Call run_collective_write(RunSpec(...))."
+        )
+    caller = sys._getframe(2)
+    site = (caller.f_code.co_filename, caller.f_lineno)
+    if site in _LEGACY_WARNED_SITES:
+        return
+    _LEGACY_WARNED_SITES.add(site)
+    warnings.warn(
+        "calling run_collective_write with loose arguments is deprecated; "
+        "pass a RunSpec instead: run_collective_write(RunSpec(...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 def build_plan(
     cluster,
@@ -193,7 +249,26 @@ def build_plan(
     it); ``"auto"`` resolves to enabled when the run places at least two
     ranks per used node, where the inter-node message-count win exists.
     Two-layer runs return a :class:`~repro.collio.plan.TwoLayerPlan`.
+
+    Results are served from a process-local content-hash cache (see
+    :func:`repro.collio.plan.plan_content_key`): repeated runs and
+    tuning trials with identical ingredients skip the partitioning pass
+    entirely.
     """
+    placement = tuple(cluster.node_of_rank(r) for r in range(nprocs))
+    cache_key = plan_content_key(
+        views,
+        nprocs=nprocs,
+        cycle_bytes=int(cycle_bytes),
+        stripe_size=stripe_size,
+        exclude_ranks=tuple(sorted(exclude_ranks)),
+        two_layer=two_layer,
+        config=config.cache_key(),
+        placement=placement,
+    )
+    cached = cached_plan(cache_key)
+    if cached is not None:
+        return cached
     total_bytes = sum(v.total_bytes for v in views.values())
     aggregators = select_aggregators(
         cluster,
@@ -216,10 +291,13 @@ def build_plan(
         two_layer = nprocs >= 2 * len(nodes_used)
     if two_layer:
         leader_of_rank = elect_leaders(cluster, nprocs, exclude=exclude_ranks)
-        return TwoLayerPlan.build_two_layer(
+        plan = TwoLayerPlan.build_two_layer(
             views, aggregators, domains, cycle_bytes, leader_of_rank
         )
-    return TwoPhasePlan.build(views, aggregators, domains, cycle_bytes)
+    else:
+        plan = TwoPhasePlan.build(views, aggregators, domains, cycle_bytes)
+    store_plan(cache_key, plan)
+    return plan
 
 
 def collective_write(
@@ -361,7 +439,9 @@ def run_collective_write(spec: RunSpec = None, *args: Any, **kwargs: Any) -> Col
 
     The pre-RunSpec calling convention — loose positional/keyword
     arguments, with ``cluster_spec``/``fs_spec`` spellings — still works
-    but emits a ``DeprecationWarning``.
+    but emits a ``DeprecationWarning`` (once per call site).  Setting
+    ``REPRO_STRICT_API=1`` in the environment disables the shim: legacy
+    calls then raise ``TypeError`` immediately.
     """
     if isinstance(spec, RunSpec):
         if args or kwargs:
@@ -371,12 +451,7 @@ def run_collective_write(spec: RunSpec = None, *args: Any, **kwargs: Any) -> Col
             )
         return _run(spec)
     # Legacy shim: map the old positional order / keyword spellings.
-    warnings.warn(
-        "calling run_collective_write with loose arguments is deprecated; "
-        "pass a RunSpec instead: run_collective_write(RunSpec(...))",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    _legacy_call_check()
     positional = args if spec is None else (spec, *args)
     if len(positional) > len(_LEGACY_POSITIONAL):
         raise TypeError(f"too many positional arguments ({len(positional)})")

@@ -12,7 +12,6 @@ agrees without communication).
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -29,6 +28,39 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.window import WindowHandle
 
 __all__ = ["AlgoContext", "PhaseStats"]
+
+
+class _NullIteration:
+    """Shared no-op context for cycle iterations when spans are off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_ITERATION = _NullIteration()
+
+
+class _IterationSpan:
+    """Closes a cycle's ``algo.cycle`` span at exit time."""
+
+    __slots__ = ("_ctx", "_span")
+
+    def __init__(self, ctx: "AlgoContext", span) -> None:
+        self._ctx = ctx
+        self._span = span
+
+    def __enter__(self):
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        ctx = self._ctx
+        ctx.recorder.end(self._span, ctx.mpi.now)
+        return False
 
 
 @dataclass
@@ -288,12 +320,16 @@ class AlgoContext:
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
         entry = self._journal_entry(cycle, offset, payload, nbytes)
-        call_span = self.recorder.begin(
-            t0, "write", "io.call", rank=self.rank, cycle=cycle, bytes=nbytes
-        )
-        io_span = self.recorder.begin(
-            t0, "write", "io", rank=self.rank, cycle=cycle, flow="async", bytes=nbytes
-        )
+        recorder = self.recorder
+        call_span = io_span = None
+        if recorder.active:
+            call_span = recorder.begin(
+                t0, "write", "io.call", rank=self.rank, cycle=cycle, bytes=nbytes
+            )
+            io_span = recorder.begin(
+                t0, "write", "io", rank=self.rank, cycle=cycle, flow="async",
+                bytes=nbytes,
+            )
         if self.stager is not None:
             yield from self.fh.stage_at(
                 self.stager, offset, payload, size=nbytes, cycle=cycle,
@@ -317,12 +353,17 @@ class AlgoContext:
             return None
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
-        call_span = self.recorder.begin(
-            t0, "write_post", "io.call", rank=self.rank, cycle=cycle, bytes=nbytes
-        )
-        io_span = self.recorder.begin(
-            t0, "write", "io", rank=self.rank, cycle=cycle, flow="async", bytes=nbytes
-        )
+        recorder = self.recorder
+        call_span = io_span = None
+        if recorder.active:
+            call_span = recorder.begin(
+                t0, "write_post", "io.call", rank=self.rank, cycle=cycle,
+                bytes=nbytes,
+            )
+            io_span = recorder.begin(
+                t0, "write", "io", rank=self.rank, cycle=cycle, flow="async",
+                bytes=nbytes,
+            )
         entry = self._journal_entry(cycle, offset, payload, nbytes)
         if self.stager is not None:
             req = yield from self.fh.istage_at(
@@ -348,10 +389,12 @@ class AlgoContext:
             return
         t0 = self.mpi.now
         io_span = self._write_spans.pop(id(handle), None)
-        cycle = getattr(io_span, "cycle", -1)
-        call_span = self.recorder.begin(
-            t0, "write_wait", "io.call", rank=self.rank, cycle=cycle
-        )
+        call_span = None
+        if self.recorder.active:
+            cycle = getattr(io_span, "cycle", -1)
+            call_span = self.recorder.begin(
+                t0, "write_wait", "io.call", rank=self.rank, cycle=cycle
+            )
         yield from self.mpi.wait(handle)
         if io_span is not None:
             # The aio/retry layers succeed the request event with the true
@@ -391,24 +434,30 @@ class AlgoContext:
         from repro.mpi.request import Request  # local: avoids a cycle
 
         t0 = self.mpi.now
-        span = self.recorder.begin(
-            t0, "flush", "staging", rank=self.rank,
-            policy=self.stager.spec.policy,
-        )
+        span = None
+        if self.recorder.active:
+            span = self.recorder.begin(
+                t0, "flush", "staging", rank=self.rank,
+                policy=self.stager.spec.policy,
+            )
         yield from self.mpi.wait(Request(self.stager.flush(), "staging_flush"))
         self.recorder.end(span, self.mpi.now)
         self.stats.add_time("staging_flush", self.mpi.now - t0)
 
-    @contextmanager
     def iteration(self, cycle: int):
-        """Span over one internal-cycle iteration of an overlap algorithm."""
-        span = self.recorder.begin(
+        """Span over one internal-cycle iteration of an overlap algorithm.
+
+        Returns a reusable null context when no span recorder is
+        attached — cycles are the innermost per-rank loop, so the
+        ``contextlib`` machinery this used to go through was measurable.
+        """
+        recorder = self.recorder
+        if not recorder.active:
+            return _NULL_ITERATION
+        span = recorder.begin(
             self.mpi.now, "cycle", "algo.cycle", rank=self.rank, cycle=cycle
         )
-        try:
-            yield
-        finally:
-            self.recorder.end(span, self.mpi.now)
+        return _IterationSpan(self, span)
 
     # ------------------------------------------------------------------
     def planning_tick(self):

@@ -9,6 +9,8 @@ cf. Liao & Choudhary's partitioning study cited by the paper).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = ["partition_domains"]
@@ -34,17 +36,22 @@ def partition_domains(
     total = end - start
     base = total // num_aggregators
     remainder = total % num_aggregators
-    bounds = [start]
-    for i in range(num_aggregators):
-        size = base + (1 if i < remainder else 0)
-        bounds.append(bounds[-1] + size)
-    if stripe_size is not None and stripe_size > 1:
-        for i in range(1, num_aggregators):
-            aligned = (bounds[i] // stripe_size) * stripe_size
-            bounds[i] = max(bounds[i - 1], min(aligned, end)) if aligned >= start else bounds[i - 1]
-        # Keep boundaries monotonic after alignment.
-        for i in range(1, num_aggregators + 1):
-            if bounds[i] < bounds[i - 1]:
-                bounds[i] = bounds[i - 1]
+    sizes = np.full(num_aggregators, base, dtype=np.int64)
+    sizes[:remainder] += 1
+    bounds = np.empty(num_aggregators + 1, dtype=np.int64)
+    bounds[0] = start
+    np.cumsum(sizes, out=bounds[1:])
+    bounds[1:] += start
+    if stripe_size is not None and stripe_size > 1 and num_aggregators > 1:
+        # Move interior boundaries down to stripe boundaries; a running
+        # maximum keeps them monotonic (a boundary that would align below
+        # ``start`` — or below its predecessor — collapses onto it,
+        # yielding an empty domain, exactly like the scalar loop did).
+        interior = bounds[1:num_aggregators]
+        aligned = (interior // stripe_size) * stripe_size
+        candidates = np.where(aligned >= start, np.minimum(aligned, end), start)
+        np.maximum.accumulate(candidates, out=candidates)
+        bounds[1:num_aggregators] = candidates
         bounds[num_aggregators] = end
-    return [(bounds[i], bounds[i + 1]) for i in range(num_aggregators)]
+    bl = bounds.tolist()
+    return [(bl[i], bl[i + 1]) for i in range(num_aggregators)]

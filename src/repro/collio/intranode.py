@@ -100,9 +100,11 @@ class TwoLayerShuffle:
         if not plan.uses_staging(leader):
             return  # pass-through node: nothing to coalesce
         t0 = ctx.mpi.now
-        span = ctx.recorder.begin(
-            t0, "gather", "intranode", rank=rank, cycle=cycle, leader=leader
-        )
+        span = None
+        if ctx.recorder.active:
+            span = ctx.recorder.begin(
+                t0, "gather", "intranode", rank=rank, cycle=cycle, leader=leader
+            )
         if rank == leader:
             yield from self._gather_leader(ctx, cycle)
         else:
@@ -131,7 +133,8 @@ class TwoLayerShuffle:
         if cost:
             yield from ctx.mpi.compute(cost)
         yield from ctx.mpi.send(
-            leader, tag=cycle, data=payload, size=nbytes, context=INTRANODE_CONTEXT
+            leader, tag=cycle, data=payload, size=nbytes,
+            context=INTRANODE_CONTEXT, readonly=True,
         )
         ctx.note_message(leader, nbytes, stage="gather")
 

@@ -52,10 +52,12 @@ class WriteCommOverlap(OverlapAlgorithm):
                     requests = list(handle.requests)
                     if write_req is not None:
                         requests.append(write_req)
-                    wait_span = ctx.recorder.begin(
-                        ctx.mpi.now, "wait_all", "comm.call",
-                        rank=ctx.rank, cycle=cycle,
-                    )
+                    wait_span = None
+                    if ctx.recorder.active:
+                        wait_span = ctx.recorder.begin(
+                            ctx.mpi.now, "wait_all", "comm.call",
+                            rank=ctx.rank, cycle=cycle,
+                        )
                     if requests:
                         yield from ctx.mpi.waitall(requests)
                     yield from shuffle.finish(ctx, handle)

@@ -17,34 +17,55 @@ buffer for the double-buffered overlap algorithms).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.collio.view import FileView
 from repro.errors import ConfigurationError
 
-__all__ = ["SendAssignment", "RecvExpectation", "TwoPhasePlan", "TwoLayerPlan"]
+__all__ = [
+    "SendAssignment", "RecvExpectation", "TwoPhasePlan", "TwoLayerPlan",
+    "plan_content_key", "cached_plan", "store_plan",
+    "plan_cache_stats", "reset_plan_cache",
+]
 
 _EMPTY = np.zeros(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
 class SendAssignment:
-    """What one rank contributes to one aggregator in one cycle."""
+    """What one rank contributes to one aggregator in one cycle.
+
+    ``nbytes``/``npieces``/``pieces`` are cached: an assignment is
+    queried several times per cycle (pack, scatter, cost model, message
+    accounting), and the flattened Python piece table avoids per-element
+    numpy scalar boxing in the put/scatter inner loops.
+    """
 
     agg_index: int
     offsets: np.ndarray       # absolute file offsets of the pieces
     lengths: np.ndarray
     local_offsets: np.ndarray  # positions of the pieces in the rank's buffer
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
         return int(self.lengths.sum())
 
-    @property
+    @cached_property
     def npieces(self) -> int:
         return len(self.lengths)
+
+    @cached_property
+    def pieces(self) -> list[tuple[int, int, int]]:
+        """Flattened ``(file_offset, length, local_offset)`` table."""
+        return list(zip(
+            self.offsets.tolist(),
+            self.lengths.tolist(),
+            self.local_offsets.tolist(),
+        ))
 
 
 @dataclass(frozen=True)
@@ -405,3 +426,71 @@ class TwoLayerPlan(TwoPhasePlan):
             f"leaders={len(self.leaders)} cycles={self.num_cycles} "
             f"cycle_bytes={self.cycle_bytes} total={self.total_bytes}>"
         )
+
+
+# ---------------------------------------------------------------------------
+# Cross-run plan cache
+# ---------------------------------------------------------------------------
+# Plans are pure functions of (views content, partitioning inputs): two
+# calls with byte-identical ingredients produce byte-identical schedules.
+# Repeated cycles of one benchmark case, tuning sweeps that revisit a
+# candidate, and the self-benchmark's repetitions therefore share one
+# plan instead of re-running the whole vectorized partitioning pass.
+# Plans are treated as immutable after construction (the bench runner
+# already shares them across algorithms and repetitions), so handing the
+# same object to several runs is safe.  The cache is process-local and
+# capped: oldest entries are evicted first (insertion order).
+
+_PLAN_CACHE: dict[str, TwoPhasePlan] = {}
+_PLAN_CACHE_STATS = {"hits": 0, "misses": 0}
+_PLAN_CACHE_CAP = 64
+
+
+def plan_content_key(views: dict[int, FileView], **ingredients) -> str:
+    """SHA-256 over the views' extent arrays plus partitioning inputs.
+
+    ``ingredients`` must be JSON-reprable scalars/tuples (cycle size,
+    stripe size, config cache key, rank placement, ...); the views
+    participate by content — offsets/lengths/local_offsets bytes per
+    rank — so equal views hash equal regardless of object identity.
+    """
+    h = hashlib.sha256()
+    h.update(repr(sorted(ingredients.items())).encode())
+    for rank in sorted(views):
+        view = views[rank]
+        h.update(str(rank).encode())
+        h.update(np.ascontiguousarray(view.offsets).tobytes())
+        h.update(np.ascontiguousarray(view.lengths).tobytes())
+        h.update(np.ascontiguousarray(view.local_offsets).tobytes())
+    return h.hexdigest()
+
+
+def cached_plan(key: str) -> TwoPhasePlan | None:
+    """The cached plan for ``key``, bumping the hit/miss counters."""
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        _PLAN_CACHE_STATS["misses"] += 1
+        return None
+    _PLAN_CACHE_STATS["hits"] += 1
+    return plan
+
+
+def store_plan(key: str, plan: TwoPhasePlan) -> None:
+    """Insert ``plan`` under ``key``, evicting oldest past the cap."""
+    if key in _PLAN_CACHE:
+        return
+    while len(_PLAN_CACHE) >= _PLAN_CACHE_CAP:
+        _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+    _PLAN_CACHE[key] = plan
+
+
+def plan_cache_stats() -> dict:
+    """Snapshot of the cache counters (plus current size)."""
+    return {**_PLAN_CACHE_STATS, "size": len(_PLAN_CACHE)}
+
+
+def reset_plan_cache() -> None:
+    """Drop all cached plans and zero the counters."""
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_STATS["hits"] = 0
+    _PLAN_CACHE_STATS["misses"] = 0

@@ -74,14 +74,16 @@ def _pack(data: np.ndarray | None, sa: SendAssignment) -> np.ndarray | None:
     """
     if data is None:
         return None
-    if sa.npieces == 1:
-        lo = int(sa.local_offsets[0])
-        return data[lo : lo + int(sa.lengths[0])]
-    parts = [
-        data[int(lo) : int(lo) + int(ln)]
-        for lo, ln in zip(sa.local_offsets, sa.lengths)
-    ]
-    return np.concatenate(parts)
+    pieces = sa.pieces
+    if len(pieces) == 1:
+        _, ln, lo = pieces[0]
+        return data[lo : lo + ln]  # zero-copy view of the user buffer
+    out = np.empty(sa.nbytes, dtype=data.dtype)
+    pos = 0
+    for _, ln, lo in pieces:
+        out[pos : pos + ln] = data[lo : lo + ln]
+        pos += ln
+    return out
 
 
 def _scatter(ctx: AlgoContext, cycle: int, sa: SendAssignment, payload: np.ndarray | None) -> None:
@@ -93,9 +95,10 @@ def _scatter(ctx: AlgoContext, cycle: int, sa: SendAssignment, payload: np.ndarr
     base = crange[0]
     buf = ctx.buffer(ctx.sub_of_cycle(cycle))
     pos = 0
-    for off, ln in zip(sa.offsets, sa.lengths):
-        buf[int(off) - base : int(off) - base + int(ln)] = payload[pos : pos + int(ln)]
-        pos += int(ln)
+    for off, ln, _ in sa.pieces:
+        lo = off - base
+        buf[lo : lo + ln] = payload[pos : pos + ln]
+        pos += ln
 
 
 class TwoSidedShuffle:
@@ -113,13 +116,15 @@ class TwoSidedShuffle:
         """Post this cycle's sends and (on aggregators) receives."""
         t0 = ctx.mpi.now
         handle = ShuffleHandle(cycle)
-        handle.comm_span = ctx.recorder.begin(
-            t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
-            flow="async", engine=self.name,
-        )
-        call_span = ctx.recorder.begin(
-            t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
-        )
+        call_span = None
+        if ctx.recorder.active:
+            handle.comm_span = ctx.recorder.begin(
+                t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
+                flow="async", engine=self.name,
+            )
+            call_span = ctx.recorder.begin(
+                t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
+            )
         plan = ctx.plan
         # Receives first, so self-sends (modelled as local copies) and fast
         # eager senders find a posted receive more often — as real
@@ -145,27 +150,33 @@ class TwoSidedShuffle:
             cost = ctx.pack_cost(sa.nbytes, sa.npieces)
             if cost:
                 yield from ctx.mpi.compute(cost)
+            # readonly: the payload is a view of the rank's frozen data or
+            # a single-use pack buffer — the eager path may skip its copy.
             req = yield from ctx.mpi.isend(
                 agg_rank, tag=cycle, data=payload, size=sa.nbytes,
-                context=self.context_tag,
+                context=self.context_tag, readonly=True,
             )
             handle.requests.append(req)
             ctx.stats.bump("messages_sent")
             ctx.note_message(agg_rank, sa.nbytes)
-        ctx.recorder.end(call_span, ctx.mpi.now)
+        if call_span is not None:
+            ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
         return handle
 
     def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
         """Complete the cycle's transfers, then unpack at aggregators."""
         t0 = ctx.mpi.now
-        call_span = ctx.recorder.begin(
-            t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
-        )
+        call_span = None
+        if ctx.recorder.active:
+            call_span = ctx.recorder.begin(
+                t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
+            )
         if handle.requests:
             yield from ctx.mpi.waitall(handle.requests)
         yield from self.finish(ctx, handle)
-        ctx.recorder.end(call_span, ctx.mpi.now)
+        if call_span is not None:
+            ctx.recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
 
     def finish(self, ctx: AlgoContext, handle: ShuffleHandle):
@@ -229,10 +240,10 @@ class _OneSidedBase:
             crange = plan.cycle_range(sa.agg_index, cycle)
             assert crange is not None
             base = crange[0]
-            for off, ln, loc in zip(sa.offsets, sa.lengths, sa.local_offsets):
-                piece = src[int(loc) : int(loc) + int(ln)] if src is not None else None
-                yield from win.put(agg_rank, piece, int(off) - base, size=int(ln))
-                ctx.note_message(agg_rank, int(ln))
+            for off, ln, loc in sa.pieces:
+                piece = src[loc : loc + ln] if src is not None else None
+                yield from win.put(agg_rank, piece, off - base, size=ln)
+                ctx.note_message(agg_rank, ln)
                 nputs += 1
         extra = ctx.extra_put_cost(nputs)
         if extra:
@@ -261,42 +272,58 @@ class OneSidedFenceShuffle(_OneSidedBase):
     def init(self, ctx: AlgoContext, cycle: int):
         t0 = ctx.mpi.now
         handle = ShuffleHandle(cycle)
-        handle.comm_span = ctx.recorder.begin(
-            t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
-            flow="async", engine=self.name,
-        )
-        call_span = ctx.recorder.begin(
-            t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
-        )
+        recorder = ctx.recorder
+        active = recorder.active
+        call_span = None
+        if active:
+            handle.comm_span = recorder.begin(
+                t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
+                flow="async", engine=self.name,
+            )
+            call_span = recorder.begin(
+                t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
+            )
         win = ctx.window(ctx.sub_of_cycle(cycle))
         # Opening fence: also guarantees the target's previous write on
         # this sub-buffer has completed before any put can land (every
         # rank — including the aggregator — must pass it).
-        fence_span = ctx.recorder.begin(
-            ctx.mpi.now, "fence", "sync", rank=ctx.rank, cycle=cycle
-        )
+        fence_span = None
+        if active:
+            fence_span = recorder.begin(
+                ctx.mpi.now, "fence", "sync", rank=ctx.rank, cycle=cycle
+            )
         yield from win.fence()
-        ctx.recorder.end(fence_span, ctx.mpi.now)
+        if active:
+            recorder.end(fence_span, ctx.mpi.now)
         yield from self._issue_puts(ctx, cycle)
-        ctx.recorder.end(call_span, ctx.mpi.now)
+        if call_span is not None:
+            recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
         return handle
 
     def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
         t0 = ctx.mpi.now
-        call_span = ctx.recorder.begin(
-            t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
-        )
+        recorder = ctx.recorder
+        active = recorder.active
+        call_span = None
+        if active:
+            call_span = recorder.begin(
+                t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
+            )
         win = ctx.window(ctx.sub_of_cycle(handle.cycle))
-        fence_span = ctx.recorder.begin(
-            ctx.mpi.now, "fence", "sync", rank=ctx.rank, cycle=handle.cycle
-        )
+        fence_span = None
+        if active:
+            fence_span = recorder.begin(
+                ctx.mpi.now, "fence", "sync", rank=ctx.rank, cycle=handle.cycle
+            )
         yield from win.fence()
-        ctx.recorder.end(fence_span, ctx.mpi.now)
+        if active:
+            recorder.end(fence_span, ctx.mpi.now)
         if handle.comm_span is not None:
-            ctx.recorder.end(handle.comm_span, ctx.mpi.now)
+            recorder.end(handle.comm_span, ctx.mpi.now)
             handle.comm_span = None
-        ctx.recorder.end(call_span, ctx.mpi.now)
+        if call_span is not None:
+            recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
         ctx.stats.bump("fences", 2)
 
@@ -309,21 +336,28 @@ class OneSidedLockShuffle(_OneSidedBase):
     def init(self, ctx: AlgoContext, cycle: int):
         t0 = ctx.mpi.now
         handle = ShuffleHandle(cycle)
-        handle.comm_span = ctx.recorder.begin(
-            t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
-            flow="async", engine=self.name,
-        )
-        call_span = ctx.recorder.begin(
-            t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
-        )
+        recorder = ctx.recorder
+        active = recorder.active
+        call_span = None
+        if active:
+            handle.comm_span = recorder.begin(
+                t0, "shuffle", "comm", rank=ctx.rank, cycle=cycle,
+                flow="async", engine=self.name,
+            )
+            call_span = recorder.begin(
+                t0, "shuffle_init", "comm.call", rank=ctx.rank, cycle=cycle
+            )
         # The paper's extra barrier: no origin may put into a sub-buffer
         # before the aggregator finished writing its previous contents.
         # Aggregators reach this barrier only after their write_wait.
-        barrier_span = ctx.recorder.begin(
-            ctx.mpi.now, "barrier", "sync", rank=ctx.rank, cycle=cycle
-        )
+        barrier_span = None
+        if active:
+            barrier_span = recorder.begin(
+                ctx.mpi.now, "barrier", "sync", rank=ctx.rank, cycle=cycle
+            )
         yield from ctx.mpi.barrier()
-        ctx.recorder.end(barrier_span, ctx.mpi.now)
+        if active:
+            recorder.end(barrier_span, ctx.mpi.now)
         plan = ctx.plan
         win = ctx.window(ctx.sub_of_cycle(cycle))
         src = ctx.send_source(cycle)
@@ -332,45 +366,57 @@ class OneSidedLockShuffle(_OneSidedBase):
             targets.setdefault(plan.aggregators[sa.agg_index], []).append(sa)
         nputs = 0
         for agg_rank in sorted(targets):
-            epoch_span = ctx.recorder.begin(
-                ctx.mpi.now, "lock_epoch", "sync", rank=ctx.rank, cycle=cycle,
-                target=agg_rank,
-            )
+            epoch_span = None
+            if active:
+                epoch_span = recorder.begin(
+                    ctx.mpi.now, "lock_epoch", "sync", rank=ctx.rank,
+                    cycle=cycle, target=agg_rank,
+                )
             yield from win.lock(agg_rank, exclusive=False)
             for sa in targets[agg_rank]:
                 crange = plan.cycle_range(sa.agg_index, cycle)
                 assert crange is not None
                 base = crange[0]
-                for off, ln, loc in zip(sa.offsets, sa.lengths, sa.local_offsets):
-                    piece = src[int(loc) : int(loc) + int(ln)] if src is not None else None
-                    yield from win.put(agg_rank, piece, int(off) - base, size=int(ln))
-                    ctx.note_message(agg_rank, int(ln))
+                for off, ln, loc in sa.pieces:
+                    piece = src[loc : loc + ln] if src is not None else None
+                    yield from win.put(agg_rank, piece, off - base, size=ln)
+                    ctx.note_message(agg_rank, ln)
                     nputs += 1
             yield from win.unlock(agg_rank, exclusive=False)
-            ctx.recorder.end(epoch_span, ctx.mpi.now)
+            if epoch_span is not None:
+                recorder.end(epoch_span, ctx.mpi.now)
         extra = ctx.extra_put_cost(nputs)
         if extra:
             yield from ctx.mpi.compute(extra)
         ctx.stats.bump("puts_issued", nputs)
-        ctx.recorder.end(call_span, ctx.mpi.now)
+        if call_span is not None:
+            recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle_init", ctx.mpi.now - t0)
         return handle
 
     def wait(self, ctx: AlgoContext, handle: ShuffleHandle):
         t0 = ctx.mpi.now
-        call_span = ctx.recorder.begin(
-            t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
-        )
+        recorder = ctx.recorder
+        active = recorder.active
+        call_span = None
+        if active:
+            call_span = recorder.begin(
+                t0, "shuffle_wait", "comm.call", rank=ctx.rank, cycle=handle.cycle
+            )
         # Target-side completion knowledge (paper III-B2b).
-        barrier_span = ctx.recorder.begin(
-            ctx.mpi.now, "barrier", "sync", rank=ctx.rank, cycle=handle.cycle
-        )
+        barrier_span = None
+        if active:
+            barrier_span = recorder.begin(
+                ctx.mpi.now, "barrier", "sync", rank=ctx.rank, cycle=handle.cycle
+            )
         yield from ctx.mpi.barrier()
-        ctx.recorder.end(barrier_span, ctx.mpi.now)
+        if active:
+            recorder.end(barrier_span, ctx.mpi.now)
         if handle.comm_span is not None:
-            ctx.recorder.end(handle.comm_span, ctx.mpi.now)
+            recorder.end(handle.comm_span, ctx.mpi.now)
             handle.comm_span = None
-        ctx.recorder.end(call_span, ctx.mpi.now)
+        if call_span is not None:
+            recorder.end(call_span, ctx.mpi.now)
         ctx.stats.add_time("shuffle", ctx.mpi.now - t0)
         ctx.stats.bump("barriers", 2)
 

@@ -20,25 +20,32 @@ __all__ = ["FileView"]
 class FileView:
     """The file footprint of one rank in a collective write."""
 
-    __slots__ = ("offsets", "lengths", "local_offsets", "total_bytes")
+    __slots__ = ("offsets", "lengths", "local_offsets", "total_bytes", "ends", "_cumlens")
 
     def __init__(self, offsets: np.ndarray, lengths: np.ndarray) -> None:
         offsets = np.asarray(offsets, dtype=np.int64)
         lengths = np.asarray(lengths, dtype=np.int64)
         if offsets.shape != lengths.shape or offsets.ndim != 1:
             raise WorkloadError("offsets and lengths must be equal-length 1-D arrays")
+        ends = offsets + lengths
         if len(offsets):
             if (lengths <= 0).any():
                 raise WorkloadError("extent lengths must be positive")
             if (offsets < 0).any():
                 raise WorkloadError("extent offsets must be >= 0")
-            ends = offsets + lengths
             if (offsets[1:] < ends[:-1]).any():
                 raise WorkloadError("extents must be sorted and non-overlapping")
         self.offsets = offsets
         self.lengths = lengths
-        self.local_offsets = np.concatenate(([0], np.cumsum(lengths)[:-1])) if len(offsets) else np.zeros(0, np.int64)
-        self.total_bytes = int(lengths.sum()) if len(lengths) else 0
+        #: Per-extent end offsets, precomputed once — :meth:`clip` and
+        #: :meth:`bytes_in` run on every cycle of every rank.
+        self.ends = ends
+        cum = np.zeros(len(lengths) + 1, np.int64)
+        if len(lengths):
+            np.cumsum(lengths, out=cum[1:])
+        self._cumlens = cum
+        self.local_offsets = cum[:-1]
+        self.total_bytes = int(cum[-1])
 
     # ------------------------------------------------------------------
     @classmethod
@@ -107,11 +114,26 @@ class FileView:
         offsets adjusted so each piece still maps to the right local
         bytes.
         """
-        if hi <= lo or not len(self.offsets):
+        n = len(self.offsets)
+        if hi <= lo or not n:
             z = np.zeros(0, np.int64)
             return z, z, z
-        ends = self.offsets + self.lengths
-        first = int(np.searchsorted(ends, lo, side="right"))
+        if n == 1:
+            # Merged-interval fast path: one contiguous extent (the IOR
+            # 1-D pattern) clips with plain arithmetic.
+            off = int(self.offsets[0])
+            end = int(self.ends[0])
+            a = max(off, lo)
+            b = min(end, hi)
+            if b <= a:
+                z = np.zeros(0, np.int64)
+                return z, z, z
+            return (
+                np.array([a], np.int64),
+                np.array([b - a], np.int64),
+                np.array([int(self.local_offsets[0]) + (a - off)], np.int64),
+            )
+        first = int(np.searchsorted(self.ends, lo, side="right"))
         last = int(np.searchsorted(self.offsets, hi, side="left"))
         if first >= last:
             z = np.zeros(0, np.int64)
@@ -132,9 +154,26 @@ class FileView:
         return offs, lens, locs
 
     def bytes_in(self, lo: int, hi: int) -> int:
-        """Total view bytes inside ``[lo, hi)``."""
-        _, lens, _ = self.clip(lo, hi)
-        return int(lens.sum()) if len(lens) else 0
+        """Total view bytes inside ``[lo, hi)``.
+
+        Prefix-sum arithmetic over the precomputed cumulative lengths —
+        no piece arrays are materialized (this runs per cycle per rank).
+        """
+        n = len(self.offsets)
+        if hi <= lo or not n:
+            return 0
+        first = int(np.searchsorted(self.ends, lo, side="right"))
+        last = int(np.searchsorted(self.offsets, hi, side="left"))
+        if first >= last:
+            return 0
+        total = int(self._cumlens[last] - self._cumlens[first])
+        head_cut = lo - int(self.offsets[first])
+        if head_cut > 0:
+            total -= head_cut
+        tail_cut = int(self.ends[last - 1]) - hi
+        if tail_cut > 0:
+            total -= tail_cut
+        return total
 
     def expected_file_bytes(self, data: np.ndarray, file_size: int) -> np.ndarray:
         """Scatter ``data`` through the view into a ``file_size`` byte image.
@@ -146,6 +185,29 @@ class FileView:
         for off, ln, loc in zip(self.offsets, self.lengths, self.local_offsets):
             out[off : off + ln] = data[loc : loc + ln]
         return out
+
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same extents mapping the same local bytes.
+
+        Needed so specs holding views (e.g. ``RunSpec``) compare equal
+        after a serialization round trip.
+        """
+        if not isinstance(other, FileView):
+            return NotImplemented
+        return (
+            np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.lengths, other.lengths)
+            and np.array_equal(self.local_offsets, other.local_offsets)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.offsets.tobytes(),
+                self.lengths.tobytes(),
+                self.local_offsets.tobytes(),
+            )
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FileView {self.num_extents} extents, {self.total_bytes} bytes>"

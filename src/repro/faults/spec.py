@@ -2,15 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.specbase import SpecBase
 
 __all__ = ["FaultSpec"]
 
 
 @dataclass(frozen=True)
-class FaultSpec:
+class FaultSpec(SpecBase):
     """Static description of the faults to inject into one simulation.
 
     All probabilities are per-decision: one draw per storage write
@@ -116,6 +117,3 @@ class FaultSpec:
         return self.crash_window > 0 and (
             self.rank_crash_rate > 0 or self.ost_outage_rate > 0
         )
-
-    def with_(self, **overrides) -> "FaultSpec":
-        return replace(self, **overrides)

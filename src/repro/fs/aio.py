@@ -97,10 +97,12 @@ class AioEngine:
         self.requests_issued += 1
         done = self.engine.event()
         req = AioRequest(done, offset, nbytes, self.engine.now)
-        span = self.tracer.begin(
-            self.engine.now, "aio.write", "io.aio", rank=self.client,
-            flow="async", offset=offset, bytes=nbytes,
-        )
+        span = None
+        if self.tracer.active:
+            span = self.tracer.begin(
+                self.engine.now, "aio.write", "io.aio", rank=self.client,
+                flow="async", offset=offset, bytes=nbytes,
+            )
         if span is not None:
             done.callbacks.append(lambda evt, _s=span: self.tracer.end(_s, evt.engine.now))
         self.engine.process(self._drive(file, offset, data, size, done), name=f"aio@{offset}")
@@ -116,10 +118,12 @@ class AioEngine:
         done = self.engine.event()
         req = AioRequest(done, offset, int(size), self.engine.now)
         out = np.zeros(int(size), dtype=np.uint8)
-        span = self.tracer.begin(
-            self.engine.now, "aio.read", "io.aio", rank=self.client,
-            flow="async", offset=offset, bytes=int(size),
-        )
+        span = None
+        if self.tracer.active:
+            span = self.tracer.begin(
+                self.engine.now, "aio.read", "io.aio", rank=self.client,
+                flow="async", offset=offset, bytes=int(size),
+            )
         if span is not None:
             done.callbacks.append(lambda evt, _s=span: self.tracer.end(_s, evt.engine.now))
         self.engine.process(self._drive_read(file, offset, out, done), name=f"aior@{offset}")

@@ -138,10 +138,12 @@ class ParallelFileSystem:
         per_target = self.layout.bytes_per_target(
             offset, size, down=frozenset(self.known_down)
         )
-        span = self.tracer.begin(
-            self.engine.now, "pfs.write", "io.fs", flow="async",
-            bytes=size, targets=len(per_target),
-        )
+        span = None
+        if self.tracer.active:
+            span = self.tracer.begin(
+                self.engine.now, "pfs.write", "io.fs", flow="async",
+                bytes=size, targets=len(per_target),
+            )
         undetected = sorted(
             t for t in per_target if self.targets[t].down and t not in self.known_down
         )
@@ -193,10 +195,12 @@ class ParallelFileSystem:
         per_target = self.layout.bytes_per_target(
             offset, size, down=frozenset(self.known_down)
         )
-        span = self.tracer.begin(
-            self.engine.now, "pfs.read", "io.fs", flow="async",
-            bytes=size, targets=len(per_target),
-        )
+        span = None
+        if self.tracer.active:
+            span = self.tracer.begin(
+                self.engine.now, "pfs.read", "io.fs", flow="async",
+                bytes=size, targets=len(per_target),
+            )
         piece_events = [
             self.targets[t].submit(n, kind="read") for t, n in sorted(per_target.items())
         ]

@@ -85,11 +85,41 @@ class StripeLayout:
 
         With a non-empty ``down`` set, dead targets' bytes are folded
         into their :meth:`remap_target` survivors (degraded striping).
+
+        Closed-form round-robin count: O(num_targets) regardless of how
+        many stripes the request spans (equivalent to summing over
+        :meth:`split`, which stays O(stripes)).
         """
+        if offset < 0 or size < 0:
+            raise ValueError(f"invalid request: offset={offset} size={size}")
+        if size == 0:
+            return {}
+        stripe = self.stripe_size
+        ntargets = self.num_targets
+        end = offset + size
+        first = offset // stripe
+        last = (end - 1) // stripe
+        nstripes = last - first + 1
         totals: dict[int, int] = {}
-        for piece in self.split(offset, size):
-            target = self.remap_target(piece.target, down) if down else piece.target
-            totals[target] = totals.get(target, 0) + piece.size
+        if nstripes >= ntargets:
+            # Every target is touched: whole rounds plus a partial round
+            # starting at the first stripe's target.
+            base, extra = divmod(nstripes, ntargets)
+            for i in range(ntargets):
+                totals[(first + i) % ntargets] = (base + (1 if i < extra else 0)) * stripe
+        else:
+            for i in range(nstripes):
+                t = (first + i) % ntargets
+                totals[t] = totals.get(t, 0) + stripe
+        # Trim the partial head and tail stripes (both may hit one target).
+        totals[first % ntargets] -= offset - first * stripe
+        totals[last % ntargets] -= (last + 1) * stripe - end
+        if down:
+            folded: dict[int, int] = {}
+            for t, nbytes in totals.items():
+                survivor = self.remap_target(t, down)
+                folded[survivor] = folded.get(survivor, 0) + nbytes
+            return folded
         return totals
 
     def align_down(self, offset: int) -> int:

@@ -93,15 +93,23 @@ class Communicator:
         data: np.ndarray | bytes | None = None,
         size: int | None = None,
         context: str = "pt2pt",
+        readonly: bool = False,
     ):
-        """Non-blocking send.  ``yield from``; returns a :class:`Request`."""
+        """Non-blocking send.  ``yield from``; returns a :class:`Request`.
+
+        ``readonly=True`` promises the payload buffer is not mutated until
+        the message has fully arrived; the eager path then keeps a
+        reference instead of its buffered-semantics snapshot (zero-copy).
+        The collective-write hot path sends views of frozen rank data and
+        single-use pack buffers, so it opts in.
+        """
         payload, nbytes = _as_payload(data, size)
         self._check_peer(dest)
         rt = self._runtime
         rt.enter_progress()
         try:
             yield self.engine.timeout(self._spec.mpi_call_overhead)
-            op = rt.start_send(dest, tag, nbytes, payload, context)
+            op = rt.start_send(dest, tag, nbytes, payload, context, readonly=readonly)
         finally:
             rt.exit_progress()
         return Request(op.event, "send", op)
@@ -151,9 +159,14 @@ class Communicator:
         finally:
             rt.exit_progress()
 
-    def send(self, dest: int, tag: int, data=None, size=None, context: str = "pt2pt"):
+    def send(
+        self, dest: int, tag: int, data=None, size=None, context: str = "pt2pt",
+        readonly: bool = False,
+    ):
         """Blocking send (isend + wait)."""
-        req = yield from self.isend(dest, tag, data=data, size=size, context=context)
+        req = yield from self.isend(
+            dest, tag, data=data, size=size, context=context, readonly=readonly
+        )
         yield from self.wait(req)
 
     def recv(

@@ -208,6 +208,7 @@ class RankRuntime:
         size: int,
         payload: np.ndarray | None,
         context: str,
+        readonly: bool = False,
     ) -> SendOp:
         """Initiate a message; returns the sender-side op (non-blocking).
 
@@ -230,8 +231,14 @@ class RankRuntime:
         )
         if protocol == Protocol.EAGER:
             self.eager_sent += 1
-            # Buffered semantics: payload snapshot now, send completes locally.
-            msg.payload = np.array(payload, dtype=np.uint8, copy=True) if payload is not None else None
+            # Buffered semantics: payload snapshot now, send completes
+            # locally.  A ``readonly`` sender vouches the buffer stays
+            # untouched until arrival, so the snapshot is skipped — the
+            # receive side copies into the user buffer either way.
+            if payload is None or readonly:
+                msg.payload = payload
+            else:
+                msg.payload = np.array(payload, dtype=np.uint8, copy=True)
             transfer = fabric.transfer(self.node, dst_rt.node, size + MESSAGE_HEADER_SIZE)
             dst_rt._deliver(transfer, lambda: dst_rt._eager_arrived(msg))
             event.succeed(eng.now)

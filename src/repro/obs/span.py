@@ -115,6 +115,8 @@ class SpanRecorder(Tracer):
         if self.max_records is not None:
             self.spans = deque(self.spans, maxlen=self.max_records)
         self._depths: dict[int, int] = {}
+        # Real span storage: let guarded call sites build span kwargs.
+        self.active = self.enabled
 
     # ------------------------------------------------------------------
     def begin(

@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.specbase import SpecBase
 from repro.units import US
 
 __all__ = ["RecoverySpec"]
 
 
 @dataclass(frozen=True)
-class RecoverySpec:
+class RecoverySpec(SpecBase):
     """Tunables of the restart-from-journal recovery protocol.
 
     The recovery manager reruns the collective after every permanent
@@ -45,6 +46,3 @@ class RecoverySpec:
         if self.max_attempts is not None:
             return self.max_attempts
         return nprocs + num_targets + 2
-
-    def with_(self, **overrides) -> "RecoverySpec":
-        return replace(self, **overrides)

@@ -43,33 +43,26 @@ class Event:
     automatically when they ``yield`` an event).
     """
 
-    __slots__ = ("engine", "callbacks", "_outcome", "_ok", "_processed", "defused")
+    # ``triggered``/``processed``/``ok`` are plain attributes, not
+    # properties: they are read hundreds of thousands of times per run
+    # (every composite wait and every process resumption checks them),
+    # and descriptor dispatch was a measurable share of the event loop.
+    __slots__ = ("engine", "callbacks", "triggered", "processed", "ok",
+                 "_outcome", "defused")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self.callbacks: list[Callable[["Event"], None]] = []
+        #: True once the outcome (value or exception) has been decided.
+        self.triggered: bool = False
+        #: True once callbacks have run.
+        self.processed: bool = False
+        #: True if the event succeeded.  Only meaningful once triggered.
+        self.ok: bool = True
         self._outcome: Any = _PENDING
-        self._ok: bool = True
-        self._processed: bool = False
         #: A failed event whose exception was delivered to a waiter is
         #: "defused"; an un-defused failure surfaces from :meth:`Engine.run`.
         self.defused: bool = False
-
-    # -- state ----------------------------------------------------------
-    @property
-    def triggered(self) -> bool:
-        """True once the outcome (value or exception) has been decided."""
-        return self._outcome is not _PENDING
-
-    @property
-    def processed(self) -> bool:
-        """True once callbacks have run."""
-        return self._processed
-
-    @property
-    def ok(self) -> bool:
-        """True if the event succeeded.  Only meaningful once triggered."""
-        return self._ok
 
     @property
     def value(self) -> Any:
@@ -81,36 +74,38 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self._outcome is not _PENDING:
+        if self.triggered:
             raise SimulationError("event triggered twice")
         self._outcome = value
-        self._ok = True
+        self.triggered = True
+        self.ok = True
         self.engine._push(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
-        if self._outcome is not _PENDING:
+        if self.triggered:
             raise SimulationError("event triggered twice")
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
         self._outcome = exception
-        self._ok = False
+        self.triggered = True
+        self.ok = False
         self.engine._push(self)
         return self
 
     def _process(self) -> None:
         """Run callbacks.  Called exactly once by the engine."""
-        self._processed = True
+        self.processed = True
         callbacks, self.callbacks = self.callbacks, []
         for callback in callbacks:
             callback(self)
-        if not self._ok and not self.defused:
+        if not self.ok and not self.defused:
             # Nobody is handling this failure: abort the simulation run.
             raise self._outcome
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        state = "pending" if not self.triggered else ("ok" if self.ok else "failed")
         return f"<{type(self).__name__} {state} at {hex(id(self))}>"
 
 
@@ -134,7 +129,8 @@ class Timeout(Event):
 
     def _process(self) -> None:
         self._outcome = self._pending_value
-        self._ok = True
+        self.triggered = True
+        self.ok = True
         super()._process()
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
@@ -333,11 +329,26 @@ class Engine:
         because in a closed simulation that means the modelled program can
         never make progress again.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
-                self.now = until
-                return
-            self.step()
+        # Manually inlined step(): this loop IS the simulator's hot path,
+        # so the heap, the pop and the event counter live in locals and
+        # the count is folded back in one write (exception-safe via the
+        # finally, preserving step()'s count-then-process semantics).
+        heap = self._heap
+        heappop = heapq.heappop
+        count = 0
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    return
+                when, _, event = heappop(heap)
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                self.now = when
+                count += 1
+                event._process()
+        finally:
+            self.events_processed += count
         if until is not None:
             self.now = until
         if self._active_processes > 0:

@@ -24,7 +24,11 @@ class _Condition(Event):
         for child in self._children:
             if child.engine is not engine:
                 raise ValueError("all events of a condition must share one engine")
-        self._pending_count = 0
+        # Count-down of children not yet accounted for: every
+        # ``_on_child`` call (synchronous below, or via callback later)
+        # accounts for exactly one child, so :class:`AllOf` can succeed
+        # on reaching zero without rescanning the whole child list.
+        self._pending_count = len(self._children)
         if not self._children:
             self.succeed(self._collect())
             return
@@ -32,7 +36,6 @@ class _Condition(Event):
             if child.processed:
                 self._on_child(child)
             else:
-                self._pending_count += 1
                 child.callbacks.append(self._on_child)
             if self.triggered:
                 break
@@ -62,8 +65,8 @@ class AllOf(_Condition):
             child.defused = True
             self.fail(child.value)
             return
-        done = sum(1 for c in self._children if c.processed and c.ok)
-        if done == len(self._children):
+        self._pending_count -= 1
+        if self._pending_count == 0:
             self.succeed([c.value for c in self._children])
 
 

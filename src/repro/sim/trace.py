@@ -91,6 +91,14 @@ class Tracer:
     #: Ring-buffer capacity for stored records (None = unbounded).
     max_records: int | None = None
 
+    #: Lazy-span guard: False on the base tracer, whose :meth:`begin` /
+    #: :meth:`end` are no-ops.  Hot-path call sites check this one
+    #: attribute and skip building the span's kwargs entirely when no
+    #: real recorder is attached (`span = t.begin(...) if t.active else
+    #: None`), which is the common benchmarking configuration.
+    #: :class:`repro.obs.span.SpanRecorder` sets it True.
+    active: bool = False
+
     def __post_init__(self) -> None:
         if self.max_records is not None:
             if self.max_records < 1:

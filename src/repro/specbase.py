@@ -1,0 +1,226 @@
+"""Shared machinery of the frozen ``*Spec`` dataclass family.
+
+Every user-facing specification object in the package — :class:`RunSpec`,
+:class:`FaultSpec`, :class:`RecoverySpec`, :class:`StagingSpec`,
+:class:`ScenarioSpec` — derives from :class:`SpecBase` and therefore
+speaks one uniform protocol:
+
+``to_dict()`` / ``from_dict()``
+    Lossless plain-data round trip.  Nested specs, plain dataclasses
+    (:class:`ClusterSpec`, :class:`FsSpec`, ...), tuples, frozensets,
+    rank→view maps, numpy arrays and module-level callables are encoded
+    with small ``{"__tag__": ...}`` wrappers so ``from_dict(to_dict(s))
+    == s`` holds exactly.  Fields listed in ``_transient`` (derived or
+    runtime-only state, e.g. a prebuilt plan) are skipped and come back
+    as their defaults.
+
+``to_json()`` / ``from_json()``
+    The same round trip through a JSON string.
+
+``canonical()`` / ``spec_sha256()``
+    A canonical serialized form (sorted keys, no whitespace variance)
+    and its content hash.  This is what caches and the golden
+    fingerprint suite key off: two spec objects describing the same run
+    agree on the hash across processes and sessions.
+
+``validate()`` / ``replace()`` / ``with_()``
+    Consistent spellings across the family.  Field-level checks live in
+    each subclass's ``__post_init__`` (so invalid specs cannot be
+    constructed); ``validate()`` is the hook for cross-field checks and
+    returns ``self`` for chaining.  ``replace`` re-runs the checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+from typing import Any, ClassVar
+
+__all__ = ["SpecBase", "SpecCodecError", "encode_value", "decode_value"]
+
+#: Registered SpecBase subclasses by class name (filled by subclassing).
+_SPEC_REGISTRY: dict[str, type] = {}
+
+
+class SpecCodecError(TypeError):
+    """A value cannot be represented in (or decoded from) spec plain data."""
+
+
+def _qualname(obj: Any) -> str:
+    return f"{obj.__module__}:{obj.__qualname__}"
+
+
+def _resolve(path: str) -> Any:
+    module_name, _, attr_path = path.partition(":")
+    target: Any = importlib.import_module(module_name)
+    for part in attr_path.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one field value as JSON-safe plain data (tagged where needed)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, SpecBase):
+        return {"__spec__": type(value).__name__, "fields": value.to_dict()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": _qualname(type(value)),
+            "fields": {
+                f.name: encode_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        items = [encode_value(v) for v in value]
+        return {"__frozenset__": sorted(items, key=lambda v: json.dumps(v, sort_keys=True))}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        # Generic mapping (JSON object keys must be strings; spec maps are
+        # often rank→view).  Entries are sorted for canonical hashing.
+        items = [[encode_value(k), encode_value(v)] for k, v in value.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"__map__": items}
+    # Late imports keep this module dependency-free at import time.
+    from repro.collio.view import FileView
+
+    if isinstance(value, FileView):
+        return {
+            "__fileview__": {
+                "offsets": value.offsets.tolist(),
+                "lengths": value.lengths.tolist(),
+                "local_offsets": value.local_offsets.tolist(),
+            }
+        }
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": {"dtype": str(value.dtype), "data": value.tolist()}}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if callable(value):
+        qual = _qualname(value)
+        if "<" in qual:  # lambdas / locals have no importable name
+            raise SpecCodecError(
+                f"cannot serialize callable {value!r}: only module-level "
+                "functions round-trip (referenced by qualified name)"
+            )
+        return {"__callable__": qual}
+    raise SpecCodecError(
+        f"cannot serialize {type(value).__name__} value {value!r} in a spec"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if not isinstance(value, dict):
+        return value
+    if "__spec__" in value:
+        cls = _SPEC_REGISTRY.get(value["__spec__"])
+        if cls is None:
+            raise SpecCodecError(f"unknown spec class {value['__spec__']!r}")
+        return cls.from_dict(value["fields"])
+    if "__dataclass__" in value:
+        cls = _resolve(value["__dataclass__"])
+        return cls(**{k: decode_value(v) for k, v in value["fields"].items()})
+    if "__tuple__" in value:
+        return tuple(decode_value(v) for v in value["__tuple__"])
+    if "__frozenset__" in value:
+        return frozenset(decode_value(v) for v in value["__frozenset__"])
+    if "__map__" in value:
+        return {decode_value(k): decode_value(v) for k, v in value["__map__"]}
+    if "__fileview__" in value:
+        import numpy as np
+
+        from repro.collio.view import FileView
+
+        fv = value["__fileview__"]
+        return FileView.from_pieces(
+            np.asarray(fv["offsets"], np.int64),
+            np.asarray(fv["lengths"], np.int64),
+            np.asarray(fv["local_offsets"], np.int64),
+        )
+    if "__ndarray__" in value:
+        import numpy as np
+
+        return np.asarray(value["__ndarray__"]["data"], dtype=value["__ndarray__"]["dtype"])
+    if "__callable__" in value:
+        return _resolve(value["__callable__"])
+    return {k: decode_value(v) for k, v in value.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class SpecBase:
+    """Base class of the frozen ``*Spec`` family (see module docstring)."""
+
+    #: Field names excluded from serialization (derived or runtime-only);
+    #: they decode back to their dataclass defaults.
+    _transient: ClassVar[frozenset[str]] = frozenset()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        _SPEC_REGISTRY[cls.__name__] = cls
+
+    # -- plain-data round trip -----------------------------------------
+    def to_dict(self) -> dict:
+        """The spec as plain JSON-safe data (see :func:`encode_value`)."""
+        return {
+            f.name: encode_value(getattr(self, f.name))
+            for f in dataclasses.fields(self)
+            if f.name not in self._transient
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SpecBase":
+        """Rebuild a spec from :meth:`to_dict` output (strict on keys)."""
+        known = {f.name for f in dataclasses.fields(cls) if f.init}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecCodecError(
+                f"{cls.__name__}.from_dict: unknown field(s) {', '.join(unknown)}"
+            )
+        return cls(**{k: decode_value(v) for k, v in data.items()})
+
+    # -- JSON round trip -----------------------------------------------
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SpecBase":
+        return cls.from_dict(json.loads(text))
+
+    # -- canonical form / hashing --------------------------------------
+    def canonical(self) -> str:
+        """Canonical serialized form: sorted keys, no whitespace variance."""
+        return json.dumps(
+            {"spec": type(self).__name__, "fields": self.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def spec_sha256(self) -> str:
+        """Content hash of :meth:`canonical` — the cache/fingerprint key."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    # -- uniform verbs ---------------------------------------------------
+    def validate(self) -> "SpecBase":
+        """Cross-field consistency hook; returns ``self`` for chaining."""
+        return self
+
+    def replace(self, **overrides: Any) -> "SpecBase":
+        """A copy with the given fields replaced (re-runs field checks)."""
+        return dataclasses.replace(self, **overrides)
+
+    def with_(self, **overrides: Any) -> "SpecBase":
+        """Alias of :meth:`replace` (the family's historical spelling)."""
+        return dataclasses.replace(self, **overrides)

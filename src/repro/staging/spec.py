@@ -26,10 +26,11 @@ force-starts a drain so the job cannot deadlock against its own tier.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass
 
 from repro.config import DEFAULT_SCALE, scaled
 from repro.errors import ConfigurationError
+from repro.specbase import SpecBase
 from repro.units import GB, GiB, US
 
 __all__ = ["DRAIN_POLICIES", "StagingSpec", "nvme_staging"]
@@ -42,7 +43,7 @@ CAPACITY_UNSCALED: int = 4 * GiB
 
 
 @dataclass(frozen=True)
-class StagingSpec:
+class StagingSpec(SpecBase):
     """Static description of a node-local burst-buffer tier."""
 
     #: Master switch; a disabled spec behaves exactly like ``staging=None``.
@@ -101,12 +102,14 @@ class StagingSpec:
         overrides.setdefault("drain_latency", 100 * US / scale)
         return cls(**overrides)
 
-    def with_(self, **overrides) -> "StagingSpec":
-        return replace(self, **overrides)
-
     def cache_key(self) -> dict:
-        """Canonical plain-data form for stable hashing (tune caches)."""
-        return asdict(self)
+        """Canonical plain-data form for stable hashing (tune caches).
+
+        All fields are scalars, so :meth:`SpecBase.to_dict` is already
+        the flat dict ``dataclasses.asdict`` used to produce — existing
+        cache keys are unchanged.
+        """
+        return self.to_dict()
 
 
 def nvme_staging(scale: int = DEFAULT_SCALE, **overrides) -> "StagingSpec":

@@ -210,10 +210,12 @@ class DrainScheduler:
             self._force_drain()
             yield bb.wait_for_space()
         bb.reserve(ext.nbytes)
-        span = self.tracer.begin(
-            self.engine.now, "absorb", "staging", rank=staging_rank(self.node),
-            cycle=ext.cycle, flow="async", bytes=ext.nbytes, src_rank=ext.rank,
-        )
+        span = None
+        if self.tracer.active:
+            span = self.tracer.begin(
+                self.engine.now, "absorb", "staging", rank=staging_rank(self.node),
+                cycle=ext.cycle, flow="async", bytes=ext.nbytes, src_rank=ext.rank,
+            )
         yield bb.absorb_queue.submit(ext.nbytes)
         self.tracer.end(span, self.engine.now)
         if ext.data is not None:
@@ -256,11 +258,13 @@ class DrainScheduler:
         try:
             while self._should_drain():
                 ext = bb.pending.popleft()
-                span = self.tracer.begin(
-                    self.engine.now, "drain", "staging",
-                    rank=staging_rank(self.node), cycle=ext.cycle, flow="async",
-                    bytes=ext.nbytes, src_rank=ext.rank,
-                )
+                span = None
+                if self.tracer.active:
+                    span = self.tracer.begin(
+                        self.engine.now, "drain", "staging",
+                        rank=staging_rank(self.node), cycle=ext.cycle, flow="async",
+                        bytes=ext.nbytes, src_rank=ext.rank,
+                    )
                 yield bb.drain_link.submit(ext.nbytes)
                 yield from self._write_durable(ext)
                 self.tracer.end(span, self.engine.now)

@@ -74,8 +74,23 @@ class TrialSpec:
 
 
 def trial_key(trial: TrialSpec) -> str:
-    """The trial's stable cache key (scenario + candidate + seed + version)."""
-    return stable_key(trial.key())
+    """The trial's stable cache key (scenario + candidate + seed + version).
+
+    The scenario participates through its canonical :class:`SpecBase`
+    serialization (with the file-system default resolved, so ``fs=None``
+    and its explicit spelling key identically); note :func:`trial_seed`
+    deliberately keeps the older plain-data form — changing it would
+    reshuffle every trial's noise stream.
+    """
+    scenario = trial.scenario.to_dict()
+    scenario["fs"] = trial.scenario.fs_name
+    return stable_key(
+        {
+            "scenario": scenario,
+            "candidate": trial.candidate.key(),
+            "seed": trial.seed,
+        }
+    )
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ from repro.collio.shuffle import SHUFFLE_PRIMITIVES
 from repro.config import DEFAULT_SCALE, scaled
 from repro.errors import ConfigurationError
 from repro.fs.presets import FsSpec, fs_preset
+from repro.specbase import SpecBase
 from repro.staging.spec import DRAIN_POLICIES, StagingSpec
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.presets import PRESETS, preset
@@ -52,7 +53,7 @@ _CLUSTER_DEFAULT_FS = {"crill": "beegfs-crill", "ibex": "beegfs-ibex"}
 
 
 @dataclass(frozen=True)
-class ScenarioSpec:
+class ScenarioSpec(SpecBase):
     """One tuning scenario: *what* is being written, *where*.
 
     The (workload, cluster, file system, process count) tuple the paper's

@@ -1,0 +1,118 @@
+"""The cross-run plan cache: content keying, counters, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.api import build_plan
+from repro.collio import CollectiveConfig, FileView
+from repro.collio.plan import (
+    cached_plan,
+    plan_cache_stats,
+    plan_content_key,
+    reset_plan_cache,
+    store_plan,
+)
+from repro.hardware import Cluster, ClusterSpec
+from repro.sim import Engine
+from repro.units import MB
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_plan_cache()
+    yield
+    reset_plan_cache()
+
+
+def make_cluster(nodes=4, cores=4):
+    spec = ClusterSpec(name="t", num_nodes=nodes, cores_per_node=cores,
+                       network_bandwidth=1000 * MB)
+    return Cluster(Engine(), spec)
+
+
+def views_for(nprocs, per_rank=64 * 1024):
+    return {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+
+
+CFG = CollectiveConfig(cb_buffer_size=32 * 1024)
+
+
+class TestContentKey:
+    def test_equal_views_hash_equal_regardless_of_identity(self):
+        a = plan_content_key(views_for(4), nprocs=4, cycle_bytes=32 * 1024)
+        b = plan_content_key(views_for(4), nprocs=4, cycle_bytes=32 * 1024)
+        assert a == b
+
+    def test_view_content_changes_the_key(self):
+        base = views_for(4)
+        shifted = dict(base)
+        shifted[3] = FileView.contiguous(10 * MB, 64 * 1024)
+        assert (plan_content_key(base, nprocs=4)
+                != plan_content_key(shifted, nprocs=4))
+
+    def test_ingredients_change_the_key(self):
+        v = views_for(4)
+        assert (plan_content_key(v, nprocs=4, cycle_bytes=1)
+                != plan_content_key(v, nprocs=4, cycle_bytes=2))
+
+    def test_noncontiguous_views_participate_by_extent_bytes(self):
+        offs = np.array([0, 8192, 65536], dtype=np.int64)
+        lens = np.array([4096, 4096, 4096], dtype=np.int64)
+        a = plan_content_key({0: FileView(offs, lens)}, nprocs=1)
+        b = plan_content_key({0: FileView(offs.copy(), lens.copy())}, nprocs=1)
+        assert a == b
+
+
+class TestCounters:
+    def test_miss_then_hit(self):
+        cluster = make_cluster()
+        plan1 = build_plan(cluster, 16, views_for(16), CFG, cycle_bytes=32 * 1024)
+        stats = plan_cache_stats()
+        assert stats == {"hits": 0, "misses": 1, "size": 1}
+        plan2 = build_plan(cluster, 16, views_for(16), CFG, cycle_bytes=32 * 1024)
+        stats = plan_cache_stats()
+        assert stats == {"hits": 1, "misses": 1, "size": 1}
+        assert plan2 is plan1  # the cached object itself, not a rebuild
+
+    def test_different_placement_misses(self):
+        # Same views, same config — but the ranks sit on different nodes,
+        # so aggregator selection could differ and the plan must rebuild.
+        views = views_for(8)
+        build_plan(make_cluster(nodes=2, cores=4), 8, views, CFG, cycle_bytes=32 * 1024)
+        build_plan(make_cluster(nodes=4, cores=2), 8, views, CFG, cycle_bytes=32 * 1024)
+        assert plan_cache_stats()["misses"] == 2
+        assert plan_cache_stats()["hits"] == 0
+
+    def test_exclude_ranks_misses(self):
+        cluster = make_cluster()
+        views = views_for(16)
+        build_plan(cluster, 16, views, CFG, cycle_bytes=32 * 1024)
+        build_plan(cluster, 16, views, CFG, cycle_bytes=32 * 1024,
+                   exclude_ranks=frozenset({0}))
+        assert plan_cache_stats()["misses"] == 2
+
+    def test_reset_zeroes_everything(self):
+        cluster = make_cluster()
+        build_plan(cluster, 16, views_for(16), CFG, cycle_bytes=32 * 1024)
+        reset_plan_cache()
+        assert plan_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+
+class TestEviction:
+    def test_cap_is_enforced_fifo(self):
+        from repro.collio import plan as plan_mod
+
+        cap = plan_mod._PLAN_CACHE_CAP
+        for i in range(cap + 5):
+            store_plan(f"key-{i}", object())
+        assert plan_cache_stats()["size"] == cap
+        # Oldest entries fell out; newest survive.
+        assert cached_plan("key-0") is None
+        assert cached_plan(f"key-{cap + 4}") is not None
+
+    def test_store_is_idempotent(self):
+        sentinel = object()
+        store_plan("k", sentinel)
+        store_plan("k", object())
+        assert cached_plan("k") is sentinel
+        assert plan_cache_stats()["size"] == 1

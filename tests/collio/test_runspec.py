@@ -176,3 +176,40 @@ class TestLegacyShim:
                     small_cluster(), small_fs(), 4, views_for(4),
                     config=CFG, carry_data=False, bogus_flag=True,
                 )
+
+    def test_legacy_warns_once_per_call_site_not_per_call(self):
+        # The same source line calling the shim repeatedly (a sweep loop,
+        # say) must not flood the log: one warning for the site, silence
+        # after.  A different call site still gets its own warning.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                run_collective_write(
+                    small_cluster(), small_fs(), 4, views_for(4),
+                    config=CFG, carry_data=False,
+                )
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "RunSpec" in str(deprecations[0].message)
+
+    def test_strict_api_env_raises_instead_of_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_API", "1")
+        with pytest.raises(TypeError, match="REPRO_STRICT_API"):
+            run_collective_write(
+                small_cluster(), small_fs(), 4, views_for(4),
+                config=CFG, carry_data=False,
+            )
+
+    def test_strict_api_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_API", "0")
+        with pytest.warns(DeprecationWarning):
+            result = run_collective_write(
+                small_cluster(), small_fs(), 4, views_for(4),
+                config=CFG, carry_data=False,
+            )
+        assert result.elapsed > 0
+
+    def test_strict_api_leaves_runspec_path_alone(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT_API", "1")
+        assert run_collective_write(spec()).elapsed > 0

@@ -86,7 +86,14 @@ def golden_spec(
 def fingerprint(
     algorithm: str, shuffle: str, two_layer: bool, staging: str | None = None
 ) -> dict:
-    """Run the pinned scenario once and fingerprint the outcome."""
+    """Run the pinned scenario once and fingerprint the outcome.
+
+    ``spec_sha256`` is the hash of the run spec's canonical serialized
+    form (:meth:`~repro.specbase.SpecBase.spec_sha256`): any drift in
+    the pinned scenario's description — a changed default, a new spec
+    field, a renamed preset — shows up as a fingerprint diff even when
+    the simulated output happens to survive it.
+    """
     spec = golden_spec(algorithm, shuffle, two_layer, staging)
     result = run_collective_write(spec)
     assert result.verified is True
@@ -97,4 +104,5 @@ def fingerprint(
         "file_sha256": result.file_sha256,
         "num_cycles": result.num_cycles,
         "spans": dict(sorted(spans.items())),
+        "spec_sha256": spec.spec_sha256(),
     }

@@ -1,0 +1,72 @@
+"""The ``repro.api`` facade: one stable import surface for user code.
+
+Examples and README snippets import from ``repro.api`` only; these tests
+pin the contract — every advertised name resolves, nothing leaks outside
+``__all__``, and the re-exports are the same objects as the originals
+(no copies that would break isinstance checks across module boundaries).
+"""
+
+import importlib
+
+import repro.api as api
+
+
+class TestFacade:
+    def test_every_all_entry_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_all_is_explicit_sorted_within_reason_and_deduped(self):
+        assert len(api.__all__) == len(set(api.__all__))
+        assert len(api.__all__) >= 20
+
+    def test_star_import_exports_exactly_all(self):
+        ns = {}
+        exec("from repro.api import *", ns)
+        exported = {k for k in ns if not k.startswith("__")}
+        assert exported == set(api.__all__)
+
+    def test_reexports_are_identical_objects(self):
+        # The facade must alias, not wrap: isinstance/issubclass checks
+        # done against repro.api types have to hold for objects built by
+        # the underlying packages and vice versa.
+        originals = {
+            "RunSpec": "repro.collio",
+            "run_collective_write": "repro.collio",
+            "FaultSpec": "repro.faults",
+            "RecoverySpec": "repro.recovery",
+            "StagingSpec": "repro.staging",
+            "ScenarioSpec": "repro.tune",
+            "autotune": "repro.tune",
+            "run_with_recovery": "repro.recovery",
+            "make_workload": "repro.workloads",
+        }
+        for name, module in originals.items():
+            assert getattr(api, name) is getattr(importlib.import_module(module), name)
+
+    def test_spec_family_is_complete(self):
+        for name in ("SpecBase", "RunSpec", "FaultSpec", "RecoverySpec",
+                     "StagingSpec", "ScenarioSpec"):
+            assert name in api.__all__
+
+    def test_facade_smoke_run(self):
+        from repro.api import (
+            CollectiveConfig, FileView, FsSpec, ClusterSpec, RunSpec,
+            run_collective_write,
+        )
+        from repro.units import MB
+
+        cluster = ClusterSpec(
+            name="t", num_nodes=2, cores_per_node=2,
+            network_bandwidth=1000 * MB, network_latency=1e-6,
+            eager_threshold=1024,
+        )
+        fs = FsSpec(name="tfs", num_targets=2, target_bandwidth=300 * MB,
+                    target_latency=5e-5, stripe_size=4096)
+        views = {r: FileView.contiguous(r * 4096, 4096) for r in range(4)}
+        result = run_collective_write(RunSpec(
+            cluster=cluster, fs=fs, nprocs=4, views=views,
+            config=CollectiveConfig(cb_buffer_size=8 * 1024),
+            carry_data=False,
+        ))
+        assert result.elapsed > 0

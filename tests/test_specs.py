@@ -1,0 +1,184 @@
+"""The unified spec family: JSON round-trips, canonical hashing, strictness.
+
+Every ``*Spec`` type shares :class:`repro.specbase.SpecBase`, so a single
+contract applies across the family: ``from_dict(to_dict(s)) == s``, the
+JSON form round-trips byte-exactly through ``canonical()``, unknown keys
+are rejected loudly, and ``replace()`` returns a distinct frozen value.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import (
+    CollectiveConfig,
+    FaultSpec,
+    FileView,
+    RecoverySpec,
+    RunSpec,
+    ScenarioSpec,
+    StagingSpec,
+)
+from repro.faults import RetryPolicy
+from repro.fs import FsSpec
+from repro.hardware import ClusterSpec
+from repro.specbase import SpecBase, SpecCodecError
+from repro.api import default_data
+from repro.units import MB
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+delays = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+fault_specs = st.builds(
+    FaultSpec,
+    write_fail_rate=rates,
+    straggler_rate=rates,
+    straggler_factor=st.floats(min_value=1.0, max_value=16.0),
+    aio_submit_fail_rate=rates,
+    message_delay_rate=rates,
+    message_delay=delays,
+    rank_crash_rate=rates,
+    ost_outage_rate=rates,
+    crash_window=st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+)
+
+recovery_specs = st.builds(
+    RecoverySpec,
+    max_attempts=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    detection_timeout=st.floats(min_value=1e-6, max_value=1.0),
+    failover_overhead=st.floats(min_value=0.0, max_value=1.0),
+)
+
+staging_specs = st.builds(
+    StagingSpec,
+    enabled=st.booleans(),
+    capacity=st.integers(min_value=1 << 10, max_value=1 << 30),
+    absorb_bandwidth=st.floats(min_value=1e6, max_value=1e11),
+    drain_bandwidth=st.floats(min_value=1e6, max_value=1e11),
+    policy=st.sampled_from(["immediate", "watermark", "end_of_job"]),
+    high_watermark=st.floats(min_value=0.5, max_value=1.0),
+    low_watermark=st.floats(min_value=0.01, max_value=0.45),
+    max_drain_retries=st.integers(min_value=0, max_value=64),
+)
+
+scenario_specs = st.builds(
+    ScenarioSpec,
+    benchmark=st.sampled_from(["ior", "flash", "tile_1m", "tile_256"]),
+    cluster=st.sampled_from(["crill", "ibex"]),
+    nprocs=st.integers(min_value=1, max_value=512),
+    scale=st.sampled_from([1, 64, 256]),
+    fs=st.one_of(st.none(), st.sampled_from(["beegfs_crill", "beegfs_ibex"])),
+)
+
+ALL_SPEC_STRATEGIES = [fault_specs, recovery_specs, staging_specs, scenario_specs]
+
+
+def full_runspec(**overrides):
+    cluster = ClusterSpec(
+        name="t", num_nodes=4, cores_per_node=4,
+        network_bandwidth=1000 * MB, network_latency=1e-6,
+        eager_threshold=1024,
+    )
+    fs = FsSpec(
+        name="tfs", num_targets=4, target_bandwidth=300 * MB,
+        target_latency=5e-5, stripe_size=4096,
+    )
+    views = {r: FileView.contiguous(r * 10_000, 10_000) for r in range(4)}
+    kwargs = dict(
+        cluster=cluster, fs=fs, nprocs=4, views=views,
+        config=CollectiveConfig(cb_buffer_size=32 * 1024),
+        carry_data=False,
+        faults=FaultSpec(write_fail_rate=0.05),
+        retry=RetryPolicy(max_retries=3),
+        recovery=RecoverySpec(max_attempts=2),
+        staging=StagingSpec.for_scale(64),
+    )
+    kwargs.update(overrides)
+    return RunSpec(**kwargs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("strategy", ALL_SPEC_STRATEGIES,
+                             ids=["fault", "recovery", "staging", "scenario"])
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_from_dict_to_dict_identity(self, strategy, data):
+        s = data.draw(strategy)
+        assert type(s).from_dict(s.to_dict()) == s
+
+    @pytest.mark.parametrize("strategy", ALL_SPEC_STRATEGIES,
+                             ids=["fault", "recovery", "staging", "scenario"])
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_json_round_trip_and_stable_hash(self, strategy, data):
+        s = data.draw(strategy)
+        cls = type(s)
+        assert cls.from_json(s.to_json()) == s
+        # canonical form is deterministic: same value, same digest
+        twin = cls.from_dict(s.to_dict())
+        assert s.canonical() == twin.canonical()
+        assert s.spec_sha256() == twin.spec_sha256()
+        # ... and actually canonical: sorted keys, parseable JSON
+        doc = json.loads(s.canonical())
+        assert doc["spec"] == cls.__name__
+
+    def test_runspec_round_trip_with_all_nested_specs(self):
+        s = full_runspec()
+        restored = RunSpec.from_dict(s.to_dict())
+        assert restored == s
+        assert restored.views[2] == s.views[2]
+        assert restored.retry == s.retry
+        assert restored.data_factory is default_data
+        assert RunSpec.from_json(s.to_json()).spec_sha256() == s.spec_sha256()
+
+    def test_runspec_transient_plan_not_serialized(self):
+        d = full_runspec().to_dict()
+        assert "plan" not in d
+
+    def test_distinct_specs_hash_distinct(self):
+        a = FaultSpec(write_fail_rate=0.1)
+        b = FaultSpec(write_fail_rate=0.2)
+        assert a.spec_sha256() != b.spec_sha256()
+
+
+class TestStrictness:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecCodecError, match="unknown"):
+            FaultSpec.from_dict({"write_fail_rate": 0.1, "nope": 1})
+
+    def test_lambda_data_factory_is_not_serializable(self):
+        s = full_runspec(data_factory=lambda rank, n: b"\0" * n)
+        with pytest.raises(SpecCodecError):
+            s.to_dict()
+
+    def test_every_named_spec_subclasses_the_base(self):
+        for cls in (RunSpec, FaultSpec, RecoverySpec, StagingSpec, ScenarioSpec):
+            assert issubclass(cls, SpecBase)
+            assert dataclasses.is_dataclass(cls)
+            # frozen: assignment must fail
+            inst = cls.__new__(cls)
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                inst.benchmark = "x"
+
+
+class TestReplaceAndValidate:
+    def test_replace_returns_new_equal_family_member(self):
+        s = StagingSpec.for_scale(64)
+        t = s.replace(policy="watermark")
+        assert t is not s and t.policy == "watermark"
+        assert s.policy == "immediate"  # original untouched (frozen)
+        assert type(t) is StagingSpec
+
+    def test_validate_returns_self_across_family(self):
+        for s in (FaultSpec(), RecoverySpec(), StagingSpec.for_scale(64),
+                  ScenarioSpec(benchmark="ior", cluster="crill", nprocs=4)):
+            assert s.validate() is s
+
+    def test_staging_cache_key_matches_asdict(self):
+        # tune's ResultCache keyed off asdict() before the SpecBase
+        # migration; cache_key() must keep producing the same mapping or
+        # every on-disk tuning cache silently invalidates.
+        s = StagingSpec.for_scale(64)
+        assert s.cache_key() == dataclasses.asdict(s)
