@@ -35,6 +35,8 @@ from repro.faults.spec import FaultSpec
 from repro.fs.presets import FsSpec, beegfs_crill, beegfs_ibex, fs_preset
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.presets import crill, ibex, preset
+from repro.integrity.report import ScrubReport
+from repro.integrity.spec import IntegritySpec
 from repro.recovery.manager import run_with_recovery
 from repro.recovery.spec import RecoverySpec
 from repro.specbase import SpecBase
@@ -50,6 +52,8 @@ __all__ = [
     "FaultSpec",
     "RecoverySpec",
     "StagingSpec",
+    "IntegritySpec",
+    "ScrubReport",
     "ScenarioSpec",
     "ClusterSpec",
     "FsSpec",

@@ -23,7 +23,7 @@ from repro.config import DEFAULT_SCALE, DEFAULT_SEED
 EXPERIMENTS = (
     "table1", "fig1", "fig2", "fig3", "fig4", "breakdown", "lustre",
     "read", "overlap", "twolayer", "staging", "ablations", "tune",
-    "chaos", "perf", "all",
+    "chaos", "integrity", "perf", "all",
 )
 
 
@@ -82,6 +82,13 @@ def main(argv: list[str] | None = None) -> int:
     chaos_group.add_argument("--check-complete", action="store_true",
                              help="exit non-zero unless every chaos run completed "
                                   "and verified (the CI smoke assertion)")
+    integrity_group = parser.add_argument_group(
+        "integrity", "options for the 'integrity' experiment")
+    integrity_group.add_argument(
+        "--check-integrity", action="store_true",
+        help="exit non-zero unless the campaign reached 100%% detection and "
+             "100%% repair with zero false positives under the "
+             "bitrot_cluster preset (the CI smoke assertion)")
     staging_group = parser.add_argument_group(
         "staging", "options for the 'staging' experiment")
     staging_group.add_argument(
@@ -131,6 +138,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_staging and args.experiment not in ("staging", "all"):
         parser.error("--check-staging is only meaningful with the 'staging' "
                      "experiment (or 'all')")
+    if args.check_integrity and args.experiment not in ("integrity", "all"):
+        parser.error("--check-integrity is only meaningful with the "
+                     "'integrity' experiment (or 'all')")
     if (args.baseline or args.min_speedup or args.max_regression) \
             and args.experiment != "perf":
         parser.error("--baseline/--min-speedup/--max-regression are only "
@@ -141,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     csv_files: dict[str, str] = {}
     chaos_failed = False
     staging_failed = False
+    integrity_failed = False
     perf_failed = False
 
     progress = None if args.quiet else _progress
@@ -287,6 +298,27 @@ def main(argv: list[str] | None = None) -> int:
         if chaos_failed:
             print(f"chaos check FAILED: completion rate "
                   f"{chaos.completion_rate:.0%} < 100%", file=sys.stderr)
+    if args.experiment in ("integrity", "all"):
+        from repro.bench.integrity import integrity_campaign
+
+        def integrity_progress(algorithm, staged, rep, outcome):
+            tier = "staged" if staged else "direct"
+            print(f"  [{time.strftime('%H:%M:%S')}] integrity {algorithm:14s} "
+                  f"{tier:6s} rep {rep}: {outcome}", file=sys.stderr)
+
+        integ = integrity_campaign(
+            nprocs=args.nprocs, reps=args.reps, scale=args.scale,
+            seed=args.seed,
+            progress=None if args.quiet else integrity_progress,
+        )
+        outputs.append(reporting.render_integrity(integ))
+        csv_files["integrity.csv"] = reporting.integrity_csv(integ)
+        integrity_failed = args.check_integrity and not integ.check_ok()
+        if integrity_failed:
+            print(f"integrity check FAILED: detection "
+                  f"{integ.detection_rate:.0%}, repair {integ.repair_rate:.0%}, "
+                  f"false positives {integ.false_positives}, corrupted runs "
+                  f"{integ.corrupted}", file=sys.stderr)
     if args.experiment == "perf":
         import json
 
@@ -339,7 +371,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[wrote {path}]", file=sys.stderr)
     print(f"\n[elapsed {time.time() - started:.0f}s, mode={args.mode}, "
           f"reps={args.reps}, scale={args.scale}]", file=sys.stderr)
-    return 1 if (chaos_failed or staging_failed or perf_failed) else 0
+    return 1 if (chaos_failed or staging_failed or integrity_failed
+                 or perf_failed) else 0
 
 
 if __name__ == "__main__":

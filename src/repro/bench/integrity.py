@@ -1,0 +1,278 @@
+"""Extension experiment X12: the integrity campaign.
+
+Exercises the end-to-end integrity layer (:mod:`repro.integrity`) under
+the ``bitrot_cluster`` fault preset — silent bit flips on message
+deliveries and RMA landings, at-rest burst-buffer rot, storage media
+flips and torn writes — across all five overlap algorithms, with and
+without the staging tier, and reports per cell:
+
+* **detection rate** — of the runs where injected corruption actually
+  reached the file (ground truth: the same ``(seed, faults)`` run with
+  ``mode="off"`` fails its byte-exact verification), the fraction where
+  ``mode="detect"`` raised :class:`~repro.errors.CorruptDataError`
+  instead of completing with a silently corrupt file;
+* **repair rate** — the fraction of corrupted runs where
+  ``mode="repair"`` completed with a final ``file_sha256`` identical to
+  the fault-free run of the same seed;
+* **false positives** — fault-free runs that a checking mode failed
+  (must be zero: checksums never fire on clean data);
+* **overhead** — fault-free elapsed of detect/repair mode relative to
+  ``mode="off"`` (the cost of checksum computation, read-back verifies
+  and the end-of-job scrub on a clean run).
+
+The campaign doubles as the acceptance test of the integrity subsystem:
+the CI smoke job runs it with ``--check-integrity``, which demands 100%
+detection, 100% repair, zero false positives and at least one corrupted
+run per cell (anything less means the preset rates are mistuned for the
+scenario size).
+
+The ground-truth protocol leans on the injector's schedule parity: every
+corruption decision comes from a per-entity named RNG stream keyed only
+by the world seed, so the ``mode="off"`` run and the checking runs see
+bit-identical corruption schedules and the off-run's verification
+verdict is a valid oracle for what the checking modes faced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collio.api import RunSpec, run_collective_write
+from repro.collio.config import CollectiveConfig
+from repro.collio.view import FileView
+from repro.config import DEFAULT_SCALE, DEFAULT_SEED
+from repro.errors import CorruptDataError, ReproError
+from repro.faults.presets import fault_preset
+from repro.fs.presets import FsSpec
+from repro.hardware.cluster import ClusterSpec
+from repro.integrity.spec import IntegritySpec
+from repro.staging.spec import StagingSpec
+from repro.units import KiB, MB
+
+__all__ = ["IntegrityCell", "IntegrityCampaignResult", "integrity_campaign"]
+
+#: Every overlap algorithm must survive the campaign.
+INTEGRITY_ALGORITHMS = (
+    "no_overlap", "comm_overlap", "write_overlap", "write_comm", "write_comm2",
+)
+
+
+def _integrity_cluster() -> ClusterSpec:
+    return ClusterSpec(
+        name="bitrot",
+        num_nodes=4,
+        cores_per_node=4,
+        network_bandwidth=1000 * MB,
+        network_latency=1e-6,
+        eager_threshold=1024,
+    )
+
+
+def _integrity_fs() -> FsSpec:
+    return FsSpec(
+        name="bitrotfs",
+        num_targets=4,
+        target_bandwidth=300 * MB,
+        target_latency=5e-5,
+        stripe_size=4096,
+    )
+
+
+@dataclass
+class IntegrityCell:
+    """One (algorithm, staging on/off) cell of the campaign."""
+
+    algorithm: str
+    staged: bool
+    runs: int = 0
+    #: Ground truth: runs whose mode="off" twin ended with a corrupt file.
+    corrupted: int = 0
+    #: Corrupted runs that mode="detect" flagged with CorruptDataError.
+    detected: int = 0
+    #: Corrupted runs that mode="detect" completed silently (must be 0).
+    missed: int = 0
+    #: Clean or fault-free runs that a checking mode failed (must be 0).
+    false_positives: int = 0
+    #: Corrupted runs that mode="repair" finished byte-identically.
+    repaired: int = 0
+    #: Corrupted runs where repair failed or produced wrong bytes.
+    repair_failed: int = 0
+    #: Mean fault-free elapsed of detect/repair mode vs mode="off".
+    detect_overhead: float = 0.0
+    repair_overhead: float = 0.0
+    #: Total integrity.detected / integrity.repaired events of the
+    #: repair-mode runs (one corruption can need several repair hops).
+    detected_events: int = 0
+    repaired_events: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.corrupted if self.corrupted else 1.0
+
+    @property
+    def repair_rate(self) -> float:
+        return self.repaired / self.corrupted if self.corrupted else 1.0
+
+
+@dataclass
+class IntegrityCampaignResult:
+    """The whole campaign: one :class:`IntegrityCell` per (algorithm, tier)."""
+
+    nprocs: int
+    reps: int
+    preset: str = "bitrot_cluster"
+    cells: list[IntegrityCell] = field(default_factory=list)
+
+    def cell(self, algorithm: str, staged: bool) -> IntegrityCell:
+        for c in self.cells:
+            if c.algorithm == algorithm and c.staged == staged:
+                return c
+        raise KeyError((algorithm, staged))
+
+    @property
+    def corrupted(self) -> int:
+        return sum(c.corrupted for c in self.cells)
+
+    @property
+    def detection_rate(self) -> float:
+        total = self.corrupted
+        return sum(c.detected for c in self.cells) / total if total else 1.0
+
+    @property
+    def repair_rate(self) -> float:
+        total = self.corrupted
+        return sum(c.repaired for c in self.cells) / total if total else 1.0
+
+    @property
+    def false_positives(self) -> int:
+        return sum(c.false_positives for c in self.cells)
+
+    def check_ok(self) -> bool:
+        """The CI gate: perfect detection and repair, and faults that fire.
+
+        ``--check-integrity`` demands every injected corruption detected
+        (no misses), every corrupted run repaired byte-exactly, zero
+        false positives, and at least one corrupted run overall — a
+        campaign where no corruption fired proves nothing.
+        """
+        return (
+            self.corrupted > 0
+            and self.false_positives == 0
+            and all(c.missed == 0 and c.repair_failed == 0 for c in self.cells)
+            and self.detection_rate == 1.0
+            and self.repair_rate == 1.0
+        )
+
+
+def integrity_campaign(
+    nprocs: int = 8,
+    reps: int = 3,
+    scale: int = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    progress=None,
+) -> IntegrityCampaignResult:
+    """Run the integrity matrix; ``progress(algorithm, staged, rep, outcome)``
+    is called after every seed's trio of checked runs.
+
+    ``scale`` divides the per-rank payload (64 KiB at scale 1) like the
+    other experiments.  Each (algorithm, tier, seed) cell costs six
+    simulated runs: off/detect/repair fault-free (baseline + overheads +
+    false-positive check) and off/detect/repair under ``bitrot_cluster``
+    (ground truth + detection + repair).
+    """
+    per_rank = max(4096, int(64 * KiB) // scale)
+    views = {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+    faults = fault_preset("bitrot_cluster")
+    result = IntegrityCampaignResult(nprocs=nprocs, reps=reps)
+
+    def config(staged: bool, mode: str | None) -> CollectiveConfig:
+        return CollectiveConfig(
+            cb_buffer_size=16 * KiB,
+            staging=StagingSpec() if staged else None,
+            integrity=IntegritySpec(mode=mode) if mode else None,
+        )
+
+    for algorithm in INTEGRITY_ALGORITHMS:
+        for staged in (False, True):
+            cell = IntegrityCell(algorithm=algorithm, staged=staged)
+            result.cells.append(cell)
+            overhead_detect: list[float] = []
+            overhead_repair: list[float] = []
+            for i in range(reps):
+                rep_seed = seed + i
+                cell.runs += 1
+
+                def run(mode: str | None, faulty: bool):
+                    return run_collective_write(RunSpec(
+                        cluster=_integrity_cluster(), fs=_integrity_fs(),
+                        nprocs=nprocs, views=views, algorithm=algorithm,
+                        config=config(staged, mode), verify=True,
+                        seed=rep_seed, faults=faults if faulty else None,
+                    ))
+
+                # Fault-free: baseline sha/elapsed and mode overheads.
+                # A checking mode failing a clean run is a false positive.
+                base = run(None, faulty=False)
+                for mode, acc in (("detect", overhead_detect),
+                                  ("repair", overhead_repair)):
+                    try:
+                        clean = run(mode, faulty=False)
+                    except (ReproError, AssertionError):
+                        cell.false_positives += 1
+                        continue
+                    if base.elapsed > 0:
+                        acc.append(clean.elapsed / base.elapsed)
+
+                # Ground truth: does this seed's corruption schedule
+                # actually damage the file when nobody is checking?
+                corrupted = False
+                try:
+                    run(None, faulty=True)
+                except AssertionError:
+                    corrupted = True
+                if corrupted:
+                    cell.corrupted += 1
+
+                # Detection.
+                outcome = "clean"
+                try:
+                    run("detect", faulty=True)
+                except CorruptDataError:
+                    outcome = "detected"
+                except AssertionError:
+                    outcome = "missed"
+                if corrupted:
+                    if outcome == "detected":
+                        cell.detected += 1
+                    else:
+                        cell.missed += 1
+                elif outcome != "clean":
+                    cell.false_positives += 1
+
+                # Repair: byte-identical to the fault-free run or bust.
+                repair_ok = False
+                try:
+                    rep = run("repair", faulty=True)
+                except (ReproError, AssertionError):
+                    rep = None
+                else:
+                    repair_ok = rep.file_sha256 == base.file_sha256
+                if corrupted:
+                    if repair_ok:
+                        cell.repaired += 1
+                    else:
+                        cell.repair_failed += 1
+                elif not repair_ok:
+                    cell.false_positives += 1
+                if rep is not None and rep.integrity is not None:
+                    cell.detected_events += rep.integrity["detected"]
+                    cell.repaired_events += rep.integrity["repaired"]
+
+                if progress is not None:
+                    progress(algorithm, staged, i,
+                             outcome if corrupted else "clean")
+            if overhead_detect:
+                cell.detect_overhead = sum(overhead_detect) / len(overhead_detect)
+            if overhead_repair:
+                cell.repair_overhead = sum(overhead_repair) / len(overhead_repair)
+    return result

@@ -37,6 +37,8 @@ __all__ = [
     "tuning_csv",
     "render_staging",
     "staging_csv",
+    "render_integrity",
+    "integrity_csv",
 ]
 
 _ALGO_LABEL = {
@@ -451,5 +453,56 @@ def staging_csv(result) -> str:
     return _csv(
         ["regime", "algorithm", "policy", "seconds",
          "speedup_vs_end_of_job", "stalls", "drained_bytes"],
+        rows,
+    )
+
+
+def render_integrity(result) -> str:
+    """X12: detection / repair / overhead per (algorithm, staging tier)."""
+    header = ["Algorithm", "Staging", "Corrupt", "Detected", "Repaired",
+              "Missed", "FalsePos", "Detect ovh", "Repair ovh"]
+    rows = []
+    for algorithm in ALGORITHM_ORDER:
+        for staged in (False, True):
+            try:
+                c = result.cell(algorithm, staged)
+            except KeyError:
+                continue
+            rows.append([
+                _ALGO_LABEL[algorithm], "on" if staged else "off",
+                f"{c.corrupted}/{c.runs}",
+                f"{c.detected}/{c.corrupted}" if c.corrupted else "-",
+                f"{c.repaired}/{c.corrupted}" if c.corrupted else "-",
+                c.missed, c.false_positives,
+                f"{(c.detect_overhead - 1) * 100:+.1f}%" if c.detect_overhead else "-",
+                f"{(c.repair_overhead - 1) * 100:+.1f}%" if c.repair_overhead else "-",
+            ])
+    return (
+        f"X12 — integrity campaign (preset={result.preset}, "
+        f"P={result.nprocs}, reps={result.reps})\n"
+        + _table(header, rows)
+        + f"\ncorrupted runs: {result.corrupted}; "
+        f"detection rate: {result.detection_rate:.0%}; "
+        f"repair rate: {result.repair_rate:.0%}; "
+        f"false positives: {result.false_positives}; overheads are "
+        "fault-free elapsed vs mode=off (checksums + read-back + scrub)"
+    )
+
+
+def integrity_csv(result) -> str:
+    """X12 cells as CSV (one row per algorithm x staging tier)."""
+    rows = [
+        [c.algorithm, "on" if c.staged else "off", c.runs, c.corrupted,
+         c.detected, c.missed, c.repaired, c.repair_failed,
+         c.false_positives, f"{c.detection_rate:.6f}", f"{c.repair_rate:.6f}",
+         f"{c.detect_overhead:.6f}", f"{c.repair_overhead:.6f}",
+         c.detected_events, c.repaired_events]
+        for c in result.cells
+    ]
+    return _csv(
+        ["algorithm", "staging", "runs", "corrupted", "detected", "missed",
+         "repaired", "repair_failed", "false_positives", "detection_rate",
+         "repair_rate", "detect_overhead", "repair_overhead",
+         "detected_events", "repaired_events"],
         rows,
     )

@@ -163,6 +163,15 @@ class RunSpec(SpecBase):
         config = self.config or CollectiveConfig()
         if (self.verify or config.verify) and not self.carry_data:
             raise ConfigurationError("verify=True requires carry_data=True")
+        if (
+            config.integrity is not None
+            and config.integrity.enabled
+            and not self.carry_data
+        ):
+            raise ConfigurationError(
+                "integrity checking requires carry_data=True "
+                "(checksums need real payload bytes)"
+            )
         if self.max_trace_records is not None and self.max_trace_records < 1:
             raise ConfigurationError(
                 f"max_trace_records must be >= 1 or None, got {self.max_trace_records}"
@@ -328,6 +337,10 @@ def collective_write(
         from repro.staging.tier import StagingTier  # local: layering
 
         StagingTier.ensure(mpi.world, config.staging)
+    if config.integrity is not None and config.integrity.enabled:
+        from repro.integrity.layer import IntegrityLayer  # local: layering
+
+        IntegrityLayer.ensure(mpi.world, config.integrity)
     ctx = AlgoContext(mpi, fh, plan, view, data, config, nsub=algo.nsub)
     # Planning phase: exchange view metadata (cost model; the plan itself
     # is precomputed deterministically, as every rank would compute the
@@ -342,6 +355,7 @@ def collective_write(
     )
     yield from algo.run(ctx, engine)
     yield from ctx.staging_flush()
+    yield from ctx.integrity_scrub()
     ctx.stats.add_time("total", mpi.now - t0)
     yield from mpi.barrier()
     ctx.recorder.end(algo_span, mpi.now)
@@ -380,6 +394,10 @@ class CollectiveWriteResult:
     #: :class:`~repro.recovery.report.RecoveryReport` when the run went
     #: through the crash-recovery manager; None for plain runs.
     recovery: Any = None
+    #: :meth:`repro.integrity.layer.IntegrityLayer.snapshot` when the run
+    #: checksummed its datapath (mode, detection/repair counts, scrub
+    #: reports); None when integrity was off.
+    integrity: Any = None
 
     def phase_time(self, phase: str, rank: int | None = None) -> float:
         """Max (or one rank's) accumulated time in a phase."""
@@ -541,6 +559,8 @@ def _run(spec: RunSpec) -> CollectiveWriteResult:
     )
     if auto_counters:
         result.trace_counters.update(auto_counters)
+    if world.integrity is not None:
+        result.integrity = world.integrity.snapshot()
     if recorder is not None:
         result.spans = recorder.closed_spans()
     result.metrics = _run_metrics(world, result, auto_counters).snapshot()

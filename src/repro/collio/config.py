@@ -11,6 +11,7 @@ from repro.units import MiB
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.retry import RetryPolicy
+    from repro.integrity.spec import IntegritySpec
     from repro.staging.spec import StagingSpec
 
 __all__ = ["CollectiveConfig"]
@@ -64,6 +65,12 @@ class CollectiveConfig:
     #: aggregators absorb into the per-node buffer and a background
     #: scheduler drains it to the file system.
     staging: "StagingSpec | None" = None
+    #: End-to-end data-integrity spec (None or mode="off" = today's
+    #: unchecked datapath, byte-identical).  See
+    #: :class:`repro.integrity.spec.IntegritySpec`: per-extent CRC-32
+    #: carried shuffle → staging → storage with verify-on-receive,
+    #: verify-on-drain, read-back verify and an end-of-job scrub.
+    integrity: "IntegritySpec | None" = None
 
     def __post_init__(self) -> None:
         if self.cb_buffer_size < 2:
@@ -88,6 +95,14 @@ class CollectiveConfig:
                 raise ConfigurationError(
                     f"staging must be a StagingSpec or None, "
                     f"got {type(self.staging).__name__}"
+                )
+        if self.integrity is not None:
+            from repro.integrity.spec import IntegritySpec  # local: layering
+
+            if not isinstance(self.integrity, IntegritySpec):
+                raise ConfigurationError(
+                    f"integrity must be an IntegritySpec or None, "
+                    f"got {type(self.integrity).__name__}"
                 )
 
     @classmethod

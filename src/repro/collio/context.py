@@ -20,7 +20,7 @@ import numpy as np
 from repro.collio.config import CollectiveConfig
 from repro.collio.plan import TwoPhasePlan
 from repro.collio.view import FileView
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CorruptDataError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.comm import Communicator
@@ -137,6 +137,11 @@ class AlgoContext:
             if tier is not None and self.is_aggregator
             else None
         )
+        #: The world's integrity layer when the run checksums its
+        #: datapath (see repro.integrity), or None: aggregators then
+        #: record every cycle extent's CRC-32 before posting its write
+        #: and carry it through staging and storage.
+        self.integrity = getattr(mpi.world, "integrity", None)
         if config.retry is not None:
             from repro.faults.retry import ReliableWriter  # local: avoids a cycle
 
@@ -312,6 +317,24 @@ class AlgoContext:
             return None
         return lambda: self._journal_commit(entry)
 
+    def _record_extent(self, offset: int, payload, nbytes: int):
+        """Checksum one cycle extent at the producing aggregator.
+
+        Files the CRC-32 in the integrity manifest and returns it for the
+        write path to carry (None when the layer is off or in size-only
+        mode — the fault-free paths stay byte-identical).  The checksum
+        pass reads every byte once, so it charges ``nbytes`` at memory
+        bandwidth to this rank's CPU — the honest cost of integrity that
+        the overhead benchmarks measure.
+        """
+        if self.integrity is None or payload is None:
+            return None
+        crc = self.integrity.record_extent(
+            self.fh.path, self.rank, offset, payload, nbytes
+        )
+        yield from self.mpi.compute(nbytes / self.memory_bandwidth)
+        return crc
+
     def write_blocking(self, cycle: int):
         """Blocking file-access phase for ``cycle`` (no MPI progress)."""
         sliced = self._write_slice(cycle)
@@ -320,6 +343,7 @@ class AlgoContext:
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
         entry = self._journal_entry(cycle, offset, payload, nbytes)
+        crc = yield from self._record_extent(offset, payload, nbytes)
         recorder = self.recorder
         call_span = io_span = None
         if recorder.active:
@@ -333,12 +357,12 @@ class AlgoContext:
         if self.stager is not None:
             yield from self.fh.stage_at(
                 self.stager, offset, payload, size=nbytes, cycle=cycle,
-                on_drained=self._drain_commit(entry),
+                on_drained=self._drain_commit(entry), checksum=crc,
             )
         elif self.writer is not None:
-            yield from self.writer.write_at(offset, payload, size=nbytes)
+            yield from self.writer.write_at(offset, payload, size=nbytes, checksum=crc)
         else:
-            yield from self.fh.write_at(offset, payload, size=nbytes)
+            yield from self.fh.write_at(offset, payload, size=nbytes, checksum=crc)
         self.recorder.end(io_span, self.mpi.now)
         self.recorder.end(call_span, self.mpi.now)
         if self.stager is None:
@@ -365,15 +389,18 @@ class AlgoContext:
                 bytes=nbytes,
             )
         entry = self._journal_entry(cycle, offset, payload, nbytes)
+        crc = yield from self._record_extent(offset, payload, nbytes)
         if self.stager is not None:
             req = yield from self.fh.istage_at(
                 self.stager, offset, payload, size=nbytes, cycle=cycle,
-                on_drained=self._drain_commit(entry),
+                on_drained=self._drain_commit(entry), checksum=crc,
             )
         elif self.writer is not None:
-            req = yield from self.writer.iwrite_at(offset, payload, size=nbytes)
+            req = yield from self.writer.iwrite_at(
+                offset, payload, size=nbytes, checksum=crc
+            )
         else:
-            req = yield from self.fh.iwrite_at(offset, payload, size=nbytes)
+            req = yield from self.fh.iwrite_at(offset, payload, size=nbytes, checksum=crc)
         self.recorder.end(call_span, self.mpi.now)
         if io_span is not None:
             self._write_spans[id(req)] = io_span
@@ -443,6 +470,93 @@ class AlgoContext:
         yield from self.mpi.wait(Request(self.stager.flush(), "staging_flush"))
         self.recorder.end(span, self.mpi.now)
         self.stats.add_time("staging_flush", self.mpi.now - t0)
+
+    def integrity_scrub(self):
+        """Post-write scrub: re-read this aggregator's extents and verify.
+
+        Runs after the staging flush (everything durable) and before the
+        closing barrier, so each aggregator scrubs exactly its own file
+        domain — together the manifests cover the whole striped file.
+        Each recorded extent is read back and compared against the
+        manifest CRC; in repair mode a mismatch is rewritten from the
+        escrow copy (carrying the checksum, so the rewrite is itself
+        read-back-verified).  Appends a :class:`ScrubReport` to the
+        layer and raises :class:`CorruptDataError` if any mismatch could
+        not be repaired.
+        """
+        integrity = self.integrity
+        if (
+            integrity is None
+            or not integrity.enabled
+            or not integrity.spec.scrub
+            or not self.is_aggregator
+            or not self.carries_data
+        ):
+            return
+        from repro.integrity.checksum import extent_checksum
+        from repro.integrity.report import ScrubReport
+
+        entries = integrity.entries_for(self.fh.path, self.rank)
+        if not entries:
+            return
+        t0 = self.mpi.now
+        span = None
+        if self.recorder.active:
+            span = self.recorder.begin(
+                t0, "scrub", "integrity", rank=self.rank, extents=len(entries)
+            )
+        report = ScrubReport(rank=self.rank)
+        for offset, nbytes, crc in entries:
+            stored = yield from self.fh.read_at(offset, nbytes)
+            report.extents += 1
+            report.bytes_scrubbed += nbytes
+            if extent_checksum(stored) == crc:
+                continue
+            report.mismatches += 1
+            report.bad_offsets.append(offset)
+            integrity.note(
+                "detected", stage="scrub", rank=self.rank, offset=offset
+            )
+            source = (
+                integrity.repair_source(self.fh.path, offset, nbytes)
+                if integrity.repairs
+                else None
+            )
+            if source is None:
+                continue
+            # The rewrite itself goes through the (still faulty) storage
+            # path, so verify it with a re-read and bounded retries even
+            # when per-write read-back is off — the scrub is the last
+            # line of defense and must not trade one corruption for
+            # another.
+            fixed = False
+            for attempt in range(integrity.spec.max_repair_attempts):
+                integrity.note(
+                    "rewrite", stage="scrub", rank=self.rank, offset=offset,
+                    attempt=attempt,
+                )
+                yield from self.fh.write_at(offset, source, checksum=crc)
+                stored = yield from self.fh.read_at(offset, nbytes)
+                if extent_checksum(stored) == crc:
+                    fixed = True
+                    break
+                integrity.note(
+                    "detected", stage="scrub", rank=self.rank, offset=offset,
+                    attempt=attempt + 1,
+                )
+            if not fixed:
+                continue
+            report.repaired += 1
+            integrity.note("repaired", stage="scrub", rank=self.rank, offset=offset)
+        integrity.scrub_reports.append(report)
+        self.recorder.end(span, self.mpi.now)
+        self.stats.add_time("scrub", self.mpi.now - t0)
+        self.stats.bump("scrub_extents", report.extents)
+        if not report.clean:
+            raise CorruptDataError(
+                f"scrub on rank {self.rank} found {report.mismatches} corrupt "
+                f"extent(s), repaired {report.repaired}"
+            )
 
     def iteration(self, cycle: int):
         """Span over one internal-cycle iteration of an overlap algorithm.

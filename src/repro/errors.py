@@ -84,6 +84,25 @@ class TargetDownError(FileSystemError):
     """
 
 
+class CorruptDataError(FileSystemError):
+    """A checksum verify caught corrupted extent bytes.
+
+    Raised (or delivered through a failing event) by the integrity
+    layer's verify points — message receive, RMA landing, burst-buffer
+    drain, PFS read-back, post-write scrub — when an extent's CRC-32 no
+    longer matches the checksum its producing rank recorded.  In
+    ``detect`` mode it fires on the first mismatch; in ``repair`` mode
+    only after every bounded restoration attempt failed.
+
+    Deliberately a :class:`FileSystemError` so it flows through the
+    existing event-failure plumbing (aio handles, drain processes), but
+    the retry layers treat it as **non-retryable**: blind reissue cannot
+    fix bytes that are already wrong at the source the retry would read
+    from — repair is the integrity layer's job, and when *it* gives up,
+    the run must fail loudly rather than loop.
+    """
+
+
 class RankCrashError(ReproError):
     """A simulated rank died mid-collective (injected permanent fault).
 

@@ -81,6 +81,72 @@ class FaultInjector:
             return spec.straggler_factor
         return 1.0
 
+    # -- silent data corruption -------------------------------------------
+    def _corruption_position(self, stream: str, rate: float, size: int) -> int | None:
+        """One corruption decision: the victim byte position, or None.
+
+        The single-draw trick again: one uniform both decides the flip
+        and places it within the extent, so a zero-rate spec consumes no
+        draws and a nonzero one consumes exactly one per decision —
+        fault schedules stay identical across integrity modes.
+        """
+        if rate == 0.0 or size <= 0:
+            return None
+        u = float(self.rng.stream(stream).random())
+        if u >= rate:
+            return None
+        return min(int(u / rate * size), size - 1)
+
+    def message_corruption(self, rank: int, size: int) -> int | None:
+        """Decide one payload landing at ``rank`` (message or RMA put):
+        byte position to flip one bit of, or None.
+
+        The firing site flips bit ``pos & 7`` of the *receiver-side*
+        copy only; the sender's buffer stays pristine, so source
+        retransmission is a valid repair.
+        """
+        pos = self._corruption_position(
+            f"faults.corrupt.r{rank}", self.spec.message_corrupt_rate, size
+        )
+        if pos is not None:
+            self.injected += 1
+            self.tracer.emit(self.engine.now, "fault.msg_corrupt", rank=rank, pos=pos)
+        return pos
+
+    def staging_corruption(self, node: int, size: int) -> int | None:
+        """Decide one staged extent at drain pickup on ``node``: at-rest
+        bit-flip position, or None."""
+        pos = self._corruption_position(
+            f"faults.bitrot.n{node}", self.spec.staging_corrupt_rate, size
+        )
+        if pos is not None:
+            self.injected += 1
+            self.tracer.emit(
+                self.engine.now, "fault.staging_corrupt", node=node, pos=pos
+            )
+        return pos
+
+    def storage_corruption(self, size: int) -> int | None:
+        """Decide one PFS write commit: stored-byte flip position, or None."""
+        pos = self._corruption_position(
+            "faults.storage", self.spec.storage_corrupt_rate, size
+        )
+        if pos is not None:
+            self.injected += 1
+            self.tracer.emit(self.engine.now, "fault.storage_corrupt", pos=pos)
+        return pos
+
+    def torn_write(self, size: int) -> int | None:
+        """Decide one PFS write commit: torn-write keep-length (only the
+        first ``keep`` bytes reach the file), or None for a full commit."""
+        keep = self._corruption_position(
+            "faults.torn", self.spec.torn_write_rate, size
+        )
+        if keep is not None:
+            self.injected += 1
+            self.tracer.emit(self.engine.now, "fault.torn_write", keep=keep, size=size)
+        return keep
+
     # -- permanent faults ------------------------------------------------
     def rank_crash_time(self, rank: int) -> float | None:
         """One-time draw: when ``rank`` crashes, or None if it survives.

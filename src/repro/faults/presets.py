@@ -62,6 +62,24 @@ def ost_outage() -> FaultSpec:
     return FaultSpec(ost_outage_rate=0.40, crash_window=2 * MS)
 
 
+def bitrot_cluster() -> FaultSpec:
+    """Silent data corruption everywhere bytes rest or move.
+
+    Every hop of the write datapath misbehaves at rates high enough to
+    fire reliably at CI/bench scale: message deliveries and RMA put
+    landings flip bits, the burst buffer rots extents between absorb and
+    drain, and the storage layer both flips stored bits and tears write
+    requests.  No crash-class faults — this preset exists to exercise the
+    integrity layer (detection/repair), not the recovery manager.
+    """
+    return FaultSpec(
+        message_corrupt_rate=0.02,
+        staging_corrupt_rate=0.05,
+        storage_corrupt_rate=0.05,
+        torn_write_rate=0.02,
+    )
+
+
 def degraded_cluster() -> FaultSpec:
     """Crashes, outages *and* transient noise at once — the full chaos mode."""
     return FaultSpec(
@@ -80,6 +98,7 @@ FAULT_PRESETS = {
     "stormy": stormy,
     "flaky_aggregator": flaky_aggregator,
     "ost_outage": ost_outage,
+    "bitrot_cluster": bitrot_cluster,
     "degraded_cluster": degraded_cluster,
 }
 

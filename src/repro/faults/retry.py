@@ -24,12 +24,15 @@ through the world's tracer under a ``retry.*`` category.
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass, replace
 
 from repro.config import DEFAULT_RETRY_BACKOFF, DEFAULT_RETRY_LIMIT
 from repro.errors import (
     AioSubmitError,
     ConfigurationError,
+    CorruptDataError,
     FileSystemError,
     WriteRetryExhaustedError,
     WriteTimeoutError,
@@ -65,6 +68,16 @@ class RetryPolicy:
     #: Consecutive aio submission failures before the writer degrades to
     #: blocking writes for the rest of the operation (None = never).
     degrade_after: int | None = 2
+    #: Ceiling on any single backoff delay, seconds (None = uncapped —
+    #: the pre-cap exponential behaviour, bit-identical by default).
+    backoff_cap: float | None = None
+    #: Jitter fraction in [0, 1]: each backoff is scaled by a
+    #: deterministic uniform draw from ``[1 - jitter, 1]``, decorrelating
+    #: retry storms across ranks without giving up reproducibility.
+    #: 0 (the default) draws nothing and keeps delays bit-identical.
+    jitter: float = 0.0
+    #: Seed folded into the per-attempt jitter draws.
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -79,10 +92,28 @@ class RetryPolicy:
             raise ConfigurationError("write_timeout must be positive or None")
         if self.degrade_after is not None and self.degrade_after < 1:
             raise ConfigurationError("degrade_after must be >= 1 or None")
+        if self.backoff_cap is not None and self.backoff_cap <= 0:
+            raise ConfigurationError("backoff_cap must be positive or None")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
 
-    def backoff_for(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based), seconds."""
-        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+    def backoff_for(self, attempt: int, key: tuple = ()) -> float:
+        """Backoff before retry number ``attempt`` (1-based), seconds.
+
+        Capped exponential with deterministic jitter: the draw is seeded
+        from ``(jitter_seed, attempt, key)`` — no shared RNG state, so
+        adding jittered retries anywhere never perturbs other streams,
+        and the same (rank, offset, attempt) always backs off the same
+        amount within one policy.
+        """
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        if self.backoff_cap is not None:
+            delay = min(delay, self.backoff_cap)
+        if self.jitter:
+            seed = zlib.crc32(f"{self.jitter_seed}:{attempt}:{key}".encode())
+            u = random.Random(seed).random()
+            delay *= 1.0 - self.jitter * u
+        return delay
 
     def with_(self, **overrides) -> "RetryPolicy":
         return replace(self, **overrides)
@@ -103,7 +134,8 @@ class ReliableWriter:
         self._submit_failures = 0  # consecutive aio submission refusals
 
     # ------------------------------------------------------------------
-    def write_at(self, offset: int, data, size: int | None = None):
+    def write_at(self, offset: int, data, size: int | None = None,
+                 checksum: int | None = None):
         """Blocking write with retries (generator; run in rank context)."""
         policy = self.policy
         attempt = 0
@@ -114,7 +146,8 @@ class ReliableWriter:
             )
             try:
                 yield from self.fh.write_at(
-                    offset, data, size=size, timeout=policy.write_timeout
+                    offset, data, size=size, timeout=policy.write_timeout,
+                    checksum=checksum,
                 )
                 self.tracer.end(span, self.engine.now)
                 if attempt:
@@ -123,6 +156,13 @@ class ReliableWriter:
                         rank=self.rank, offset=offset, attempts=attempt,
                     )
                 return
+            except CorruptDataError:
+                # Not retryable here: the integrity layer already spent
+                # its bounded repair attempts (or detect mode wants the
+                # failure surfaced).  Reissuing the same bytes would just
+                # burn the whole retry budget on a lost cause.
+                self.tracer.end(span, self.engine.now)
+                raise
             except FileSystemError as exc:
                 self.tracer.end(span, self.engine.now)
                 attempt += 1
@@ -136,7 +176,7 @@ class ReliableWriter:
                     raise WriteRetryExhaustedError(
                         f"write at offset {offset} failed on all {attempt} attempts"
                     ) from exc
-                backoff = policy.backoff_for(attempt)
+                backoff = policy.backoff_for(attempt, key=(self.rank, offset))
                 self.tracer.emit(
                     self.engine.now, "retry.attempt",
                     rank=self.rank, offset=offset, attempt=attempt,
@@ -146,7 +186,8 @@ class ReliableWriter:
                     yield self.engine.timeout(backoff)
 
     # ------------------------------------------------------------------
-    def iwrite_at(self, offset: int, data, size: int | None = None):
+    def iwrite_at(self, offset: int, data, size: int | None = None,
+                  checksum: int | None = None):
         """Asynchronous write with supervised retries (generator).
 
         Returns a :class:`Request` whose event fails only once the policy
@@ -157,10 +198,10 @@ class ReliableWriter:
         """
         policy = self.policy
         if self.degraded:
-            yield from self.write_at(offset, data, size=size)
+            yield from self.write_at(offset, data, size=size, checksum=checksum)
             return self._completed_handle()
         try:
-            req = yield from self.fh.iwrite_at(offset, data, size=size)
+            req = yield from self.fh.iwrite_at(offset, data, size=size, checksum=checksum)
         except AioSubmitError:
             self._submit_failures += 1
             if (
@@ -180,12 +221,12 @@ class ReliableWriter:
             self.tracer.emit(
                 self.engine.now, "retry.sync_fallback", rank=self.rank, offset=offset
             )
-            yield from self.write_at(offset, data, size=size)
+            yield from self.write_at(offset, data, size=size, checksum=checksum)
             return self._completed_handle()
         self._submit_failures = 0
         outer = self.engine.event()
         self.engine.process(
-            self._supervise(offset, data, size, req.event, outer),
+            self._supervise(offset, data, size, req.event, outer, checksum),
             name=f"retry.r{self.rank}@{offset}",
         )
         return _request_cls()(outer, "iwrite", req)
@@ -196,7 +237,7 @@ class ReliableWriter:
         return _request_cls()(done, "iwrite", None)
 
     # ------------------------------------------------------------------
-    def _supervise(self, offset, data, size, event, outer):
+    def _supervise(self, offset, data, size, event, outer, checksum=None):
         """Background supervisor: await, time out, reissue (generator).
 
         Runs as its own process so retries progress while the rank is
@@ -226,6 +267,12 @@ class ReliableWriter:
                             f"write at offset {offset} timed out after "
                             f"{policy.write_timeout}s"
                         )
+            except CorruptDataError as exc:
+                # Non-retryable (see write_at): surface it through the
+                # handle without burning the retry budget.
+                self.tracer.end(attempt_span, engine.now)
+                outer.fail(exc)
+                return
             except FileSystemError as exc:
                 failure = exc
             self.tracer.end(attempt_span, engine.now)
@@ -253,7 +300,7 @@ class ReliableWriter:
                 exhausted.__cause__ = failure
                 outer.fail(exhausted)
                 return
-            backoff = policy.backoff_for(attempt)
+            backoff = policy.backoff_for(attempt, key=(self.rank, offset))
             self.tracer.emit(
                 engine.now, "retry.attempt",
                 rank=self.rank, offset=offset, attempt=attempt,
@@ -269,9 +316,13 @@ class ReliableWriter:
                 rank=self.rank, flow="async", offset=offset, attempt=attempt,
             )
             try:
-                event = self.fh.aio.submit(self.fh.file, offset, data, size=size).event
+                event = self.fh.aio.submit(
+                    self.fh.file, offset, data, size=size, checksum=checksum
+                ).event
             except AioSubmitError:
                 self.tracer.emit(
                     engine.now, "retry.sync_fallback", rank=self.rank, offset=offset
                 )
-                event = self.fh.pfs.write(self.fh.file, offset, data, size=size)
+                event = self.fh.pfs.write(
+                    self.fh.file, offset, data, size=size, checksum=checksum
+                )

@@ -49,6 +49,21 @@ class FaultSpec(SpecBase):
     rendezvous_delay_rate: float = 0.0
     #: Mean extra rendezvous-handshake delay, seconds.
     rendezvous_delay: float = 0.0
+    #: Probability one message delivery (eager payload, rendezvous data
+    #: or RMA put landing) flips one bit of the received bytes.  The
+    #: flip hits the receiver-side copy only — the sender's buffer stays
+    #: pristine, which is what makes source retransmission a valid
+    #: repair.
+    message_corrupt_rate: float = 0.0
+    #: Probability one staged extent suffers an at-rest bit flip in the
+    #: burst buffer between absorb and drain pickup (NVMe bitrot).
+    staging_corrupt_rate: float = 0.0
+    #: Probability one PFS write commits with a single flipped bit in
+    #: the stored file (media corruption below the client's view).
+    storage_corrupt_rate: float = 0.0
+    #: Probability one PFS write is *torn*: only a prefix of the request
+    #: reaches the file although the client sees success.
+    torn_write_rate: float = 0.0
     #: Probability one rank crashes (permanently) during the run; the
     #: crash instant is uniform in ``[0, crash_window)``.  One draw per
     #: rank per run.  Unlike the transient faults above, crashes are not
@@ -64,16 +79,35 @@ class FaultSpec(SpecBase):
     #: to the run's fault-free duration (the chaos bench uses ~80% of it).
     crash_window: float = 0.0
 
+    #: Every per-decision probability field (all must be in [0, 1]).
+    _RATE_FIELDS = (
+        "write_fail_rate",
+        "straggler_rate",
+        "aio_submit_fail_rate",
+        "message_delay_rate",
+        "rendezvous_delay_rate",
+        "message_corrupt_rate",
+        "staging_corrupt_rate",
+        "storage_corrupt_rate",
+        "torn_write_rate",
+        "rank_crash_rate",
+        "ost_outage_rate",
+    )
+    #: Every delay/duration field (all must be >= 0).
+    _DELAY_FIELDS = ("message_delay", "rendezvous_delay", "crash_window")
+
     def __post_init__(self) -> None:
-        for name in (
-            "write_fail_rate",
-            "straggler_rate",
-            "aio_submit_fail_rate",
-            "message_delay_rate",
-            "rendezvous_delay_rate",
-            "rank_crash_rate",
-            "ost_outage_rate",
-        ):
+        self.validate()
+
+    def validate(self) -> "FaultSpec":
+        """Reject out-of-range rates and negative delays.
+
+        Runs at construction time (``__post_init__``), so an invalid
+        spec cannot exist — a rate of 1.5 or a delay of -1 would
+        otherwise silently skew the single-draw position/victim
+        derivation instead of failing.  Returns ``self`` for chaining.
+        """
+        for name in self._RATE_FIELDS:
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
                 raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
@@ -81,18 +115,17 @@ class FaultSpec(SpecBase):
             raise ConfigurationError(
                 f"straggler_factor must be >= 1, got {self.straggler_factor}"
             )
-        for name in ("message_delay", "rendezvous_delay"):
+        for name in self._DELAY_FIELDS:
             if getattr(self, name) < 0:
-                raise ConfigurationError(f"{name} must be >= 0")
-        if self.crash_window < 0:
-            raise ConfigurationError(
-                f"crash_window must be >= 0, got {self.crash_window}"
-            )
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
         if (self.rank_crash_rate > 0 or self.ost_outage_rate > 0) and self.crash_window <= 0:
             raise ConfigurationError(
                 "rank_crash_rate/ost_outage_rate need a positive crash_window "
                 "(the interval in which permanent faults may fire)"
             )
+        return self
 
     @property
     def enabled(self) -> bool:
@@ -103,7 +136,18 @@ class FaultSpec(SpecBase):
             or self.aio_submit_fail_rate > 0
             or (self.message_delay_rate > 0 and self.message_delay > 0)
             or (self.rendezvous_delay_rate > 0 and self.rendezvous_delay > 0)
+            or self.has_corruption
             or self.has_permanent
+        )
+
+    @property
+    def has_corruption(self) -> bool:
+        """True if any silent-data-corruption fault can fire."""
+        return (
+            self.message_corrupt_rate > 0
+            or self.staging_corrupt_rate > 0
+            or self.storage_corrupt_rate > 0
+            or self.torn_write_rate > 0
         )
 
     @property

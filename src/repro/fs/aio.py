@@ -74,6 +74,7 @@ class AioEngine:
         offset: int,
         data: np.ndarray | None,
         size: int | None = None,
+        checksum: int | None = None,
     ) -> AioRequest:
         """Issue an asynchronous write; returns immediately with a handle.
 
@@ -105,7 +106,9 @@ class AioEngine:
             )
         if span is not None:
             done.callbacks.append(lambda evt, _s=span: self.tracer.end(_s, evt.engine.now))
-        self.engine.process(self._drive(file, offset, data, size, done), name=f"aio@{offset}")
+        self.engine.process(
+            self._drive(file, offset, data, size, done, checksum), name=f"aio@{offset}"
+        )
         return req
 
     def submit_read(self, file: SimFile, offset: int, size: int) -> tuple[AioRequest, np.ndarray]:
@@ -148,7 +151,8 @@ class AioEngine:
                 self._slots.release()
         done.succeed(self.engine.now)
 
-    def _drive(self, file: SimFile, offset: int, data: np.ndarray | None, size: int | None, done: Event):
+    def _drive(self, file: SimFile, offset: int, data: np.ndarray | None,
+               size: int | None, done: Event, checksum: int | None = None):
         if self._slots is not None:
             yield self._slots.request()
         try:
@@ -156,7 +160,7 @@ class AioEngine:
                 yield self.engine.timeout(self._extra)
             started = self.engine.now
             try:
-                yield self.pfs.write(file, offset, data, size=size)
+                yield self.pfs.write(file, offset, data, size=size, checksum=checksum)
             except FileSystemError as exc:
                 # Surface the storage failure through the request handle
                 # (aio_error semantics) instead of killing the driver.

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import FileSystemError
+from repro.errors import CorruptDataError, FileSystemError
+from repro.integrity.checksum import extent_checksum
 from repro.sim.engine import Engine, Event
-from repro.sim.primitives import all_of
+from repro.sim.primitives import all_of, defuse
 from repro.sim.rng import RngStreams
 from repro.sim.trace import Tracer
 from repro.fs.file import SimFile
@@ -63,6 +64,10 @@ class ParallelFileSystem:
         self.known_down: set[int] = set(down_targets)
         for t in down_targets:
             self.targets[t].go_down()
+        #: The world's integrity layer, attached by
+        #: :meth:`repro.integrity.layer.IntegrityLayer.ensure`; None keeps
+        #: the write path byte-identical to a world without the subsystem.
+        self.integrity = None
         self._files: dict[str, SimFile] = {}
         #: Total bytes written through this file system (all files).
         self.bytes_written = 0
@@ -103,6 +108,7 @@ class ParallelFileSystem:
         offset: int,
         data: np.ndarray | None,
         size: int | None = None,
+        checksum: int | None = None,
     ) -> Event:
         """Submit a write; returns the completion event.
 
@@ -114,7 +120,88 @@ class ParallelFileSystem:
         the timing (striping, queueing, contention) is identical but no
         bytes are stored — used by large benchmark sweeps where moving
         real payloads would only exercise the host's memory bus.
+
+        ``checksum`` is the extent's producer-side CRC-32.  When the world
+        runs an integrity layer with read-back enabled, a carried checksum
+        turns this write into write + verify: the committed bytes are read
+        back and compared, a mismatch (torn write, storage bit-flip) fails
+        the event with :class:`CorruptDataError` — or, in repair mode,
+        rewrites the extent from the still-stable caller buffer with
+        bounded attempts.  Without a layer (or checksum) the path below is
+        byte-identical to the pre-integrity write.
         """
+        integrity = self.integrity
+        if (
+            integrity is None
+            or not integrity.enabled
+            or not integrity.spec.readback
+            or checksum is None
+            or data is None
+            or data.size == 0
+        ):
+            return self._write_plain(file, offset, data, size=size)
+        done = self.engine.event()
+        self.engine.process(
+            self._readback_driver(file, int(offset), data, int(checksum), done),
+            name="pfs.readback",
+        )
+        return done
+
+    def _readback_driver(self, file: SimFile, offset: int, data: np.ndarray,
+                         checksum: int, done: Event):
+        """write → read back → compare → (repair-mode) rewrite, bounded."""
+        integrity = self.integrity
+        span = None
+        if self.tracer.active:
+            span = self.tracer.begin(
+                self.engine.now, "readback", "integrity", flow="async",
+                bytes=int(data.size),
+            )
+        attempt = 0
+        try:
+            while True:
+                yield self._write_plain(file, offset, data)
+                ev, stored = self.read(file, offset, int(data.size))
+                yield ev
+                if extent_checksum(stored) == checksum:
+                    if attempt:
+                        integrity.note(
+                            "repaired", stage="storage", offset=offset, attempts=attempt
+                        )
+                    done.succeed(self.engine.now)
+                    return
+                integrity.note(
+                    "detected", stage="storage", offset=offset, attempt=attempt
+                )
+                if not (integrity.repairs and attempt < integrity.spec.max_repair_attempts):
+                    # Defused: the failure belongs to the waiter (retry
+                    # layer / drain process), which may attach next tick.
+                    defuse(
+                        done.fail(
+                            CorruptDataError(
+                                f"stored extent at offset {offset} ({data.size} "
+                                "bytes) failed read-back verification"
+                            )
+                        )
+                    )
+                    return
+                integrity.note("rewrite", stage="storage", offset=offset)
+                attempt += 1
+        except FileSystemError as exc:
+            # Transient storage fault mid-verify: surface it unchanged so
+            # the caller's existing retry machinery handles it.
+            defuse(done.fail(exc))
+        finally:
+            self.tracer.end(span, self.engine.now)
+
+    def _write_plain(
+        self,
+        file: SimFile,
+        offset: int,
+        data: np.ndarray | None,
+        size: int | None = None,
+    ) -> Event:
+        """The raw striped write (commit-time corruption draws included)."""
         if data is None:
             if size is None:
                 raise FileSystemError("size is required when data is None")
@@ -179,11 +266,32 @@ class ParallelFileSystem:
             done.callbacks.append(lambda evt, _s=span: self.tracer.end(_s, evt.engine.now))
         # Commit only on success: a write that failed (injected target
         # fault) must not land bytes — the caller retries the whole
-        # request, which is idempotent.
-        if data is not None:
-            done.callbacks.insert(0, lambda evt: file.write(offset, data) if evt.ok else None)
-        else:
-            done.callbacks.insert(0, lambda evt: file.note_size(offset + size) if evt.ok else None)
+        # request, which is idempotent.  Silent storage faults strike at
+        # commit: a torn-write draw keeps only a prefix of the request,
+        # and a storage draw flips one bit of the committed bytes.  Both
+        # draws fire in size-only mode too (schedule parity); the flip
+        # needs stored bytes.
+        injector = self.injector
+
+        def commit(evt: Event, size=size) -> None:
+            if not evt.ok:
+                return
+            keep = size
+            if injector is not None:
+                torn = injector.torn_write(size)
+                if torn is not None:
+                    keep = torn
+            if data is not None:
+                file.write(offset, data if keep == size else data[:keep])
+            else:
+                file.note_size(offset + keep)
+            if injector is not None:
+                pos = injector.storage_corruption(size)
+                if pos is not None and data is not None and pos < keep:
+                    stored = file.read(offset + pos, 1)
+                    file.write(offset + pos, stored ^ np.uint8(1 << (pos & 7)))
+
+        done.callbacks.insert(0, commit)
         return done
 
     def read(self, file: SimFile, offset: int, size: int) -> tuple[Event, np.ndarray]:

@@ -1,0 +1,153 @@
+"""The per-world integrity layer: checksum manifest, escrow, accounting.
+
+One :class:`IntegrityLayer` is attached to a world (the same
+get-or-create pattern the staging tier uses) when a collective write's
+config enables integrity.  It is the meeting point of the datapath's
+verify hooks:
+
+* aggregators **record** every extent they are about to write —
+  ``record_extent`` checksums the bytes at the producing side and files
+  them in the per-path manifest (plus a pristine escrow copy in repair
+  mode, the source of drain/scrub restoration);
+* the delivery, drain and storage hooks **verify** against carried
+  checksums and **note** what they saw — every note goes through the
+  world tracer as an ``integrity.*`` event, so detection/repair counts
+  ride the always-on counter machinery into the run's metrics for free;
+* the end-of-job scrub walks ``entries_for`` and appends its
+  :class:`~repro.integrity.report.ScrubReport` here.
+
+The layer never touches a clean run's byte stream: checksums are
+computed over buffers the datapath already holds, and the escrow copies
+exist only in repair mode (their memory cost — one pristine copy per
+in-flight extent manifest entry — is the price of source-side repair).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.integrity.checksum import extent_checksum
+from repro.integrity.report import ScrubReport
+from repro.integrity.spec import IntegritySpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import World
+
+__all__ = ["IntegrityLayer"]
+
+
+class IntegrityLayer:
+    """World-level integrity state (see module docstring)."""
+
+    def __init__(self, world: "World", spec: IntegritySpec) -> None:
+        self.world = world
+        self.spec = spec
+        self.tracer = world.cluster.tracer
+        self.engine = world.engine
+        #: (path, offset, nbytes) -> (crc32, producing aggregator rank).
+        self.manifest: dict[tuple[str, int, int], tuple[int, int]] = {}
+        #: Pristine extent copies for source-side repair (repair mode only).
+        self._escrow: dict[tuple[str, int, int], np.ndarray] = {}
+        self.extents_recorded = 0
+        self.scrub_reports: list[ScrubReport] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def ensure(cls, world: "World", spec: IntegritySpec) -> "IntegrityLayer":
+        """Get-or-create the world's layer (idempotent per world).
+
+        The first rank's collective-write call creates it and hooks the
+        file system's read-back verify; peers reuse it.  Two different
+        specs on one world is a configuration bug.
+        """
+        layer = getattr(world, "integrity", None)
+        if layer is not None:
+            if layer.spec != spec:
+                raise ConfigurationError(
+                    "this world already has an integrity layer with a different spec"
+                )
+            return layer
+        layer = cls(world, spec)
+        world.integrity = layer
+        if world.pfs is not None:
+            world.pfs.integrity = layer
+        return layer
+
+    @property
+    def enabled(self) -> bool:
+        return self.spec.enabled
+
+    @property
+    def repairs(self) -> bool:
+        return self.spec.repairs
+
+    # ------------------------------------------------------------------
+    # Manifest (the producing side)
+    # ------------------------------------------------------------------
+    def record_extent(
+        self, path: str, rank: int, offset: int, payload: np.ndarray, nbytes: int
+    ) -> int:
+        """Checksum one extent at its producing rank; returns the CRC-32.
+
+        Called by the aggregator just before it posts the extent's write
+        (the buffer is stable until the write completes, so the post-time
+        checksum equals the bytes every downstream hop should see).
+        Re-recording the same extent (retry, recovery replay) simply
+        replaces the entry — idempotent, like the write itself.
+        """
+        key = (path, int(offset), int(nbytes))
+        crc = extent_checksum(payload)
+        self.manifest[key] = (crc, rank)
+        self.extents_recorded += 1
+        if self.spec.repairs:
+            self._escrow[key] = np.array(payload, dtype=np.uint8, copy=True)
+        return crc
+
+    def entries_for(self, path: str, rank: int) -> list[tuple[int, int, int]]:
+        """This rank's recorded extents of ``path``: (offset, nbytes, crc)."""
+        return sorted(
+            (off, n, crc)
+            for (p, off, n), (crc, owner) in self.manifest.items()
+            if p == path and owner == rank
+        )
+
+    def repair_source(self, path: str, offset: int, nbytes: int) -> np.ndarray | None:
+        """Pristine bytes of a recorded extent, or None (not escrowed)."""
+        return self._escrow.get((path, int(offset), int(nbytes)))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def note(self, kind: str, **detail) -> None:
+        """Record one integrity event (``integrity.<kind>`` counter)."""
+        self.tracer.emit(self.engine.now, f"integrity.{kind}", **detail)
+
+    def counters(self) -> dict[str, int]:
+        """The tracer's ``integrity.*`` counters (detections, repairs, ...)."""
+        return {
+            k: v for k, v in self.tracer.counters.items() if k.startswith("integrity.")
+        }
+
+    def snapshot(self) -> dict:
+        """Plain-data summary for :class:`CollectiveWriteResult.integrity`."""
+        counts = self.counters()
+        return {
+            "mode": self.spec.mode,
+            "extents_recorded": self.extents_recorded,
+            "detected": counts.get("integrity.detected", 0),
+            "repaired": counts.get("integrity.repaired", 0),
+            "counters": counts,
+            "scrub_reports": [
+                {
+                    "rank": r.rank,
+                    "extents": r.extents,
+                    "bytes_scrubbed": r.bytes_scrubbed,
+                    "mismatches": r.mismatches,
+                    "repaired": r.repaired,
+                }
+                for r in self.scrub_reports
+            ],
+        }

@@ -1,0 +1,36 @@
+"""Outcome records of the integrity layer's verification passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ScrubReport"]
+
+
+@dataclass
+class ScrubReport:
+    """One aggregator's post-write scrub over its own extents.
+
+    The scrub re-reads every extent this rank committed to the striped
+    file and verifies it against the checksum manifest recorded at
+    produce time — the end-to-end check that catches whatever the
+    per-hop verifies missed (e.g. storage corruption with read-back
+    disabled).
+    """
+
+    rank: int
+    #: Extents re-read and compared.
+    extents: int = 0
+    #: Bytes re-read from the file system.
+    bytes_scrubbed: int = 0
+    #: Checksum mismatches found.
+    mismatches: int = 0
+    #: Mismatched extents successfully rewritten (repair mode).
+    repaired: int = 0
+    #: File offsets of mismatched extents (diagnostics).
+    bad_offsets: list = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every extent verified (possibly after repair)."""
+        return self.mismatches == self.repaired

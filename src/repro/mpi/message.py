@@ -46,6 +46,12 @@ class Message:
     size: int
     payload: np.ndarray | None = None
     protocol: str = Protocol.EAGER
+    #: CRC-32 of the payload, stamped at post time when the world runs
+    #: with an integrity layer (None otherwise / in size-only mode).
+    #: Valid for both protocols: eager either snapshots the payload or
+    #: holds a ``readonly``-contracted reference, and rendezvous senders
+    #: must keep the buffer stable until the data transfer completes.
+    checksum: int | None = None
     #: Set for eager messages once the payload is fully at the receiver.
     arrived: bool = False
     #: Sender-side bookkeeping (the SendOp driving this message).

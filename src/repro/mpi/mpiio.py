@@ -65,6 +65,7 @@ class MPIFile:
         data: np.ndarray | None = None,
         size: int | None = None,
         timeout: float | None = None,
+        checksum: int | None = None,
     ):
         """Blocking write; the rank makes no MPI progress while it runs.
 
@@ -72,11 +73,15 @@ class MPIFile:
         in-flight request is abandoned (it may still land its bytes later
         — harmless, writes are idempotent) and
         :class:`~repro.errors.WriteTimeoutError` is raised.
+
+        ``checksum`` is the extent's producer-side CRC-32, forwarded to
+        the file system's read-back verify (see
+        :meth:`repro.fs.pfs.ParallelFileSystem.write`).
         """
         view, nbytes = _as_bytes(data, size)
         self.bytes_written += nbytes
         self.sync_writes += 1
-        done = self.pfs.write(self.file, offset, view, size=nbytes)
+        done = self.pfs.write(self.file, offset, view, size=nbytes, checksum=checksum)
         if timeout is None:
             yield from self.comm.io_wait(done, setup_cost=self.pfs.spec.client_overhead)
             return
@@ -89,7 +94,13 @@ class MPIFile:
                 f"write at offset {offset} timed out after {timeout}s"
             )
 
-    def iwrite_at(self, offset: int, data: np.ndarray | None = None, size: int | None = None):
+    def iwrite_at(
+        self,
+        offset: int,
+        data: np.ndarray | None = None,
+        size: int | None = None,
+        checksum: int | None = None,
+    ):
         """Asynchronous write; returns a :class:`Request` immediately.
 
         The posting cost is an MPI call (progress window); the I/O itself
@@ -105,7 +116,7 @@ class MPIFile:
             yield world.engine.timeout(
                 world.cluster.spec.mpi_call_overhead + self.pfs.spec.client_overhead
             )
-            req = self.aio.submit(self.file, offset, view, size=nbytes)
+            req = self.aio.submit(self.file, offset, view, size=nbytes, checksum=checksum)
         finally:
             rt.exit_progress()
         return Request(req.event, "iwrite", req)
@@ -118,6 +129,7 @@ class MPIFile:
         size: int | None = None,
         cycle: int = -1,
         on_drained=None,
+        checksum: int | None = None,
     ):
         """Blocking write into the node's burst buffer (staging tier).
 
@@ -132,7 +144,7 @@ class MPIFile:
         self.sync_writes += 1
         done = scheduler.absorb(
             self.file, offset, view, nbytes, rank=self.comm.rank,
-            cycle=cycle, on_drained=on_drained,
+            cycle=cycle, on_drained=on_drained, checksum=checksum,
         )
         yield from self.comm.io_wait(done, setup_cost=self.pfs.spec.client_overhead)
 
@@ -144,6 +156,7 @@ class MPIFile:
         size: int | None = None,
         cycle: int = -1,
         on_drained=None,
+        checksum: int | None = None,
     ):
         """Asynchronous write into the node's burst buffer; returns a Request.
 
@@ -164,7 +177,7 @@ class MPIFile:
             )
             done = scheduler.absorb(
                 self.file, offset, view, nbytes, rank=self.comm.rank,
-                cycle=cycle, on_drained=on_drained,
+                cycle=cycle, on_drained=on_drained, checksum=checksum,
             )
         finally:
             rt.exit_progress()

@@ -35,7 +35,8 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.errors import MPIError, RankCrashError
+from repro.errors import CorruptDataError, MPIError, RankCrashError
+from repro.integrity.checksum import extent_checksum
 from repro.mpi.message import (
     CONTROL_MESSAGE_SIZE,
     MESSAGE_HEADER_SIZE,
@@ -44,6 +45,7 @@ from repro.mpi.message import (
     Protocol,
 )
 from repro.sim.engine import Event
+from repro.sim.primitives import defuse
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.world import World
@@ -222,6 +224,13 @@ class RankRuntime:
             src=self.rank, dst=dst, tag=tag, context=context, size=size,
             payload=None, protocol=protocol,
         )
+        # Producer-side checksum: stamped at post time, while the buffer
+        # is contractually stable (eager snapshots or readonly; rendezvous
+        # zero-copy requires stability until the data transfer anyway).
+        # The receiver verifies it after delivery — the checksummed
+        # datapath's first hop.
+        if payload is not None and self.world.integrity is not None:
+            msg.checksum = extent_checksum(payload)
         op = SendOp(msg, event, eng.now)
         msg.send_op = op
         dst_rt = self.world.runtime(dst)
@@ -278,8 +287,7 @@ class RankRuntime:
                 del self.unexpected[key]
             self.unexpected_total -= 1
             if msg.protocol == Protocol.EAGER:
-                op.deliver_payload(msg.payload)
-                op.event.succeed(eng.now)
+                self._finish_recv(op, msg)
             else:
                 # RTS was parked here; we are inside an MPI call, so the
                 # CTS can go out immediately.
@@ -302,8 +310,7 @@ class RankRuntime:
             op = queue.popleft()
             if not queue:
                 del self.posted[msg.key]
-            op.deliver_payload(msg.payload)
-            op.event.succeed(self.world.engine.now)
+            self._finish_recv(op, msg)
         else:
             msg.arrived = True
             self.unexpected.setdefault(msg.key, deque()).append(msg)
@@ -345,14 +352,144 @@ class RankRuntime:
         dst_rt = self.world.runtime(msg.dst)
         data = fabric.transfer(self.node, dst_rt.node, msg.size + MESSAGE_HEADER_SIZE)
 
-        def complete() -> None:
-            # Payload sampled at completion: zero-copy semantics.
-            op.deliver_payload(msg.payload)
-            now = self.world.engine.now
-            msg.send_op.event.succeed(now)
-            op.event.succeed(now)
+        # Payload sampled at completion (zero-copy semantics); the recv
+        # completes via the common delivery tail, which succeeds the
+        # sender's event between payload delivery and the recv event —
+        # the same ordering the pre-integrity code hard-coded here.
+        dst_rt._deliver(
+            data,
+            lambda: dst_rt._finish_recv(op, msg, sender_event=msg.send_op.event),
+        )
 
-        dst_rt._deliver(data, complete)
+    # ------------------------------------------------------------------
+    # Common delivery tail: payload copy, corruption, verify, repair
+    # ------------------------------------------------------------------
+    def _finish_recv(
+        self,
+        op: RecvOp,
+        msg: Message,
+        attempt: int = 0,
+        sender_event: Event | None = None,
+    ) -> None:
+        """Complete one receive: deliver, (maybe) corrupt, verify, finish.
+
+        The single tail shared by all three delivery sites — matched
+        eager arrival, unexpected-queue match at post time, and
+        rendezvous data completion (which passes ``sender_event`` so the
+        sender's op succeeds between payload delivery and the recv
+        event, preserving the historical ordering).  Without an injector
+        or integrity layer this is exactly ``deliver_payload`` +
+        ``succeed`` — no extra draws, no extra events.
+        """
+        op.deliver_payload(msg.payload)
+        injector = self.world.faults
+        if injector is not None:
+            # The flip hits the receiver-side copy only (the sender's
+            # buffer stays pristine — retransmission repairs); the draw
+            # itself fires in size-only mode too, so fault schedules are
+            # identical whether or not payload bytes move.
+            pos = injector.message_corruption(self.rank, msg.size)
+            if pos is not None and op.buffer is not None and pos < op.buffer.size:
+                op.buffer[pos] ^= 1 << (pos & 7)
+        integrity = self.world.integrity
+        if (
+            integrity is not None
+            and msg.checksum is not None
+            and op.buffer is not None
+            and op.buffer.size >= msg.size
+        ):
+            actual = extent_checksum(op.buffer[: msg.size])
+            if actual != msg.checksum:
+                integrity.note(
+                    "detected", stage="message", rank=self.rank, src=msg.src,
+                    attempt=attempt,
+                )
+                if (
+                    integrity.repairs
+                    and attempt < integrity.spec.max_repair_attempts
+                    and not self.world.runtime(msg.src).crashed
+                ):
+                    self._request_retransmit(op, msg, attempt, sender_event)
+                    return
+                now = self.world.engine.now
+                if sender_event is not None:
+                    sender_event.succeed(now)
+                # Defused: the failure is for the rank that waits on this
+                # recv, not for the engine — the waiter may not have
+                # yielded on the event yet (nonblocking irecv).
+                defuse(
+                    op.event.fail(
+                        CorruptDataError(
+                            f"message {msg.src}->{msg.dst} (tag {msg.tag}) failed "
+                            f"checksum verification after {attempt + 1} delivery(s)"
+                        )
+                    )
+                )
+                return
+            if attempt:
+                integrity.note(
+                    "repaired", stage="message", rank=self.rank, src=msg.src,
+                    attempts=attempt,
+                )
+        now = self.world.engine.now
+        if sender_event is not None:
+            sender_event.succeed(now)
+        op.event.succeed(now)
+
+    def _request_retransmit(
+        self,
+        op: RecvOp,
+        msg: Message,
+        attempt: int,
+        sender_event: Event | None,
+    ) -> None:
+        """Repair a corrupted delivery by re-requesting it from the source.
+
+        Models NIC-level NACK + retransmission (like a link-layer retry,
+        so neither rank's CPU is involved): a control message travels
+        back to the source, then the payload crosses the fabric again —
+        re-read from the sender's still-pristine buffer — and re-enters
+        the delivery tail with a fresh corruption draw.  Bounded by the
+        integrity spec's ``max_repair_attempts``.
+        """
+        integrity = self.world.integrity
+        integrity.note(
+            "retransmit", stage="message", rank=self.rank, src=msg.src,
+            attempt=attempt + 1,
+        )
+        fabric = self.world.cluster.fabric
+        src_rt = self.world.runtime(msg.src)
+
+        def resend() -> None:
+            if src_rt.crashed:
+                # The source died while our NACK was in flight: the
+                # pristine bytes are gone with it.  Fail the receive —
+                # the recovery layer's re-election replays the extent
+                # from the respawned rank's data.
+                now = self.world.engine.now
+                if sender_event is not None and not sender_event.triggered:
+                    sender_event.succeed(now)
+                defuse(
+                    op.event.fail(
+                        CorruptDataError(
+                            f"message {msg.src}->{msg.dst} (tag {msg.tag}) corrupt "
+                            f"and source rank {msg.src} is dead"
+                        )
+                    )
+                )
+                return
+            data = fabric.transfer(
+                src_rt.node, self.node, msg.size + MESSAGE_HEADER_SIZE
+            )
+            self._deliver(
+                data,
+                lambda: self._finish_recv(
+                    op, msg, attempt=attempt + 1, sender_event=sender_event
+                ),
+            )
+
+        nack = fabric.transfer(self.node, src_rt.node, CONTROL_MESSAGE_SIZE)
+        src_rt._deliver(nack, resend, control=True)
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -25,10 +25,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import RMAError
+from repro.errors import CorruptDataError, RMAError
+from repro.integrity.checksum import extent_checksum
 from repro.mpi.message import MESSAGE_HEADER_SIZE
 from repro.sim.engine import Event
-from repro.sim.primitives import all_of
+from repro.sim.primitives import all_of, defuse
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.comm import Communicator
@@ -184,22 +185,88 @@ class WindowHandle:
         rt.enter_progress()
         try:
             yield world.engine.timeout(spec.mpi_call_overhead + spec.rma_put_overhead)
-            transfer = world.cluster.fabric.transfer(
-                rt.node,
-                world.runtime(target).node,
-                nbytes + MESSAGE_HEADER_SIZE,
-            )
+            fabric = world.cluster.fabric
+            target_node = world.runtime(target).node
+            transfer = fabric.transfer(rt.node, target_node, nbytes + MESSAGE_HEADER_SIZE)
             self.window.puts_issued += 1
-            if view is not None:
+            injector = world.faults
+            integrity = world.integrity
+            off = int(target_offset)
 
-                def land(_evt, view=view, off=int(target_offset)) -> None:
+            def land(_evt, view=view) -> None:
+                if view is not None:
                     target_buf[off : off + view.size] = view
+                # Silent-corruption draw at landing.  The draw fires in
+                # size-only mode too (schedule parity across modes); the
+                # flip needs real bytes.  Corruption hits the *target*
+                # window copy only — the origin buffer stays pristine, so
+                # retransmission is a valid repair.
+                if injector is not None:
+                    pos = injector.message_corruption(target, nbytes)
+                    if pos is not None and view is not None:
+                        target_buf[off + pos] ^= 1 << (pos & 7)
 
-                transfer.callbacks.append(land)
-            self.window.track(self.rank, target, transfer)
+            if integrity is None or view is None:
+                if view is not None or injector is not None:
+                    transfer.callbacks.append(land)
+                self.window.track(self.rank, target, transfer)
+                completion = transfer
+            else:
+                # Verify-on-land: the put completes (for fence/unlock and
+                # the caller) only once the landed bytes match the CRC
+                # stamped at post time.  A mismatch in repair mode costs a
+                # full retransmission over the fabric — RDMA-level retry,
+                # no target-side CPU — with a fresh corruption draw per
+                # attempt; in detect mode (or once attempts are spent) the
+                # completion fails with CorruptDataError, which fence /
+                # unlock / wait propagate to the calling rank.
+                completion = world.engine.event()
+                crc = extent_checksum(view)
+
+                def verify_land(_evt, attempt: int = 0) -> None:
+                    land(_evt)
+                    actual = extent_checksum(target_buf[off : off + nbytes])
+                    if actual == crc:
+                        if attempt:
+                            integrity.note(
+                                "repaired", stage="rma", rank=target,
+                                src=self.rank, attempts=attempt,
+                            )
+                        completion.succeed(world.engine.now)
+                        return
+                    integrity.note(
+                        "detected", stage="rma", rank=target,
+                        src=self.rank, attempt=attempt,
+                    )
+                    if integrity.repairs and attempt < integrity.spec.max_repair_attempts:
+                        integrity.note(
+                            "retransmit", stage="rma", rank=target, src=self.rank
+                        )
+                        redo = fabric.transfer(
+                            rt.node, target_node, nbytes + MESSAGE_HEADER_SIZE
+                        )
+                        redo.callbacks.append(
+                            lambda evt, a=attempt + 1: verify_land(evt, a)
+                        )
+                        return
+                    # Defused: the failure belongs to whoever waits on the
+                    # put (fence/unlock all_of, or the caller), and that
+                    # wait may not be attached yet.
+                    defuse(
+                        completion.fail(
+                            CorruptDataError(
+                                f"put {self.rank}->{target} at window offset {off} "
+                                f"({nbytes} bytes) failed checksum verification "
+                                f"after {attempt + 1} delivery(s)"
+                            )
+                        )
+                    )
+
+                transfer.callbacks.append(verify_land)
+                self.window.track(self.rank, target, completion)
         finally:
             rt.exit_progress()
-        return transfer
+        return completion
 
     def get(
         self,

@@ -72,6 +72,12 @@ class World:
         #: collective write whose config enables staging (see
         #: :meth:`repro.staging.tier.StagingTier.ensure`); None otherwise.
         self.staging = None
+        #: The end-to-end integrity layer, attached lazily by the first
+        #: collective write whose config enables it (see
+        #: :meth:`repro.integrity.layer.IntegrityLayer.ensure`); None
+        #: otherwise — the delivery/drain/storage verify hooks all check
+        #: for None first, keeping clean runs byte-identical.
+        self.integrity = None
         #: Ranks that died in *previous* recovery attempts.  They respawn
         #: (participate in this attempt, so their data reaches the file)
         #: but their crash draw is not re-armed — a rank crashes once.

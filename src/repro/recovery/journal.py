@@ -20,8 +20,9 @@ The journal itself is durable state: it survives the crash of any rank
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
+
+from repro.integrity.checksum import extent_checksum
 
 __all__ = ["CycleRecord", "CycleJournal"]
 
@@ -56,8 +57,14 @@ class CycleJournal:
 
     @staticmethod
     def checksum(payload) -> int:
-        """CRC-32 of a contiguous uint8 buffer."""
-        return zlib.crc32(memoryview(payload))
+        """CRC-32 of a contiguous uint8 buffer (the shared extent checksum).
+
+        Delegates to :func:`repro.integrity.checksum.extent_checksum` —
+        one implementation backs the journal's commit records and the
+        integrity layer's manifest, so their fingerprints agree by
+        construction.
+        """
+        return extent_checksum(payload)
 
     def commit(
         self,
@@ -100,7 +107,7 @@ class CycleJournal:
                 if file is None:
                     torn += 1
                     continue
-                actual = zlib.crc32(memoryview(file.read(record.offset, record.nbytes)))
+                actual = extent_checksum(file.read(record.offset, record.nbytes))
                 if actual != record.checksum:
                     torn += 1
                     continue

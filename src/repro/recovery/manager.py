@@ -138,6 +138,7 @@ def run_with_recovery(spec, algorithm: str, config, auto_counters: dict | None):
     staging_peak = 0
     staging_lost = 0
     staging_used = False
+    integrity_snapshot = None  # last attempt's layer snapshot
     total_failover = 0.0
     plan0 = None  # the intended (attempt-1) plan, reported in the result
     final_world = None
@@ -221,6 +222,9 @@ def run_with_recovery(spec, algorithm: str, config, auto_counters: dict | None):
         # across attempts and undrained bytes of a *failed* attempt are
         # the data the crash destroyed (the journal never committed them,
         # so replay re-drives those cycles).
+        layer = getattr(world, "integrity", None)
+        if layer is not None:
+            integrity_snapshot = layer.snapshot()
         tier = getattr(world, "staging", None)
         if tier is not None:
             staging_used = True
@@ -305,6 +309,7 @@ def run_with_recovery(spec, algorithm: str, config, auto_counters: dict | None):
         trace_counters=dict(counters),
         spans=all_spans,
         recovery=report,
+        integrity=integrity_snapshot,
     )
     if auto_counters:
         result.trace_counters.update(auto_counters)

@@ -45,7 +45,8 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.errors import ConfigurationError, FileSystemError
+from repro.errors import ConfigurationError, CorruptDataError, FileSystemError
+from repro.integrity.checksum import extent_checksum
 from repro.sim.engine import Engine, Event
 from repro.sim.resources import ServerQueue
 from repro.staging.spec import StagingSpec
@@ -71,9 +72,11 @@ def staging_rank(node: int) -> int:
 class _StagedExtent:
     """One absorbed write waiting (or in flight) on the drain path."""
 
-    __slots__ = ("file", "offset", "data", "nbytes", "rank", "cycle", "on_drained")
+    __slots__ = (
+        "file", "offset", "data", "nbytes", "rank", "cycle", "on_drained", "checksum",
+    )
 
-    def __init__(self, file, offset, data, nbytes, rank, cycle, on_drained):
+    def __init__(self, file, offset, data, nbytes, rank, cycle, on_drained, checksum):
         self.file = file
         self.offset = offset
         self.data = data
@@ -81,6 +84,9 @@ class _StagedExtent:
         self.rank = rank
         self.cycle = cycle
         self.on_drained = on_drained
+        #: Producer-side CRC-32 carried through the staging hop (None when
+        #: the world runs without an integrity layer or in size-only mode).
+        self.checksum = checksum
 
 
 class BurstBuffer:
@@ -167,6 +173,7 @@ class DrainScheduler:
         rank: int,
         cycle: int = -1,
         on_drained: Callable[[], None] | None = None,
+        checksum: int | None = None,
     ) -> Event:
         """Stage one write; returns the absorb-completion event.
 
@@ -190,7 +197,7 @@ class DrainScheduler:
             if on_drained is not None:
                 on_drained()
             return done
-        ext = _StagedExtent(file, offset, data, nbytes, rank, cycle, on_drained)
+        ext = _StagedExtent(file, offset, data, nbytes, rank, cycle, on_drained, checksum)
         self.engine.process(
             self._absorb_driver(ext, done), name=f"bb{self.node}.absorb"
         )
@@ -258,6 +265,7 @@ class DrainScheduler:
         try:
             while self._should_drain():
                 ext = bb.pending.popleft()
+                yield from self._verify_staged(ext)
                 span = None
                 if self.tracer.active:
                     span = self.tracer.begin(
@@ -281,15 +289,73 @@ class DrainScheduler:
             self._draining = False
         self._maybe_finish_flush()
 
+    def _verify_staged(self, ext: _StagedExtent):
+        """At-rest bitrot draw + verify-on-drain for one picked-up extent.
+
+        Bitrot is modelled as striking between absorb and drain, so the
+        draw (and flip — the absorb snapshot is private, safe to mutate)
+        happens at drain pickup.  With an integrity layer and a carried
+        checksum, the drain verifies before shipping; in repair mode a
+        mismatch re-fetches the pristine escrow copy from the producing
+        rank and re-ingests it through the absorb queue (paying the
+        ingest time again), with a fresh bitrot draw per attempt.
+        """
+        world = self.tier.world
+        injector = world.faults
+        integrity = world.integrity
+
+        def bitrot() -> None:
+            if injector is not None:
+                pos = injector.staging_corruption(self.node, ext.nbytes)
+                if pos is not None and ext.data is not None:
+                    ext.data[pos] ^= 1 << (pos & 7)
+
+        bitrot()
+        if integrity is None or ext.checksum is None or ext.data is None:
+            return
+        attempt = 0
+        while extent_checksum(ext.data[: ext.nbytes]) != ext.checksum:
+            integrity.note(
+                "detected", stage="staging", node=self.node,
+                rank=ext.rank, offset=ext.offset, attempt=attempt,
+            )
+            source = (
+                integrity.repair_source(ext.file.path, ext.offset, ext.nbytes)
+                if integrity.repairs
+                else None
+            )
+            if source is None or attempt >= integrity.spec.max_repair_attempts:
+                raise CorruptDataError(
+                    f"staged extent at offset {ext.offset} ({ext.nbytes} bytes) "
+                    f"on node {self.node} failed checksum verification"
+                )
+            integrity.note("refetch", stage="staging", node=self.node, rank=ext.rank)
+            ext.data = np.array(source, dtype=np.uint8, copy=True)
+            yield self.buffer.absorb_queue.submit(ext.nbytes)
+            attempt += 1
+            bitrot()
+        if attempt:
+            integrity.note(
+                "repaired", stage="staging", node=self.node,
+                rank=ext.rank, attempts=attempt,
+            )
+
     def _write_durable(self, ext: _StagedExtent):
         """One extent's PFS write, retrying transient faults and outages."""
         attempts = 0
         while True:
             size = ext.nbytes if ext.data is None else None
-            done = self.pfs.write(ext.file, ext.offset, ext.data, size=size)
+            done = self.pfs.write(
+                ext.file, ext.offset, ext.data, size=size, checksum=ext.checksum
+            )
             try:
                 yield done
                 return
+            except CorruptDataError:
+                # Not a transient fault: the read-back verify exhausted its
+                # attempts (or detect mode flagged the stored bytes).
+                # Rewriting the same corrupt state would loop forever.
+                raise
             except FileSystemError:
                 attempts += 1
                 self.buffer.drain_retries += 1

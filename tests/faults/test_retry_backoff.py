@@ -1,0 +1,82 @@
+"""Satellite 2: capped exponential backoff with deterministic jitter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import RetryPolicy
+
+
+class TestDefaultsBitIdentical:
+    """A policy without cap/jitter reproduces the pre-existing delays."""
+
+    def test_uncapped_exponential(self):
+        p = RetryPolicy(backoff_base=1e-4, backoff_factor=2.0)
+        for attempt in range(1, 8):
+            assert p.backoff_for(attempt) == 1e-4 * 2.0 ** (attempt - 1)
+
+    def test_key_is_ignored_without_jitter(self):
+        p = RetryPolicy(backoff_base=1e-4)
+        assert p.backoff_for(3, key=(0, 0)) == p.backoff_for(3, key=(7, 12345))
+
+
+class TestCap:
+    def test_cap_clamps(self):
+        p = RetryPolicy(backoff_base=1e-4, backoff_factor=2.0, backoff_cap=4e-4)
+        assert p.backoff_for(1) == 1e-4
+        assert p.backoff_for(2) == 2e-4
+        assert p.backoff_for(3) == 4e-4
+        assert p.backoff_for(10) == 4e-4  # clamped forever after
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_cap=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_cap=-1e-3)
+
+
+class TestJitter:
+    def test_jitter_range(self):
+        p = RetryPolicy(backoff_base=1e-3, backoff_factor=1.0, jitter=0.5)
+        for attempt in range(1, 30):
+            d = p.backoff_for(attempt, key=(attempt % 4, attempt * 100))
+            assert 0.5e-3 <= d <= 1e-3
+
+    def test_jitter_is_deterministic(self):
+        p = RetryPolicy(backoff_base=1e-3, jitter=0.5, jitter_seed=42)
+        q = RetryPolicy(backoff_base=1e-3, jitter=0.5, jitter_seed=42)
+        for attempt in (1, 2, 5):
+            key = (3, 8192)
+            assert p.backoff_for(attempt, key=key) == q.backoff_for(attempt, key=key)
+
+    def test_jitter_decorrelates_ranks(self):
+        p = RetryPolicy(backoff_base=1e-3, backoff_factor=1.0, jitter=0.9)
+        delays = {p.backoff_for(1, key=(rank, 0)) for rank in range(16)}
+        assert len(delays) > 8  # different ranks back off differently
+
+    def test_jitter_seed_changes_draws(self):
+        a = RetryPolicy(backoff_base=1e-3, jitter=0.9, jitter_seed=1)
+        b = RetryPolicy(backoff_base=1e-3, jitter=0.9, jitter_seed=2)
+        diffs = sum(
+            a.backoff_for(1, key=(r, 0)) != b.backoff_for(1, key=(r, 0))
+            for r in range(16)
+        )
+        assert diffs > 8
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_jitter_fraction_validated(self, bad):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=bad)
+
+    def test_zero_jitter_draws_nothing(self):
+        """jitter=0 must not even perturb float equality with defaults."""
+        plain = RetryPolicy(backoff_base=2e-4)
+        explicit = RetryPolicy(backoff_base=2e-4, jitter=0.0, jitter_seed=99)
+        for attempt in range(1, 6):
+            assert plain.backoff_for(attempt) == explicit.backoff_for(attempt, key=(1, 2))
+
+
+def test_cap_and_jitter_compose():
+    p = RetryPolicy(backoff_base=1e-4, backoff_factor=4.0,
+                    backoff_cap=8e-4, jitter=0.25)
+    d = p.backoff_for(10, key=(0, 0))
+    assert 0.75 * 8e-4 <= d <= 8e-4

@@ -1,0 +1,83 @@
+"""Satellite 1: FaultSpec.validate() rejects every malformed spec.
+
+A property test drives random invalid field combinations through the
+constructor; no out-of-range rate or negative delay may ever survive
+into a live injector (the single-draw position derivation silently
+breaks on rates outside [0, 1]).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
+
+RATE_FIELDS = list(FaultSpec._RATE_FIELDS)
+DELAY_FIELDS = list(FaultSpec._DELAY_FIELDS)
+
+bad_rate = st.one_of(
+    st.floats(min_value=1.0, max_value=1e6, exclude_min=True,
+              allow_nan=False, allow_infinity=False),
+    st.floats(min_value=-1e6, max_value=0.0, exclude_max=True,
+              allow_nan=False, allow_infinity=False),
+    st.just(float("nan")),
+    st.just(float("inf")),
+)
+good_rate = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(field=st.sampled_from(RATE_FIELDS), value=bad_rate)
+def test_any_out_of_range_rate_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        FaultSpec(**{field: value})
+
+
+@settings(max_examples=50, deadline=None)
+@given(field=st.sampled_from(DELAY_FIELDS),
+       value=st.floats(max_value=0.0, exclude_max=True,
+                       allow_nan=False, allow_infinity=False))
+def test_any_negative_delay_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        FaultSpec(**{field: value})
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(good_rate, min_size=len(RATE_FIELDS),
+                       max_size=len(RATE_FIELDS)))
+def test_all_in_range_rates_accepted(values):
+    kw = dict(zip(RATE_FIELDS, values))
+    if kw["rank_crash_rate"] > 0 or kw["ost_outage_rate"] > 0:
+        kw["crash_window"] = 1.0
+    spec = FaultSpec(**kw)
+    assert spec.validate() is spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(rate_field=st.sampled_from(RATE_FIELDS), rate=bad_rate,
+       delay_field=st.sampled_from(DELAY_FIELDS),
+       delay=st.floats(max_value=0.0, exclude_max=True,
+                       allow_nan=False, allow_infinity=False))
+def test_mixed_invalid_spec_rejected(rate_field, rate, delay_field, delay):
+    """Multiple simultaneous violations still fail (first one wins)."""
+    with pytest.raises(ConfigurationError):
+        FaultSpec(**{rate_field: rate, delay_field: delay})
+
+
+def test_straggler_factor_below_one_rejected():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(straggler_factor=0.99)
+
+
+def test_permanent_rate_without_window_rejected():
+    with pytest.raises(ConfigurationError, match="crash_window"):
+        FaultSpec(rank_crash_rate=0.5)
+    with pytest.raises(ConfigurationError, match="crash_window"):
+        FaultSpec(ost_outage_rate=0.5)
+
+
+def test_validate_returns_self_for_chaining():
+    spec = FaultSpec(write_fail_rate=0.5)
+    assert spec.validate() is spec

@@ -1,0 +1,35 @@
+"""Shared helpers for the integrity test suite."""
+
+from repro.collio.view import FileView
+from repro.fs import FsSpec
+from repro.hardware import ClusterSpec
+from repro.units import MB
+
+
+def small_cluster(**kw):
+    base = dict(
+        name="integ",
+        num_nodes=4,
+        cores_per_node=4,
+        network_bandwidth=1000 * MB,
+        network_latency=1e-6,
+        eager_threshold=1024,
+    )
+    base.update(kw)
+    return ClusterSpec(**base)
+
+
+def small_fs(**kw):
+    base = dict(
+        name="integfs",
+        num_targets=4,
+        target_bandwidth=300 * MB,
+        target_latency=5e-5,
+        stripe_size=4096,
+    )
+    base.update(kw)
+    return FsSpec(**base)
+
+
+def contiguous_views(nprocs, per_rank):
+    return {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}

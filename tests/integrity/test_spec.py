@@ -1,0 +1,74 @@
+"""IntegritySpec validation and its attachment to the collective config."""
+
+import pytest
+
+from repro.collio import CollectiveConfig
+from repro.collio.api import RunSpec
+from repro.errors import ConfigurationError
+from repro.integrity import INTEGRITY_MODES, IntegritySpec
+
+from tests.integrity.conftest import contiguous_views, small_cluster, small_fs
+
+
+class TestIntegritySpec:
+    def test_defaults_off(self):
+        spec = IntegritySpec()
+        assert spec.mode == "off"
+        assert not spec.enabled
+        assert not spec.repairs
+
+    def test_modes(self):
+        assert IntegritySpec(mode="detect").enabled
+        assert not IntegritySpec(mode="detect").repairs
+        assert IntegritySpec(mode="repair").repairs
+        assert set(INTEGRITY_MODES) == {"off", "detect", "repair"}
+
+    @pytest.mark.parametrize("bad", ["on", "verify", "", "DETECT"])
+    def test_bad_mode_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            IntegritySpec(mode=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_repair_attempts_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            IntegritySpec(max_repair_attempts=bad)
+
+    def test_with_override(self):
+        spec = IntegritySpec().with_(mode="repair", scrub=False)
+        assert spec.repairs and not spec.scrub
+
+
+class TestConfigAttachment:
+    def test_config_accepts_spec(self):
+        cfg = CollectiveConfig(integrity=IntegritySpec(mode="detect"))
+        assert cfg.integrity.enabled
+
+    def test_config_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError, match="IntegritySpec"):
+            CollectiveConfig(integrity="detect")
+
+    def test_cache_key_includes_integrity(self):
+        off = CollectiveConfig()
+        on = CollectiveConfig(integrity=IntegritySpec(mode="detect"))
+        assert off.cache_key() != on.cache_key()
+
+    def test_size_only_run_rejected(self):
+        """Checksums need real payload bytes: carry_data=False must fail
+        loudly at validation time, not corrupt silently."""
+        spec = RunSpec(
+            cluster=small_cluster(), fs=small_fs(), nprocs=4,
+            views=contiguous_views(4, 20_000), algorithm="write_overlap",
+            carry_data=False,
+            config=CollectiveConfig(integrity=IntegritySpec(mode="detect")),
+        )
+        with pytest.raises(ConfigurationError, match="carry_data"):
+            spec.validate()
+
+    def test_size_only_run_fine_with_mode_off(self):
+        spec = RunSpec(
+            cluster=small_cluster(), fs=small_fs(), nprocs=4,
+            views=contiguous_views(4, 20_000), algorithm="write_overlap",
+            carry_data=False,
+            config=CollectiveConfig(integrity=IntegritySpec(mode="off")),
+        )
+        spec.validate()
