@@ -38,6 +38,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures on the simulator.",
+        epilog="Campaign experiments (table1/fig1-fig4, chaos, integrity) "
+               "accept --jobs N to fan independent simulated runs out over "
+               "N worker processes. Results are byte-identical to a serial "
+               "run for any N: per-run seeds are derived from the run's "
+               "content, never from scheduling, and results fold back in "
+               "serial order (tune has its own --n-workers; --jobs is "
+               "honored there as a fallback alias).",
     )
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument("--mode", choices=("quick", "full"), default="quick",
@@ -46,6 +53,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="measurements per series (paper: 3-9)")
     parser.add_argument("--scale", type=int, default=DEFAULT_SCALE,
                         help="data-size scale divisor (see repro.config)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for campaign fan-out (default: "
+                             "1 = serial; any N yields byte-identical output)")
     parser.add_argument("--quiet", action="store_true", help="suppress progress lines")
     parser.add_argument("--csv-dir", default=None,
                         help="also write machine-readable CSVs into this directory")
@@ -112,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
                             help="fail if the calibrated medium scenario is "
                                  "more than FRAC slower than --baseline "
                                  "(e.g. 0.10 for 10%%)")
+    perf_group.add_argument("--max-integrity-overhead", type=float, default=None,
+                            metavar="FRAC",
+                            help="fail if integrity mode=detect slows any "
+                                 "medium-scale case by more than FRAC in "
+                                 "simulated time (e.g. 0.25 for 25%%; "
+                                 "absolute gate, needs no --baseline)")
     args = parser.parse_args(argv)
 
     if args.reps < 1:
@@ -122,6 +138,9 @@ def main(argv: list[str] | None = None) -> int:
                      "divisor applied to all data sizes")
     if args.nprocs < 1:
         parser.error(f"--nprocs must be >= 1 (got {args.nprocs})")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1 (got {args.jobs}): 1 runs serially, "
+                     "N > 1 fans runs out over N worker processes")
     if args.n_workers is not None and args.n_workers < 1:
         parser.error(f"--n-workers must be >= 1 (got {args.n_workers})")
     if args.screen_reps < 1:
@@ -141,10 +160,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.check_integrity and args.experiment not in ("integrity", "all"):
         parser.error("--check-integrity is only meaningful with the "
                      "'integrity' experiment (or 'all')")
-    if (args.baseline or args.min_speedup or args.max_regression) \
+    if (args.baseline or args.min_speedup or args.max_regression
+            or args.max_integrity_overhead is not None) \
             and args.experiment != "perf":
-        parser.error("--baseline/--min-speedup/--max-regression are only "
-                     "meaningful with the 'perf' experiment")
+        parser.error("--baseline/--min-speedup/--max-regression/"
+                     "--max-integrity-overhead are only meaningful with "
+                     "the 'perf' experiment")
     if (args.min_speedup or args.max_regression) and not args.baseline:
         parser.error("--min-speedup/--max-regression need --baseline")
 
@@ -155,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     perf_failed = False
 
     progress = None if args.quiet else _progress
-    kwargs = dict(mode=args.mode, reps=args.reps, scale=args.scale)
+    kwargs = dict(mode=args.mode, reps=args.reps, scale=args.scale, jobs=args.jobs)
 
     started = time.time()
     outputs: list[str] = []
@@ -259,7 +280,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.benchmark not in WORKLOADS:
             parser.error(f"--benchmark must be one of {sorted(WORKLOADS)} "
                          f"(got {args.benchmark!r})")
-        n_workers = args.n_workers or max(1, min(8, os.cpu_count() or 1))
+        n_workers = args.n_workers or (
+            args.jobs if args.jobs > 1 else max(1, min(8, os.cpu_count() or 1))
+        )
         if not args.quiet:
             print(f"  tuning {args.benchmark}@{args.cluster} P={args.nprocs} "
                   f"(search={args.search}, space={args.space}, "
@@ -291,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
             nprocs=args.nprocs, reps=args.reps, scale=args.scale,
             seed=args.seed, faults=args.faults,
             progress=None if args.quiet else chaos_progress,
+            jobs=args.jobs,
         )
         outputs.append(reporting.render_chaos(chaos))
         csv_files["chaos.csv"] = reporting.chaos_csv(chaos)
@@ -310,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
             nprocs=args.nprocs, reps=args.reps, scale=args.scale,
             seed=args.seed,
             progress=None if args.quiet else integrity_progress,
+            jobs=args.jobs,
         )
         outputs.append(reporting.render_integrity(integ))
         csv_files["integrity.csv"] = reporting.integrity_csv(integ)
@@ -353,6 +378,16 @@ def main(argv: list[str] | None = None) -> int:
                 cur = report.normalized_medium
                 print(f"perf check ok: medium {base_norm / cur:.2f}x vs "
                       f"{args.baseline}", file=sys.stderr)
+        if args.max_integrity_overhead is not None:
+            failures = perf_mod.integrity_overhead_failures(
+                report, args.max_integrity_overhead)
+            for failure in failures:
+                print(f"perf check FAILED: {failure}", file=sys.stderr)
+            perf_failed = perf_failed or bool(failures)
+            if not failures:
+                print(f"perf check ok: integrity detect overhead "
+                      f"{report.max_integrity_overhead:+.1%} <= "
+                      f"{args.max_integrity_overhead:.0%}", file=sys.stderr)
     if args.experiment == "ablations":
         from repro.bench.ablations import ALL_ABLATIONS
 

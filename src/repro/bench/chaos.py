@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bench.parallel import parallel_map
 from repro.collio.api import RunSpec, run_collective_write
 from repro.collio.view import FileView
 from repro.config import DEFAULT_SCALE, DEFAULT_SEED
@@ -143,6 +144,57 @@ def _fault_levels(preset: str | None) -> list[tuple[str, FaultSpec]]:
     ]
 
 
+def _chaos_views(nprocs: int, per_rank: int) -> dict[int, FileView]:
+    return {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+
+
+def _chaos_baseline(task: tuple) -> float:
+    """Fault-free elapsed of one (algorithm, seed) run (pool-importable)."""
+    algorithm, rep_seed, nprocs, per_rank = task
+    return run_collective_write(RunSpec(
+        cluster=_chaos_cluster(), fs=_chaos_fs(), nprocs=nprocs,
+        views=_chaos_views(nprocs, per_rank), algorithm=algorithm,
+        verify=True, seed=rep_seed,
+    )).elapsed
+
+
+def _chaos_run(task: tuple) -> dict:
+    """One chaos run under a rebuilt, window-armed fault spec.
+
+    Module-level for pool workers; the fault spec is reconstructed from
+    the plain descriptor (preset name, or the sweep's rate pair) so the
+    task carries no live objects.  Returns plain scalars for the fold.
+    """
+    (algorithm, preset, crash, outage, window,
+     rep_seed, nprocs, per_rank) = task
+    if preset is not None:
+        fault_spec = fault_preset(preset)
+    else:
+        fault_spec = FaultSpec(rank_crash_rate=crash, ost_outage_rate=outage,
+                               crash_window=1.0)
+    try:
+        run = run_collective_write(RunSpec(
+            cluster=_chaos_cluster(), fs=_chaos_fs(), nprocs=nprocs,
+            views=_chaos_views(nprocs, per_rank), algorithm=algorithm,
+            verify=True, seed=rep_seed,
+            faults=fault_spec.with_(crash_window=window),
+        ))
+    except ReproError:
+        # Recovery exhausted (or an unrecoverable fault mix): counted
+        # as a non-completion, not a crash of the bench.
+        return {"completed": False}
+    report = run.recovery
+    return {
+        "completed": True,
+        "elapsed": run.elapsed,
+        "attempts": report.attempts,
+        "failover_time": report.failover_time,
+        "rank_crashes": len(report.crashed_ranks),
+        "ost_outages": len(report.down_targets),
+        "replayed_bytes": report.replayed_bytes,
+    }
+
+
 def chaos_campaign(
     nprocs: int = 8,
     reps: int = 3,
@@ -150,52 +202,69 @@ def chaos_campaign(
     seed: int = DEFAULT_SEED,
     faults: str | None = None,
     progress=None,
+    jobs: int = 1,
 ) -> ChaosCampaignResult:
     """Run the chaos sweep; ``faults`` names a preset to use instead.
 
     ``scale`` divides the per-rank payload (64 KiB at scale 1) like the
     other experiments.  ``progress(algorithm, level, rep, completed)`` is
     called after every chaos run.
+
+    ``jobs`` parallelizes both phases — the fault-free baselines, then
+    (their windows known) every chaos run — via
+    :func:`repro.bench.parallel.parallel_map`.  Seeds live in the task
+    descriptors (``seed + rep``, unchanged from the serial derivation)
+    and results fold in serial-loop order, so the campaign's tables and
+    CSVs are byte-identical for any ``jobs``; with ``jobs > 1`` the
+    progress callback fires during the fold, after the simulations.
     """
     per_rank = max(4096, int(64 * KiB) // scale)
-    views = {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
     levels = _fault_levels(faults)
     result = ChaosCampaignResult(nprocs=nprocs, reps=reps, preset=faults)
 
+    # Phase 1: fault-free baselines (they size every fault window).
+    base_tasks = [
+        (algorithm, seed + i, nprocs, per_rank)
+        for algorithm in CHAOS_ALGORITHMS for i in range(reps)
+    ]
+    base_elapsed = iter(parallel_map(_chaos_baseline, base_tasks, jobs=jobs))
+    baselines = {
+        algorithm: {seed + i: next(base_elapsed) for i in range(reps)}
+        for algorithm in CHAOS_ALGORITHMS
+    }
+
+    # Phase 2: the chaos runs, windows armed from the base-seed baseline.
+    chaos_tasks = []
     for algorithm in CHAOS_ALGORITHMS:
-        base_spec = RunSpec(
-            cluster=_chaos_cluster(), fs=_chaos_fs(), nprocs=nprocs,
-            views=views, algorithm=algorithm, verify=True, seed=seed,
-        )
-        baselines = {seed + i: run_collective_write(base_spec.replace(seed=seed + i)).elapsed
-                     for i in range(reps)}
-        result.baselines[algorithm] = baselines[seed]
-        window = 0.8 * baselines[seed]
-        for level, fault_spec in levels:
+        window = 0.8 * baselines[algorithm][seed]
+        for level, _fault_spec in levels:
+            for i in range(reps):
+                chaos_tasks.append((
+                    algorithm, faults,
+                    _fault_spec.rank_crash_rate, _fault_spec.ost_outage_rate,
+                    window, seed + i, nprocs, per_rank,
+                ))
+    outcomes = iter(parallel_map(_chaos_run, chaos_tasks, jobs=jobs))
+
+    for algorithm in CHAOS_ALGORITHMS:
+        result.baselines[algorithm] = baselines[algorithm][seed]
+        for level, _fault_spec in levels:
             cell = ChaosCell(algorithm=algorithm, level=level)
             result.cells.append(cell)
-            armed = fault_spec.with_(crash_window=window)
             for i in range(reps):
-                rep_seed = seed + i
+                o = next(outcomes)
                 cell.runs += 1
-                try:
-                    run = run_collective_write(
-                        base_spec.replace(seed=rep_seed, faults=armed)
-                    )
-                except ReproError:
-                    # Recovery exhausted (or an unrecoverable fault mix):
-                    # counted as a non-completion, not a crash of the bench.
+                if not o["completed"]:
                     if progress is not None:
                         progress(algorithm, level, i, False)
                     continue
-                report = run.recovery
                 cell.completions += 1
-                cell.attempts += report.attempts
-                cell.slowdown += run.elapsed / baselines[rep_seed]
-                cell.recovery_latency += report.failover_time
-                cell.rank_crashes += len(report.crashed_ranks)
-                cell.ost_outages += len(report.down_targets)
-                cell.replayed_bytes += report.replayed_bytes
+                cell.attempts += o["attempts"]
+                cell.slowdown += o["elapsed"] / baselines[algorithm][seed + i]
+                cell.recovery_latency += o["failover_time"]
+                cell.rank_crashes += o["rank_crashes"]
+                cell.ost_outages += o["ost_outages"]
+                cell.replayed_bytes += o["replayed_bytes"]
                 if progress is not None:
                     progress(algorithm, level, i, True)
             if cell.completions:

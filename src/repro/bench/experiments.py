@@ -25,7 +25,7 @@ from repro.analysis.stats import (
     best_algorithm,
     relative_improvement,
 )
-from repro.bench.runner import Case, MatrixResult, run_case, run_matrix, specs_for
+from repro.bench.runner import Case, MatrixResult, run_matrix, specs_for
 from repro.collio.api import RunSpec, run_collective_write
 from repro.collio.config import CollectiveConfig
 from repro.collio.overlap import ALGORITHMS, ASYNC_WRITE_ALGORITHMS
@@ -172,11 +172,13 @@ def table1(
     scale: int = DEFAULT_SCALE,
     matrix: MatrixResult | None = None,
     progress=None,
+    jobs: int = 1,
 ) -> Table1Result:
     """Reproduce Table I: count, per benchmark, the winning algorithm."""
     if matrix is None:
         matrix = run_matrix(
-            table1_cases(mode), ALGORITHM_ORDER, reps=reps, scale=scale, progress=progress
+            table1_cases(mode), ALGORITHM_ORDER, reps=reps, scale=scale,
+            progress=progress, jobs=jobs,
         )
     result = Table1Result(matrix=matrix)
     for benchmark in BENCHMARK_ORDER:
@@ -208,18 +210,20 @@ class Fig1Result:
 
 
 def fig1(
-    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE, progress=None
+    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE, progress=None,
+    jobs: int = 1,
 ) -> Fig1Result:
     """Reproduce Fig. 1: Tile-1M at two process counts on both clusters."""
     counts = [256, 576] if mode == "full" else [100, 196]
     size = _sizes("tile_1m", mode)[0]
     result = Fig1Result(nprocs_list=counts)
-    for cluster in CLUSTERS:
-        for nprocs in counts:
-            case = Case("tile_1m", cluster, nprocs, size)
-            case_result = run_case(case, ALGORITHM_ORDER, reps=reps, scale=scale, progress=progress)
-            for algorithm, series in case_result.by_algorithm().items():
-                result.points[(cluster, nprocs, algorithm)] = series.point
+    cases = [Case("tile_1m", cluster, nprocs, size)
+             for cluster in CLUSTERS for nprocs in counts]
+    matrix = run_matrix(cases, ALGORITHM_ORDER, reps=reps, scale=scale,
+                        progress=progress, jobs=jobs)
+    for case, case_result in zip(cases, matrix.results):
+        for algorithm, series in case_result.by_algorithm().items():
+            result.points[(case.cluster, case.nprocs, algorithm)] = series.point
     return result
 
 
@@ -264,10 +268,12 @@ def fig2(
     scale: int = DEFAULT_SCALE,
     matrix: MatrixResult | None = None,
     progress=None,
+    jobs: int = 1,
 ) -> ImprovementResult:
     """Reproduce Fig. 2 (crill average positive improvements)."""
     if matrix is None:
-        matrix = table1(mode, reps=reps, scale=scale, progress=progress).matrix
+        matrix = table1(mode, reps=reps, scale=scale, progress=progress,
+                        jobs=jobs).matrix
     return _improvements(matrix, "crill")
 
 
@@ -277,10 +283,12 @@ def fig3(
     scale: int = DEFAULT_SCALE,
     matrix: MatrixResult | None = None,
     progress=None,
+    jobs: int = 1,
 ) -> ImprovementResult:
     """Reproduce Fig. 3 (Ibex average positive improvements)."""
     if matrix is None:
-        matrix = table1(mode, reps=reps, scale=scale, progress=progress).matrix
+        matrix = table1(mode, reps=reps, scale=scale, progress=progress,
+                        jobs=jobs).matrix
     return _improvements(matrix, "ibex")
 
 
@@ -318,12 +326,13 @@ class Fig4Result:
 
 
 def fig4(
-    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE, progress=None
+    mode: str = "quick", reps: int = 3, scale: int = DEFAULT_SCALE, progress=None,
+    jobs: int = 1,
 ) -> Fig4Result:
     """Reproduce Fig. 4: two-sided vs one-sided shuffles on Write-Comm-2."""
     matrix = run_matrix(
         fig4_cases(mode), ["write_comm2"], shuffles=tuple(SHUFFLE_ORDER),
-        reps=reps, scale=scale, progress=progress,
+        reps=reps, scale=scale, progress=progress, jobs=jobs,
     )
     result = Fig4Result(matrix=matrix)
     for benchmark in ("ior", "tile_256", "tile_1m"):

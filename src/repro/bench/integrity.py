@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.bench.parallel import parallel_map
 from repro.collio.api import RunSpec, run_collective_write
 from repro.collio.config import CollectiveConfig
 from repro.collio.view import FileView
@@ -164,12 +165,90 @@ class IntegrityCampaignResult:
         )
 
 
+def _integrity_rep(task: tuple) -> dict:
+    """One (algorithm, tier, seed) trio of checked runs.
+
+    Module-level so pool workers can import it; the task tuple is plain
+    data and everything (views, faults, specs) is rebuilt locally, so a
+    worker's result depends only on the descriptor — never on which
+    process ran it.  Returns plain scalars for the in-order fold.
+    """
+    algorithm, staged, rep_seed, nprocs, per_rank = task
+    views = {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
+    faults = fault_preset("bitrot_cluster")
+
+    def config(mode: str | None) -> CollectiveConfig:
+        return CollectiveConfig(
+            cb_buffer_size=16 * KiB,
+            staging=StagingSpec() if staged else None,
+            integrity=IntegritySpec(mode=mode) if mode else None,
+        )
+
+    def run(mode: str | None, faulty: bool):
+        return run_collective_write(RunSpec(
+            cluster=_integrity_cluster(), fs=_integrity_fs(),
+            nprocs=nprocs, views=views, algorithm=algorithm,
+            config=config(mode), verify=True,
+            seed=rep_seed, faults=faults if faulty else None,
+        ))
+
+    out = {
+        "false_positives": 0, "detect_ratio": None, "repair_ratio": None,
+        "corrupted": False, "outcome": "clean", "repair_ok": False,
+        "detected_events": 0, "repaired_events": 0,
+    }
+
+    # Fault-free: baseline sha/elapsed and mode overheads.
+    # A checking mode failing a clean run is a false positive.
+    base = run(None, faulty=False)
+    for mode, key in (("detect", "detect_ratio"), ("repair", "repair_ratio")):
+        try:
+            clean = run(mode, faulty=False)
+        except (ReproError, AssertionError):
+            out["false_positives"] += 1
+            continue
+        if base.elapsed > 0:
+            out[key] = clean.elapsed / base.elapsed
+
+    # Ground truth: does this seed's corruption schedule actually
+    # damage the file when nobody is checking?
+    try:
+        run(None, faulty=True)
+    except AssertionError:
+        out["corrupted"] = True
+
+    # Detection.
+    try:
+        run("detect", faulty=True)
+    except CorruptDataError:
+        out["outcome"] = "detected"
+    except AssertionError:
+        out["outcome"] = "missed"
+    if not out["corrupted"] and out["outcome"] != "clean":
+        out["false_positives"] += 1
+
+    # Repair: byte-identical to the fault-free run or bust.
+    try:
+        rep = run("repair", faulty=True)
+    except (ReproError, AssertionError):
+        rep = None
+    else:
+        out["repair_ok"] = rep.file_sha256 == base.file_sha256
+    if not out["corrupted"] and not out["repair_ok"]:
+        out["false_positives"] += 1
+    if rep is not None and rep.integrity is not None:
+        out["detected_events"] = rep.integrity["detected"]
+        out["repaired_events"] = rep.integrity["repaired"]
+    return out
+
+
 def integrity_campaign(
     nprocs: int = 8,
     reps: int = 3,
     scale: int = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     progress=None,
+    jobs: int = 1,
 ) -> IntegrityCampaignResult:
     """Run the integrity matrix; ``progress(algorithm, staged, rep, outcome)``
     is called after every seed's trio of checked runs.
@@ -179,18 +258,23 @@ def integrity_campaign(
     simulated runs: off/detect/repair fault-free (baseline + overheads +
     false-positive check) and off/detect/repair under ``bitrot_cluster``
     (ground truth + detection + repair).
+
+    ``jobs`` fans the (algorithm, tier, seed) trios out over a process
+    pool (:func:`repro.bench.parallel.parallel_map`); every per-run seed
+    is carried inside the task descriptor and results are folded in
+    serial-loop order, so the campaign's tables and CSVs are
+    byte-identical for any ``jobs``.  With ``jobs > 1`` the progress
+    callback fires during the fold, after the simulations.
     """
     per_rank = max(4096, int(64 * KiB) // scale)
-    views = {r: FileView.contiguous(r * per_rank, per_rank) for r in range(nprocs)}
-    faults = fault_preset("bitrot_cluster")
     result = IntegrityCampaignResult(nprocs=nprocs, reps=reps)
-
-    def config(staged: bool, mode: str | None) -> CollectiveConfig:
-        return CollectiveConfig(
-            cb_buffer_size=16 * KiB,
-            staging=StagingSpec() if staged else None,
-            integrity=IntegritySpec(mode=mode) if mode else None,
-        )
+    tasks = [
+        (algorithm, staged, seed + i, nprocs, per_rank)
+        for algorithm in INTEGRITY_ALGORITHMS
+        for staged in (False, True)
+        for i in range(reps)
+    ]
+    outcomes = iter(parallel_map(_integrity_rep, tasks, jobs=jobs))
 
     for algorithm in INTEGRITY_ALGORITHMS:
         for staged in (False, True):
@@ -199,78 +283,28 @@ def integrity_campaign(
             overhead_detect: list[float] = []
             overhead_repair: list[float] = []
             for i in range(reps):
-                rep_seed = seed + i
+                o = next(outcomes)
                 cell.runs += 1
-
-                def run(mode: str | None, faulty: bool):
-                    return run_collective_write(RunSpec(
-                        cluster=_integrity_cluster(), fs=_integrity_fs(),
-                        nprocs=nprocs, views=views, algorithm=algorithm,
-                        config=config(staged, mode), verify=True,
-                        seed=rep_seed, faults=faults if faulty else None,
-                    ))
-
-                # Fault-free: baseline sha/elapsed and mode overheads.
-                # A checking mode failing a clean run is a false positive.
-                base = run(None, faulty=False)
-                for mode, acc in (("detect", overhead_detect),
-                                  ("repair", overhead_repair)):
-                    try:
-                        clean = run(mode, faulty=False)
-                    except (ReproError, AssertionError):
-                        cell.false_positives += 1
-                        continue
-                    if base.elapsed > 0:
-                        acc.append(clean.elapsed / base.elapsed)
-
-                # Ground truth: does this seed's corruption schedule
-                # actually damage the file when nobody is checking?
-                corrupted = False
-                try:
-                    run(None, faulty=True)
-                except AssertionError:
-                    corrupted = True
-                if corrupted:
+                cell.false_positives += o["false_positives"]
+                if o["detect_ratio"] is not None:
+                    overhead_detect.append(o["detect_ratio"])
+                if o["repair_ratio"] is not None:
+                    overhead_repair.append(o["repair_ratio"])
+                if o["corrupted"]:
                     cell.corrupted += 1
-
-                # Detection.
-                outcome = "clean"
-                try:
-                    run("detect", faulty=True)
-                except CorruptDataError:
-                    outcome = "detected"
-                except AssertionError:
-                    outcome = "missed"
-                if corrupted:
-                    if outcome == "detected":
+                    if o["outcome"] == "detected":
                         cell.detected += 1
                     else:
                         cell.missed += 1
-                elif outcome != "clean":
-                    cell.false_positives += 1
-
-                # Repair: byte-identical to the fault-free run or bust.
-                repair_ok = False
-                try:
-                    rep = run("repair", faulty=True)
-                except (ReproError, AssertionError):
-                    rep = None
-                else:
-                    repair_ok = rep.file_sha256 == base.file_sha256
-                if corrupted:
-                    if repair_ok:
+                    if o["repair_ok"]:
                         cell.repaired += 1
                     else:
                         cell.repair_failed += 1
-                elif not repair_ok:
-                    cell.false_positives += 1
-                if rep is not None and rep.integrity is not None:
-                    cell.detected_events += rep.integrity["detected"]
-                    cell.repaired_events += rep.integrity["repaired"]
-
+                cell.detected_events += o["detected_events"]
+                cell.repaired_events += o["repaired_events"]
                 if progress is not None:
                     progress(algorithm, staged, i,
-                             outcome if corrupted else "clean")
+                             o["outcome"] if o["corrupted"] else "clean")
             if overhead_detect:
                 cell.detect_overhead = sum(overhead_detect) / len(overhead_detect)
             if overhead_repair:

@@ -38,16 +38,19 @@ from dataclasses import dataclass, field
 
 from repro._version import __version__
 from repro.collio.api import RunSpec, run_collective_write
+from repro.collio.config import CollectiveConfig
 from repro.collio.overlap import ALGORITHMS
 from repro.config import DEFAULT_SEED
 from repro.fs.presets import beegfs_crill
 from repro.hardware.presets import crill
+from repro.integrity.spec import IntegritySpec
 from repro.staging import StagingSpec
 from repro.workloads import make_workload
 
 __all__ = [
-    "PERF_SCALES", "CalibrationResult", "PerfCase", "PerfReport",
-    "calibrate", "run_perf", "check_against",
+    "PERF_SCALES", "CalibrationResult", "PerfCase", "IntegrityPerfCase",
+    "PerfReport", "calibrate", "run_perf", "check_against",
+    "integrity_overhead_failures",
 ]
 
 #: The three self-benchmark problem sizes: the paper's IOR workload at
@@ -108,15 +111,52 @@ class PerfCase:
 
 
 @dataclass
+class IntegrityPerfCase:
+    """Simulated-time cost of ``mode="detect"`` on one medium-scale case.
+
+    The gated quantity is *simulated* elapsed, not host wall: the
+    checksum-carrying datapath removes the modeled per-extent checksum
+    compute, the read-back re-read and the scrub re-read from the
+    simulated timeline, and this case proves it.  The reuse counters
+    come along so the report also shows *why* (carried CRCs replacing
+    fresh byte passes).
+    """
+
+    algorithm: str
+    sim_elapsed_off: float
+    sim_elapsed_detect: float
+    checksum_computed: int
+    checksum_reused: int
+
+    @property
+    def overhead(self) -> float:
+        """Fractional detect-mode slowdown (0.0 = free) in sim time."""
+        if not self.sim_elapsed_off:
+            return 0.0
+        return self.sim_elapsed_detect / self.sim_elapsed_off - 1.0
+
+    def to_dict(self) -> dict:
+        d = dict(self.__dict__)
+        d["overhead"] = round(self.overhead, 6)
+        return d
+
+
+@dataclass
 class PerfReport:
     """Everything ``BENCH_perf.json`` holds."""
 
     calibration: CalibrationResult
     cases: list[PerfCase] = field(default_factory=list)
+    integrity_cases: list[IntegrityPerfCase] = field(default_factory=list)
     plan_cache: dict = field(default_factory=dict)
 
     def scale_wall(self, scale: str) -> float:
         return sum(c.wall_s for c in self.cases if c.scale == scale)
+
+    @property
+    def max_integrity_overhead(self) -> float:
+        """Worst detect-mode sim-time overhead across the integrity cases."""
+        return max((c.overhead for c in self.integrity_cases), default=0.0)
 
     @property
     def medium_wall_s(self) -> float:
@@ -143,6 +183,10 @@ class PerfReport:
             },
             "medium_wall_s": round(self.medium_wall_s, 6),
             "normalized_medium": round(self.normalized_medium, 6),
+            "integrity": {
+                "cases": [c.to_dict() for c in self.integrity_cases],
+                "max_overhead": round(self.max_integrity_overhead, 6),
+            },
             "plan_cache": self.plan_cache,
             "peak_rss_kb": max((c.peak_rss_kb for c in self.cases), default=0),
         }
@@ -171,6 +215,21 @@ class PerfReport:
         lines.append(
             f"medium normalized: {self.normalized_medium:.2f} cal-units"
         )
+        if self.integrity_cases:
+            lines.append(
+                f"{'integrity':8s} {'algorithm':15s} {'off (sim s)':>12s} "
+                f"{'detect':>9s} {'overhead':>9s} {'crc comp':>9s} "
+                f"{'reused':>7s}"
+            )
+            for c in self.integrity_cases:
+                lines.append(
+                    f"{'medium':8s} {c.algorithm:15s} {c.sim_elapsed_off:12.6f} "
+                    f"{c.sim_elapsed_detect:9.6f} {c.overhead:+9.1%} "
+                    f"{c.checksum_computed:9d} {c.checksum_reused:7d}"
+                )
+            lines.append(
+                f"max integrity detect overhead: {self.max_integrity_overhead:+.1%}"
+            )
         return "\n".join(lines)
 
 
@@ -226,6 +285,25 @@ def run_perf(
                 report.cases.append(case)
                 if progress is not None:
                     progress(case)
+
+    # Integrity-on cases: gate the checksum-carrying datapath.  The
+    # compared quantity is *simulated* elapsed, which is deterministic
+    # per seed, so one off/detect pair per algorithm suffices (no
+    # best-of-reps needed).
+    for algorithm in sorted(ALGORITHMS):
+        off_spec = _case_spec("medium", algorithm, False, seed)
+        off = run_collective_write(off_spec)
+        det = run_collective_write(off_spec.replace(
+            config=CollectiveConfig(integrity=IntegritySpec(mode="detect")),
+        ))
+        counters = det.integrity["counters"] if det.integrity else {}
+        report.integrity_cases.append(IntegrityPerfCase(
+            algorithm=algorithm,
+            sim_elapsed_off=off.elapsed,
+            sim_elapsed_detect=det.elapsed,
+            checksum_computed=int(counters.get("integrity.checksum_computed", 0)),
+            checksum_reused=int(counters.get("integrity.checksum_reused", 0)),
+        ))
     report.plan_cache = plan_cache_stats()
     return report
 
@@ -262,4 +340,29 @@ def check_against(
             f"> allowed {max_regression:.0%} (baseline {base_norm:.2f} "
             f"cal-units, current {cur_norm:.2f})"
         )
+    return failures
+
+
+def integrity_overhead_failures(
+    report: PerfReport | dict, limit: float
+) -> list[str]:
+    """Gate the integrity cases: detect-mode sim overhead must be ``<= limit``.
+
+    Unlike :func:`check_against` this is an absolute gate on the current
+    report (simulated time is machine-independent, so no baseline or
+    calibration is involved).  Returns human-readable failures (empty =
+    pass); a report without integrity cases fails, because a missing
+    measurement must not read as a passing one.
+    """
+    current = report.to_dict() if isinstance(report, PerfReport) else report
+    cases = current.get("integrity", {}).get("cases", [])
+    if not cases:
+        return ["report has no integrity cases to gate"]
+    failures = []
+    for c in cases:
+        if c["overhead"] > limit:
+            failures.append(
+                f"integrity detect overhead {c['overhead']:+.1%} on "
+                f"{c['algorithm']}/medium exceeds the {limit:.0%} limit"
+            )
     return failures

@@ -485,7 +485,7 @@ def render_integrity(result) -> str:
         f"detection rate: {result.detection_rate:.0%}; "
         f"repair rate: {result.repair_rate:.0%}; "
         f"false positives: {result.false_positives}; overheads are "
-        "fault-free elapsed vs mode=off (checksums + read-back + scrub)"
+        "fault-free elapsed vs mode=off (carried checksums + commit verify + scrub)"
     )
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.stats import Series
+from repro.bench.parallel import parallel_map
 from repro.collio.api import RunSpec, build_plan, run_collective_write
 from repro.collio.config import CollectiveConfig
 from repro.collio.overlap import make_algorithm
@@ -134,6 +135,19 @@ def run_case(
     return result
 
 
+def _matrix_case(task: tuple) -> CaseResult:
+    """One case of a matrix (module-level so pool workers can import it).
+
+    The task tuple is plain picklable data; the worker rebuilds plans
+    and specs locally, so its result depends only on the descriptor.
+    """
+    case, algorithms, shuffles, reps, scale, base_seed = task
+    return run_case(
+        case, list(algorithms), shuffles=shuffles, reps=reps,
+        scale=scale, base_seed=base_seed,
+    )
+
+
 def run_matrix(
     cases: list[Case],
     algorithms: list[str],
@@ -142,14 +156,37 @@ def run_matrix(
     scale: int = DEFAULT_SCALE,
     base_seed: int = DEFAULT_SEED,
     progress=None,
+    jobs: int = 1,
 ) -> MatrixResult:
-    """Run every case of an experiment matrix."""
+    """Run every case of an experiment matrix.
+
+    ``jobs`` fans whole cases out over a process pool
+    (:func:`repro.bench.parallel.parallel_map`).  Per-rep seeds are a
+    fixed derivation of ``base_seed`` inside each case, and case results
+    fold back in input order, so the matrix — and every table or CSV
+    derived from it — is byte-identical for any ``jobs``; with
+    ``jobs > 1`` the progress callback fires per completed case instead
+    of streaming per series.
+    """
     matrix = MatrixResult()
-    for case in cases:
-        matrix.results.append(
-            run_case(
-                case, algorithms, shuffles=shuffles, reps=reps,
-                scale=scale, base_seed=base_seed, progress=progress,
+    if jobs == 1:
+        for case in cases:
+            matrix.results.append(
+                run_case(
+                    case, algorithms, shuffles=shuffles, reps=reps,
+                    scale=scale, base_seed=base_seed, progress=progress,
+                )
             )
-        )
+        return matrix
+    tasks = [
+        (case, tuple(algorithms), tuple(shuffles), reps, scale, base_seed)
+        for case in cases
+    ]
+    for case, result in zip(cases, parallel_map(_matrix_case, tasks, jobs=jobs)):
+        matrix.results.append(result)
+        if progress is not None:
+            for algorithm in algorithms:
+                for shuffle in shuffles:
+                    progress(case, algorithm, shuffle,
+                             result.series[(algorithm, shuffle)])
     return matrix

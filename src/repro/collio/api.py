@@ -600,6 +600,8 @@ def _run_metrics(
     registry.counter("comm.messages_intra_node").inc(
         result.aggregate_counter("messages_intra_node")
     )
+    for name, value in world.buffer_pool_counters().items():
+        registry.counter(name).inc(value)
     tier = getattr(world, "staging", None)
     if tier is not None:
         for name, value in tier.counter_totals().items():

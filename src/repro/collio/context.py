@@ -21,6 +21,7 @@ from repro.collio.config import CollectiveConfig
 from repro.collio.plan import TwoPhasePlan
 from repro.collio.view import FileView
 from repro.errors import ConfigurationError, CorruptDataError
+from repro.integrity.checksum import ChecksumLedger, crc32_concat, extent_checksum
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.comm import Communicator
@@ -155,6 +156,19 @@ class AlgoContext:
         # Two-layer staging: a leader's per-sub-buffer assembly area for
         # its node's coalesced cycle data (see repro.collio.intranode).
         self._staging: list[np.ndarray] | None = None
+        #: Verified piece CRCs of two-sided deliveries and local copies,
+        #: keyed by absolute file offset; the extent record combines them
+        #: instead of re-checksumming the cycle buffer.  (The one-sided
+        #: equivalent lives on the shared Window, filed at put landing.)
+        self._ledger: ChecksumLedger | None = (
+            ChecksumLedger() if self.integrity is not None else None
+        )
+        #: Per-staging-slot ledgers keyed by staging offset (two-layer
+        #: leaders only): gather files verified member piece CRCs here,
+        #: the forward shuffle combines them for its coalesced sends.
+        #: Slot ``c % nsub``'s ledger is cleared when cycle ``c``'s
+        #: gather refills the slot.
+        self._staging_ledgers: list[ChecksumLedger] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -213,6 +227,8 @@ class AlgoContext:
             return
         size = plan.staging_bytes(self.rank)
         self._staging = [np.zeros(size, dtype=np.uint8) for _ in range(self.nsub)]
+        if self.integrity is not None:
+            self._staging_ledgers = [ChecksumLedger() for _ in range(self.nsub)]
 
     def staging(self, sub: int) -> np.ndarray:
         if self._staging is None:
@@ -262,6 +278,102 @@ class AlgoContext:
     @property
     def uses_windows(self) -> bool:
         return self._windows is not None
+
+    # ------------------------------------------------------------------
+    # Checksum carrying (producer-side piece CRCs + verified-CRC ledgers)
+    # ------------------------------------------------------------------
+    def piece_checksums_for(self, cycle: int, sa, src: np.ndarray | None):
+        """Per-piece ``(nbytes, crc)`` CRCs of a send assignment + whole CRC.
+
+        This is the *producer* side of checksum carrying: each piece's
+        bytes are checksummed exactly once, from the send source.  When
+        the source is a leader's staging slot whose ledger already holds
+        verified CRCs for the range (coalesced gather data), the piece
+        CRC is combined from them without touching payload bytes.
+        Returns ``(None, None)`` without an integrity layer or in
+        size-only mode.
+        """
+        integrity = self.integrity
+        if integrity is None or src is None:
+            return None, None
+        led = (
+            self._staging_ledgers[self.sub_of_cycle(cycle)]
+            if self._staging_ledgers is not None and self._staging is not None
+            else None
+        )
+        pieces = []
+        for _off, ln, loc in sa.pieces:
+            crc = led.combine(loc, loc + ln) if led is not None else None
+            if crc is None:
+                crc = extent_checksum(src[loc : loc + ln])
+                integrity.checksum_computed += 1
+            else:
+                integrity.checksum_reused += 1
+            pieces.append((int(ln), crc))
+        if len(pieces) == 1:
+            whole = pieces[0][1]
+        else:
+            whole = crc32_concat(pieces)
+            integrity.checksum_reused += 1
+        return tuple(pieces), whole
+
+    def file_cycle_checksums(self, sa, piece_checksums) -> None:
+        """File verified piece CRCs under their absolute file offsets.
+
+        Called by the two-sided unpack (with the CRCs carried in the
+        delivered message) and for local copies (with the CRCs the
+        producer just computed); the extent record pops them back out
+        via :meth:`_carried_extent_crc`.
+        """
+        if self._ledger is None or piece_checksums is None:
+            return
+        for (off, ln, _loc), (_pn, crc) in zip(sa.pieces, piece_checksums):
+            self._ledger.file(off, ln, crc)
+
+    def _carried_extent_crc(self, cycle: int, offset: int, nbytes: int) -> int | None:
+        """CRC of a cycle extent from verified delivery pieces, or None.
+
+        None when the filed pieces do not tile the extent exactly — an
+        interior hole means some written bytes were never delivered this
+        cycle (stale buffer content), so the caller must checksum fresh.
+        """
+        if self._windows is not None:
+            led = self._windows[self.sub_of_cycle(cycle)].window.ledgers.get(self.rank)
+        else:
+            led = self._ledger
+        if led is None:
+            return None
+        return led.combine(offset, offset + nbytes, pop=True)
+
+    def staging_ledger(self, cycle: int) -> ChecksumLedger | None:
+        """The staging slot's verified-CRC ledger for ``cycle``, or None."""
+        if self._staging_ledgers is None:
+            return None
+        return self._staging_ledgers[self.sub_of_cycle(cycle)]
+
+    def staged_piece_crc(self, cycle: int, loc: int, ln: int) -> int | None:
+        """A put piece's CRC combined from the staging ledger, or None.
+
+        No counter bump here — the RMA ``put`` accounts for the reuse
+        when it receives a carried checksum.
+        """
+        led = self.staging_ledger(cycle)
+        if led is None or self._staging is None:
+            return None
+        return led.combine(loc, loc + ln)
+
+    # ------------------------------------------------------------------
+    # Pooled receive buffers (see repro.mpi.bufpool)
+    # ------------------------------------------------------------------
+    def take_buffer(self, nbytes: int) -> np.ndarray | None:
+        """Borrow a pooled scratch buffer (None in size-only mode)."""
+        if not self.carries_data:
+            return None
+        return self.mpi.world.buffer_pool(self.mpi.node).take(nbytes)
+
+    def release_buffer(self, buf: np.ndarray | None) -> None:
+        if buf is not None:
+            self.mpi.world.buffer_pool(self.mpi.node).release(buf)
 
     # ------------------------------------------------------------------
     # File access helpers (the algorithms' ``write`` / ``write_init`` /
@@ -317,22 +429,26 @@ class AlgoContext:
             return None
         return lambda: self._journal_commit(entry)
 
-    def _record_extent(self, offset: int, payload, nbytes: int):
+    def _record_extent(self, cycle: int, offset: int, payload, nbytes: int):
         """Checksum one cycle extent at the producing aggregator.
 
         Files the CRC-32 in the integrity manifest and returns it for the
         write path to carry (None when the layer is off or in size-only
-        mode — the fault-free paths stay byte-identical).  The checksum
-        pass reads every byte once, so it charges ``nbytes`` at memory
-        bandwidth to this rank's CPU — the honest cost of integrity that
-        the overhead benchmarks measure.
+        mode — the fault-free paths stay byte-identical).  When the
+        delivery ledgers carry verified piece CRCs that tile the extent,
+        the CRC is combined from them — no byte is re-read and no memory
+        pass is charged.  Only a fresh checksum (ledger miss) reads every
+        byte once and charges ``nbytes`` at memory bandwidth — the honest
+        residual cost the overhead benchmarks measure.
         """
         if self.integrity is None or payload is None:
             return None
+        carried = self._carried_extent_crc(cycle, offset, nbytes)
         crc = self.integrity.record_extent(
-            self.fh.path, self.rank, offset, payload, nbytes
+            self.fh.path, self.rank, offset, payload, nbytes, checksum=carried
         )
-        yield from self.mpi.compute(nbytes / self.memory_bandwidth)
+        if carried is None:
+            yield from self.mpi.compute(nbytes / self.memory_bandwidth)
         return crc
 
     def write_blocking(self, cycle: int):
@@ -343,7 +459,7 @@ class AlgoContext:
         t0 = self.mpi.now
         offset, payload, nbytes = sliced
         entry = self._journal_entry(cycle, offset, payload, nbytes)
-        crc = yield from self._record_extent(offset, payload, nbytes)
+        crc = yield from self._record_extent(cycle, offset, payload, nbytes)
         recorder = self.recorder
         call_span = io_span = None
         if recorder.active:
@@ -389,7 +505,7 @@ class AlgoContext:
                 bytes=nbytes,
             )
         entry = self._journal_entry(cycle, offset, payload, nbytes)
-        crc = yield from self._record_extent(offset, payload, nbytes)
+        crc = yield from self._record_extent(cycle, offset, payload, nbytes)
         if self.stager is not None:
             req = yield from self.fh.istage_at(
                 self.stager, offset, payload, size=nbytes, cycle=cycle,
@@ -471,16 +587,36 @@ class AlgoContext:
         self.recorder.end(span, self.mpi.now)
         self.stats.add_time("staging_flush", self.mpi.now - t0)
 
+    def _scrub_extent_crc(self, offset: int, nbytes: int):
+        """The CRC of an extent's stored bytes, metadata-first.
+
+        The PFS records every carried-checksum write's CRC as stored-CRC
+        metadata at commit time, so the common case is a dictionary
+        lookup; only extents without metadata (e.g. written before the
+        layer attached) pay a simulated read plus a fresh checksum.
+        """
+        integrity = self.integrity
+        stored = self.fh.file.stored_crc(offset, nbytes)
+        if stored is not None:
+            integrity.checksum_reused += 1
+            return stored
+        data = yield from self.fh.read_at(offset, nbytes)
+        integrity.checksum_computed += 1
+        return extent_checksum(data)
+
     def integrity_scrub(self):
-        """Post-write scrub: re-read this aggregator's extents and verify.
+        """Post-write scrub: verify this aggregator's extents on disk.
 
         Runs after the staging flush (everything durable) and before the
         closing barrier, so each aggregator scrubs exactly its own file
         domain — together the manifests cover the whole striped file.
-        Each recorded extent is read back and compared against the
-        manifest CRC; in repair mode a mismatch is rewritten from the
-        escrow copy (carrying the checksum, so the rewrite is itself
-        read-back-verified).  Appends a :class:`ScrubReport` to the
+        Each recorded extent's stored-CRC metadata (recorded by the PFS
+        at commit time, reflecting the bytes that actually landed —
+        including torn writes and commit-time bit-flips) is compared
+        against the manifest CRC; extents without metadata fall back to
+        a simulated read-back.  In repair mode a mismatch is rewritten
+        from the escrow copy (carrying the checksum, so the rewrite is
+        itself commit-verified).  Appends a :class:`ScrubReport` to the
         layer and raises :class:`CorruptDataError` if any mismatch could
         not be repaired.
         """
@@ -493,7 +629,6 @@ class AlgoContext:
             or not self.carries_data
         ):
             return
-        from repro.integrity.checksum import extent_checksum
         from repro.integrity.report import ScrubReport
 
         entries = integrity.entries_for(self.fh.path, self.rank)
@@ -507,10 +642,10 @@ class AlgoContext:
             )
         report = ScrubReport(rank=self.rank)
         for offset, nbytes, crc in entries:
-            stored = yield from self.fh.read_at(offset, nbytes)
+            stored_crc = yield from self._scrub_extent_crc(offset, nbytes)
             report.extents += 1
             report.bytes_scrubbed += nbytes
-            if extent_checksum(stored) == crc:
+            if stored_crc == crc:
                 continue
             report.mismatches += 1
             report.bad_offsets.append(offset)
@@ -525,10 +660,9 @@ class AlgoContext:
             if source is None:
                 continue
             # The rewrite itself goes through the (still faulty) storage
-            # path, so verify it with a re-read and bounded retries even
-            # when per-write read-back is off — the scrub is the last
-            # line of defense and must not trade one corruption for
-            # another.
+            # path, so re-verify it with bounded retries even when
+            # per-write read-back is off — the scrub is the last line of
+            # defense and must not trade one corruption for another.
             fixed = False
             for attempt in range(integrity.spec.max_repair_attempts):
                 integrity.note(
@@ -536,8 +670,8 @@ class AlgoContext:
                     attempt=attempt,
                 )
                 yield from self.fh.write_at(offset, source, checksum=crc)
-                stored = yield from self.fh.read_at(offset, nbytes)
-                if extent_checksum(stored) == crc:
+                stored_crc = yield from self._scrub_extent_crc(offset, nbytes)
+                if stored_crc == crc:
                     fixed = True
                     break
                 integrity.note(

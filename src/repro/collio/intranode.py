@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.collio.context import AlgoContext
 from repro.collio.plan import TwoLayerPlan
+from repro.integrity.checksum import crc32_concat, extent_checksum
 
 __all__ = ["TwoLayerShuffle", "INTRANODE_CONTEXT"]
 
@@ -47,6 +48,31 @@ def _stream_pieces(plan: TwoLayerPlan, rank: int, cycle: int):
     for sa in plan.member_sends_for(rank, cycle):
         for loc, ln in zip(sa.local_offsets, sa.lengths):
             yield int(loc), int(ln)
+
+
+def _stream_checksums(ctx: AlgoContext, rank: int, cycle: int):
+    """Per-piece ``(nbytes, crc)`` of a member's pack stream + whole CRC.
+
+    This is where gather traffic's checksums are *born*: each stream
+    piece is checksummed once from the member's user buffer; the whole-
+    message CRC is combined from them (no second byte pass).  Returns
+    ``(None, None)`` without an integrity layer or payload bytes.
+    """
+    integrity = ctx.integrity
+    if integrity is None or not ctx.carries_data:
+        return None, None
+    pieces = []
+    for loc, ln in _stream_pieces(ctx.plan, rank, cycle):
+        pieces.append((ln, extent_checksum(ctx.data[loc : loc + ln])))
+        integrity.checksum_computed += 1
+    if not pieces:
+        return None, None
+    if len(pieces) == 1:
+        whole = pieces[0][1]
+    else:
+        whole = crc32_concat(pieces)
+        integrity.checksum_reused += 1
+    return tuple(pieces), whole
 
 
 class TwoLayerShuffle:
@@ -132,9 +158,11 @@ class TwoLayerShuffle:
         cost = ctx.pack_cost(nbytes, npieces)
         if cost:
             yield from ctx.mpi.compute(cost)
+        pieces, whole = _stream_checksums(ctx, ctx.rank, cycle)
         yield from ctx.mpi.send(
             leader, tag=cycle, data=payload, size=nbytes,
             context=INTRANODE_CONTEXT, readonly=True,
+            checksum=whole, piece_checksums=pieces,
         )
         ctx.note_message(leader, nbytes, stage="gather")
 
@@ -142,20 +170,26 @@ class TwoLayerShuffle:
         """Receive every member's stream and assemble the staging slot."""
         plan: TwoLayerPlan = ctx.plan
         rank = ctx.rank
+        # The slot is being refilled: any leftover verified CRCs from the
+        # cycle that previously used it are stale now.
+        led = ctx.staging_ledger(cycle)
+        if led is not None:
+            led.clear()
         requests = []
-        inbound: list[tuple[int, np.ndarray | None]] = []
+        inbound: list[tuple[int, np.ndarray | None, object]] = []
         for member in plan.members_of_leader[rank]:
             if member == rank:
                 continue
             nbytes, _pieces = plan.gather_load(member, cycle)
             if not nbytes:
                 continue
-            buf = np.empty(nbytes, dtype=np.uint8) if ctx.carries_data else None
+            # Pooled receive buffer (returned once staged).
+            buf = ctx.take_buffer(nbytes)
             req = yield from ctx.mpi.irecv(
                 member, tag=cycle, buffer=buf, size=nbytes, context=INTRANODE_CONTEXT
             )
             requests.append(req)
-            inbound.append((member, buf))
+            inbound.append((member, buf, req))
         own_bytes, own_pieces = plan.gather_load(rank, cycle)
         if own_bytes:
             self._stage_own(ctx, cycle)
@@ -165,8 +199,9 @@ class TwoLayerShuffle:
             yield from ctx.mpi.waitall(requests)
         total_bytes = 0
         total_pieces = 0
-        for member, buf in inbound:
-            self._stage_member(ctx, cycle, member, buf)
+        for member, buf, req in inbound:
+            self._stage_member(ctx, cycle, member, buf, req)
+            ctx.release_buffer(buf)
             nbytes, npieces = plan.gather_load(member, cycle)
             total_bytes += nbytes
             total_pieces += npieces
@@ -178,27 +213,49 @@ class TwoLayerShuffle:
     # Staging-buffer byte movement (skipped in size-only mode)
     # ------------------------------------------------------------------
     def _stage_own(self, ctx: AlgoContext, cycle: int) -> None:
-        """Copy the leader's own pieces straight into staging."""
+        """Copy the leader's own pieces straight into staging.
+
+        The leader is the producer of its own stream, so its piece CRCs
+        are computed here (once) and filed in the staging ledger under
+        their staging offsets — the forward shuffle combines them.
+        """
         if not ctx.carries_data:
             return
         plan: TwoLayerPlan = ctx.plan
         stag = ctx.staging(ctx.sub_of_cycle(cycle))
         dests = plan.gather_scatter(cycle, ctx.rank)
+        led = ctx.staging_ledger(cycle)
+        integrity = ctx.integrity
         for i, (loc, ln) in enumerate(_stream_pieces(plan, ctx.rank, cycle)):
             off = int(dests[i])
-            stag[off : off + ln] = ctx.data[loc : loc + ln]
+            piece = ctx.data[loc : loc + ln]
+            stag[off : off + ln] = piece
+            if led is not None:
+                led.file(off, ln, extent_checksum(piece))
+                integrity.checksum_computed += 1
 
     def _stage_member(
-        self, ctx: AlgoContext, cycle: int, member: int, buf: np.ndarray | None
+        self, ctx: AlgoContext, cycle: int, member: int,
+        buf: np.ndarray | None, req=None,
     ) -> None:
-        """Scatter a member's received stream into staging positions."""
+        """Scatter a member's received stream into staging positions.
+
+        The delivered message's carried piece CRCs (already verified as
+        a whole at receive time) are filed in the staging ledger under
+        their staging offsets — no byte is re-checksummed here.
+        """
         if buf is None:
             return
         plan: TwoLayerPlan = ctx.plan
         stag = ctx.staging(ctx.sub_of_cycle(cycle))
         dests = plan.gather_scatter(cycle, member)
+        led = ctx.staging_ledger(cycle)
+        carried = getattr(req.detail, "piece_checksums", None) if req is not None else None
         pos = 0
         for i, (_loc, ln) in enumerate(_stream_pieces(plan, member, cycle)):
             off = int(dests[i])
             stag[off : off + ln] = buf[pos : pos + ln]
+            if led is not None and carried is not None and i < len(carried):
+                led.file(off, ln, carried[i][1])
+                ctx.integrity.checksum_reused += 1
             pos += ln

@@ -133,13 +133,15 @@ class TwoSidedShuffle:
             for exp in plan.recvs_for(ctx.agg_index, cycle):
                 if exp.src_rank == ctx.rank:
                     continue
-                buf = np.empty(exp.nbytes, dtype=np.uint8) if ctx.carries_data else None
+                # Pooled receive buffer (returned after the unpack) — the
+                # scatter fully consumes it within this cycle.
+                buf = ctx.take_buffer(exp.nbytes)
                 req = yield from ctx.mpi.irecv(
                     exp.src_rank, tag=cycle, buffer=buf, size=exp.nbytes,
                     context=self.context_tag,
                 )
                 handle.requests.append(req)
-                handle.unpacks.append((exp.src_rank, buf))
+                handle.unpacks.append((exp.src_rank, buf, req))
         src = ctx.send_source(cycle)
         for sa in plan.sends_for(ctx.rank, cycle):
             agg_rank = plan.aggregators[sa.agg_index]
@@ -150,11 +152,15 @@ class TwoSidedShuffle:
             cost = ctx.pack_cost(sa.nbytes, sa.npieces)
             if cost:
                 yield from ctx.mpi.compute(cost)
+            # Producer-side checksums: computed (or combined from the
+            # staging ledger) once here, carried with the message.
+            pieces, whole = ctx.piece_checksums_for(cycle, sa, src)
             # readonly: the payload is a view of the rank's frozen data or
             # a single-use pack buffer — the eager path may skip its copy.
             req = yield from ctx.mpi.isend(
                 agg_rank, tag=cycle, data=payload, size=sa.nbytes,
                 context=self.context_tag, readonly=True,
+                checksum=whole, piece_checksums=pieces,
             )
             handle.requests.append(req)
             ctx.stats.bump("messages_sent")
@@ -189,23 +195,35 @@ class TwoSidedShuffle:
                     for sa in ctx.plan.sends_for(sa_src, cycle)
                     if sa.agg_index == ctx.agg_index
                 ]
-                for sa_src, _ in handle.unpacks
+                for sa_src, _, _ in handle.unpacks
             }
             total_bytes = 0
             total_pieces = 0
-            for src, buf in handle.unpacks:
+            for src, buf, req in handle.unpacks:
+                # Piece CRCs the (verified) delivery carried: file them
+                # under their file offsets so the extent record can
+                # combine instead of re-checksumming the cycle buffer.
+                carried = getattr(req.detail, "piece_checksums", None)
+                pidx = 0
                 pos = 0
                 for sa in by_src[src]:
                     payload = buf[pos : pos + sa.nbytes] if buf is not None else None
                     _scatter(ctx, cycle, sa, payload)
+                    if carried is not None and pidx + sa.npieces <= len(carried):
+                        ctx.file_cycle_checksums(sa, carried[pidx : pidx + sa.npieces])
+                    pidx += sa.npieces
                     pos += sa.nbytes
                     total_bytes += sa.nbytes
                     total_pieces += sa.npieces
+                ctx.release_buffer(buf)
             cost = ctx.unpack_cost(total_bytes, total_pieces)
             if cost:
                 yield from ctx.mpi.compute(cost)
         for sa in handle.local_copies:
-            _scatter(ctx, cycle, sa, _pack(ctx.send_source(cycle), sa))
+            src_arr = ctx.send_source(cycle)
+            pieces, _whole = ctx.piece_checksums_for(cycle, sa, src_arr)
+            _scatter(ctx, cycle, sa, _pack(src_arr, sa))
+            ctx.file_cycle_checksums(sa, pieces)
             yield from ctx.mpi.compute(ctx.local_copy_cost(sa.nbytes, sa.npieces))
         # This cycle's data is now fully placed in the sub-buffer — the
         # in-flight shuffle ends here (covers both the wait() path and
@@ -242,7 +260,11 @@ class _OneSidedBase:
             base = crange[0]
             for off, ln, loc in sa.pieces:
                 piece = src[loc : loc + ln] if src is not None else None
-                yield from win.put(agg_rank, piece, off - base, size=ln)
+                crc = ctx.staged_piece_crc(cycle, loc, ln) if piece is not None else None
+                yield from win.put(
+                    agg_rank, piece, off - base, size=ln,
+                    checksum=crc, file_offset=off,
+                )
                 ctx.note_message(agg_rank, ln)
                 nputs += 1
         extra = ctx.extra_put_cost(nputs)
@@ -379,7 +401,11 @@ class OneSidedLockShuffle(_OneSidedBase):
                 base = crange[0]
                 for off, ln, loc in sa.pieces:
                     piece = src[loc : loc + ln] if src is not None else None
-                    yield from win.put(agg_rank, piece, off - base, size=ln)
+                    crc = ctx.staged_piece_crc(cycle, loc, ln) if piece is not None else None
+                    yield from win.put(
+                        agg_rank, piece, off - base, size=ln,
+                        checksum=crc, file_offset=off,
+                    )
                     ctx.note_message(agg_rank, ln)
                     nputs += 1
             yield from win.unlock(agg_rank, exclusive=False)

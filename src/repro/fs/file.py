@@ -22,6 +22,13 @@ class SimFile:
         self.path = path
         self._data = np.zeros(0, dtype=np.uint8)
         self._size = 0
+        #: CRC-32 of committed extents, keyed by ``(offset, nbytes)`` —
+        #: recorded by the PFS at commit time when the write carried a
+        #: producer checksum (see repro.fs.pfs).  This is the stored-CRC
+        #: metadata a real checksumming file system keeps per block; the
+        #: integrity scrub verifies against it instead of re-reading
+        #: every extent.  Empty (zero-cost) without an integrity layer.
+        self._stored_crcs: dict[tuple[int, int], int] = {}
 
     @property
     def size(self) -> int:
@@ -47,6 +54,15 @@ class SimFile:
         self._ensure_capacity(end)
         self._data[offset:end] = buf
         self._size = max(self._size, end)
+        if self._stored_crcs:
+            # Any overlapping write invalidates previously recorded CRCs
+            # (the commit path re-records the exact extent afterwards).
+            stale = [
+                key for key in self._stored_crcs
+                if key[0] < end and offset < key[0] + key[1]
+            ]
+            for key in stale:
+                del self._stored_crcs[key]
 
     def note_size(self, end: int) -> None:
         """Record a size-only write's end offset (no bytes stored)."""
@@ -63,6 +79,14 @@ class SimFile:
         if avail_end > offset:
             out[: avail_end - offset] = self._data[offset:avail_end]
         return out
+
+    def note_stored_crc(self, offset: int, nbytes: int, crc: int) -> None:
+        """Record the CRC-32 of the committed extent at ``offset``."""
+        self._stored_crcs[(int(offset), int(nbytes))] = int(crc)
+
+    def stored_crc(self, offset: int, nbytes: int) -> int | None:
+        """The recorded CRC of exactly this extent, or None (unknown)."""
+        return self._stored_crcs.get((int(offset), int(nbytes)))
 
     def contents(self) -> np.ndarray:
         """The full file contents as a uint8 array (a copy)."""

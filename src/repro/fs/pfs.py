@@ -122,9 +122,13 @@ class ParallelFileSystem:
         real payloads would only exercise the host's memory bus.
 
         ``checksum`` is the extent's producer-side CRC-32.  When the world
-        runs an integrity layer with read-back enabled, a carried checksum
-        turns this write into write + verify: the committed bytes are read
-        back and compared, a mismatch (torn write, storage bit-flip) fails
+        runs an integrity layer, a carried checksum is recorded as the
+        extent's stored-CRC metadata at commit time — the commit already
+        knows whether it landed the bytes clean (record the carried CRC,
+        no byte pass) or mangled them (torn write, storage bit-flip:
+        recompute from what actually landed).  With read-back enabled the
+        write also *verifies*: the stored CRC is compared against the
+        carried one before the completion event fires; a mismatch fails
         the event with :class:`CorruptDataError` — or, in repair mode,
         rewrites the extent from the still-stable caller buffer with
         bounded attempts.  Without a layer (or checksum) the path below is
@@ -134,22 +138,33 @@ class ParallelFileSystem:
         if (
             integrity is None
             or not integrity.enabled
-            or not integrity.spec.readback
             or checksum is None
             or data is None
             or data.size == 0
         ):
             return self._write_plain(file, offset, data, size=size)
+        if not integrity.spec.readback:
+            # Record stored-CRC metadata but defer verification to the
+            # scrub pass (corruption then surfaces only at scrub time).
+            return self._write_plain(file, offset, data, carried_crc=int(checksum))
         done = self.engine.event()
         self.engine.process(
-            self._readback_driver(file, int(offset), data, int(checksum), done),
+            self._commit_verify_driver(file, int(offset), data, int(checksum), done),
             name="pfs.readback",
         )
         return done
 
-    def _readback_driver(self, file: SimFile, offset: int, data: np.ndarray,
-                         checksum: int, done: Event):
-        """write → read back → compare → (repair-mode) rewrite, bounded."""
+    def _commit_verify_driver(self, file: SimFile, offset: int, data: np.ndarray,
+                              checksum: int, done: Event):
+        """write → compare stored-CRC metadata → (repair-mode) rewrite.
+
+        Replaces the old write → simulated-read-back → compare loop: the
+        commit hook records the CRC of what actually landed, so verifying
+        a write means comparing two 32-bit values instead of streaming
+        the extent back off the storage targets.  Detection coverage is
+        unchanged (every torn write and commit-time bit-flip yields a
+        mismatching stored CRC); the per-write read traffic is gone.
+        """
         integrity = self.integrity
         span = None
         if self.tracer.active:
@@ -160,10 +175,8 @@ class ParallelFileSystem:
         attempt = 0
         try:
             while True:
-                yield self._write_plain(file, offset, data)
-                ev, stored = self.read(file, offset, int(data.size))
-                yield ev
-                if extent_checksum(stored) == checksum:
+                yield self._write_plain(file, offset, data, carried_crc=checksum)
+                if file.stored_crc(offset, int(data.size)) == checksum:
                     if attempt:
                         integrity.note(
                             "repaired", stage="storage", offset=offset, attempts=attempt
@@ -200,6 +213,7 @@ class ParallelFileSystem:
         offset: int,
         data: np.ndarray | None,
         size: int | None = None,
+        carried_crc: int | None = None,
     ) -> Event:
         """The raw striped write (commit-time corruption draws included)."""
         if data is None:
@@ -272,6 +286,7 @@ class ParallelFileSystem:
         # draws fire in size-only mode too (schedule parity); the flip
         # needs stored bytes.
         injector = self.injector
+        integrity = self.integrity
 
         def commit(evt: Event, size=size) -> None:
             if not evt.ok:
@@ -285,11 +300,27 @@ class ParallelFileSystem:
                 file.write(offset, data if keep == size else data[:keep])
             else:
                 file.note_size(offset + keep)
+            flipped = False
             if injector is not None:
                 pos = injector.storage_corruption(size)
                 if pos is not None and data is not None and pos < keep:
                     stored = file.read(offset + pos, 1)
                     file.write(offset + pos, stored ^ np.uint8(1 << (pos & 7)))
+                    flipped = True
+            if carried_crc is not None and data is not None:
+                # Stored-CRC metadata: the clean case reuses the carried
+                # checksum (no byte pass); only a mangling commit (torn
+                # prefix, bit-flip) checksums what actually landed.
+                if keep == size and not flipped:
+                    file.note_stored_crc(offset, size, carried_crc)
+                    if integrity is not None:
+                        integrity.checksum_reused += 1
+                else:
+                    file.note_stored_crc(
+                        offset, size, extent_checksum(file.read(offset, size))
+                    )
+                    if integrity is not None:
+                        integrity.checksum_computed += 1
 
         done.callbacks.insert(0, commit)
         return done

@@ -53,6 +53,10 @@ class IntegrityLayer:
         self._escrow: dict[tuple[str, int, int], np.ndarray] = {}
         self.extents_recorded = 0
         self.scrub_reports: list[ScrubReport] = []
+        #: Checksum-carrying accounting: byte-touching CRC passes vs
+        #: carried/combined uses (the reuse rate the datapath optimises).
+        self.checksum_computed = 0
+        self.checksum_reused = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -88,7 +92,13 @@ class IntegrityLayer:
     # Manifest (the producing side)
     # ------------------------------------------------------------------
     def record_extent(
-        self, path: str, rank: int, offset: int, payload: np.ndarray, nbytes: int
+        self,
+        path: str,
+        rank: int,
+        offset: int,
+        payload: np.ndarray,
+        nbytes: int,
+        checksum: int | None = None,
     ) -> int:
         """Checksum one extent at its producing rank; returns the CRC-32.
 
@@ -97,9 +107,18 @@ class IntegrityLayer:
         checksum equals the bytes every downstream hop should see).
         Re-recording the same extent (retry, recovery replay) simply
         replaces the entry — idempotent, like the write itself.
+
+        ``checksum`` is the carried CRC when the caller already knows it
+        (combined from verified delivery checksums) — the payload bytes
+        are not re-read in that case.
         """
         key = (path, int(offset), int(nbytes))
-        crc = extent_checksum(payload)
+        if checksum is None:
+            crc = extent_checksum(payload)
+            self.checksum_computed += 1
+        else:
+            crc = checksum
+            self.checksum_reused += 1
         self.manifest[key] = (crc, rank)
         self.extents_recorded += 1
         if self.spec.repairs:
@@ -126,10 +145,17 @@ class IntegrityLayer:
         self.tracer.emit(self.engine.now, f"integrity.{kind}", **detail)
 
     def counters(self) -> dict[str, int]:
-        """The tracer's ``integrity.*`` counters (detections, repairs, ...)."""
-        return {
+        """The tracer's ``integrity.*`` counters (detections, repairs, ...).
+
+        The checksum-carrying tallies ride along under the same prefix so
+        they surface in run metrics with the rest.
+        """
+        out = {
             k: v for k, v in self.tracer.counters.items() if k.startswith("integrity.")
         }
+        out["integrity.checksum_computed"] = self.checksum_computed
+        out["integrity.checksum_reused"] = self.checksum_reused
+        return out
 
     def snapshot(self) -> dict:
         """Plain-data summary for :class:`CollectiveWriteResult.integrity`."""

@@ -94,6 +94,8 @@ class Communicator:
         size: int | None = None,
         context: str = "pt2pt",
         readonly: bool = False,
+        checksum: int | None = None,
+        piece_checksums: tuple | None = None,
     ):
         """Non-blocking send.  ``yield from``; returns a :class:`Request`.
 
@@ -102,6 +104,10 @@ class Communicator:
         reference instead of its buffered-semantics snapshot (zero-copy).
         The collective-write hot path sends views of frozen rank data and
         single-use pack buffers, so it opts in.
+
+        ``checksum``/``piece_checksums`` let a producer that already
+        holds the payload's CRC-32 (and per-piece CRCs) ship it with the
+        message instead of having the runtime recompute it at post time.
         """
         payload, nbytes = _as_payload(data, size)
         self._check_peer(dest)
@@ -109,7 +115,10 @@ class Communicator:
         rt.enter_progress()
         try:
             yield self.engine.timeout(self._spec.mpi_call_overhead)
-            op = rt.start_send(dest, tag, nbytes, payload, context, readonly=readonly)
+            op = rt.start_send(
+                dest, tag, nbytes, payload, context, readonly=readonly,
+                checksum=checksum, piece_checksums=piece_checksums,
+            )
         finally:
             rt.exit_progress()
         return Request(op.event, "send", op)
@@ -161,11 +170,13 @@ class Communicator:
 
     def send(
         self, dest: int, tag: int, data=None, size=None, context: str = "pt2pt",
-        readonly: bool = False,
+        readonly: bool = False, checksum: int | None = None,
+        piece_checksums: tuple | None = None,
     ):
         """Blocking send (isend + wait)."""
         req = yield from self.isend(
-            dest, tag, data=data, size=size, context=context, readonly=readonly
+            dest, tag, data=data, size=size, context=context, readonly=readonly,
+            checksum=checksum, piece_checksums=piece_checksums,
         )
         yield from self.wait(req)
 

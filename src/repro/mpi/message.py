@@ -52,6 +52,14 @@ class Message:
     #: holds a ``readonly``-contracted reference, and rendezvous senders
     #: must keep the buffer stable until the data transfer completes.
     checksum: int | None = None
+    #: Per-pack-piece ``(nbytes, crc)`` tuples in stream order, shipped as
+    #: metadata so the receiver can file verified piece CRCs without
+    #: re-reading payload bytes (the whole-message verify transitively
+    #: validates them: the carried checksum equals their crc-combine).
+    piece_checksums: tuple | None = None
+    #: True when ``payload`` is a borrowed buffer-pool block (the eager
+    #: snapshot); the runtime releases it at terminal delivery.
+    pooled: bool = False
     #: Set for eager messages once the payload is fully at the receiver.
     arrived: bool = False
     #: Sender-side bookkeeping (the SendOp driving this message).

@@ -67,7 +67,7 @@ class SendOp:
 class RecvOp:
     """Receiver-side state of one posted receive."""
 
-    __slots__ = ("key", "size", "buffer", "event", "posted_at")
+    __slots__ = ("key", "size", "buffer", "event", "posted_at", "checksum", "piece_checksums")
 
     def __init__(
         self,
@@ -82,6 +82,10 @@ class RecvOp:
         self.buffer = buffer
         self.event = event
         self.posted_at = posted_at
+        #: Carried message CRC / per-piece CRCs, stamped once the delivery
+        #: verified them — the receiver-side end of checksum carrying.
+        self.checksum: int | None = None
+        self.piece_checksums: tuple | None = None
 
     def deliver_payload(self, payload: np.ndarray | None) -> None:
         """Copy an arrived payload into the user buffer (byte-accurate)."""
@@ -211,11 +215,18 @@ class RankRuntime:
         payload: np.ndarray | None,
         context: str,
         readonly: bool = False,
+        checksum: int | None = None,
+        piece_checksums: tuple | None = None,
     ) -> SendOp:
         """Initiate a message; returns the sender-side op (non-blocking).
 
         Called from inside an MPI call (the communicator charges call
         overhead and holds a progress window around this).
+
+        ``checksum`` is the payload's CRC-32 when the caller already
+        knows it (computed at the true producer, or combined from piece
+        CRCs) — the byte pass here is skipped then.  ``piece_checksums``
+        rides along as metadata for the receiver to file.
         """
         eng = self.world.engine
         event = eng.event()
@@ -229,8 +240,15 @@ class RankRuntime:
         # zero-copy requires stability until the data transfer anyway).
         # The receiver verifies it after delivery — the checksummed
         # datapath's first hop.
-        if payload is not None and self.world.integrity is not None:
-            msg.checksum = extent_checksum(payload)
+        integrity = self.world.integrity
+        if payload is not None and integrity is not None:
+            if checksum is not None:
+                msg.checksum = checksum
+                integrity.checksum_reused += 1
+            else:
+                msg.checksum = extent_checksum(payload)
+                integrity.checksum_computed += 1
+            msg.piece_checksums = piece_checksums
         op = SendOp(msg, event, eng.now)
         msg.send_op = op
         dst_rt = self.world.runtime(dst)
@@ -243,11 +261,16 @@ class RankRuntime:
             # Buffered semantics: payload snapshot now, send completes
             # locally.  A ``readonly`` sender vouches the buffer stays
             # untouched until arrival, so the snapshot is skipped — the
-            # receive side copies into the user buffer either way.
+            # receive side copies into the user buffer either way.  The
+            # snapshot block comes from this node's buffer pool (released
+            # at terminal delivery), so the hot path stops allocating.
             if payload is None or readonly:
                 msg.payload = payload
             else:
-                msg.payload = np.array(payload, dtype=np.uint8, copy=True)
+                snap = self.world.buffer_pool(self.node).take(payload.size)
+                snap[:] = payload
+                msg.payload = snap
+                msg.pooled = True
             transfer = fabric.transfer(self.node, dst_rt.node, size + MESSAGE_HEADER_SIZE)
             dst_rt._deliver(transfer, lambda: dst_rt._eager_arrived(msg))
             event.succeed(eng.now)
@@ -364,6 +387,18 @@ class RankRuntime:
     # ------------------------------------------------------------------
     # Common delivery tail: payload copy, corruption, verify, repair
     # ------------------------------------------------------------------
+    def _release_payload(self, msg: Message) -> None:
+        """Return an eager snapshot's pooled block at terminal delivery.
+
+        Not before: the snapshot is the retransmission source, so repair
+        attempts must still find it intact.
+        """
+        if msg.pooled:
+            src_node = self.world.runtime(msg.src).node
+            self.world.buffer_pool(src_node).release(msg.payload)
+            msg.payload = None
+            msg.pooled = False
+
     def _finish_recv(
         self,
         op: RecvOp,
@@ -398,6 +433,9 @@ class RankRuntime:
             and op.buffer is not None
             and op.buffer.size >= msg.size
         ):
+            # The one unavoidable byte pass per network hop: the receiver
+            # must prove the *landed* copy matches the carried CRC.
+            integrity.checksum_computed += 1
             actual = extent_checksum(op.buffer[: msg.size])
             if actual != msg.checksum:
                 integrity.note(
@@ -414,6 +452,7 @@ class RankRuntime:
                 now = self.world.engine.now
                 if sender_event is not None:
                     sender_event.succeed(now)
+                self._release_payload(msg)
                 # Defused: the failure is for the rank that waits on this
                 # recv, not for the engine — the waiter may not have
                 # yielded on the event yet (nonblocking irecv).
@@ -431,9 +470,13 @@ class RankRuntime:
                     "repaired", stage="message", rank=self.rank, src=msg.src,
                     attempts=attempt,
                 )
+            # Verified: the carried CRCs now describe the receiver's copy.
+            op.checksum = msg.checksum
+            op.piece_checksums = msg.piece_checksums
         now = self.world.engine.now
         if sender_event is not None:
             sender_event.succeed(now)
+        self._release_payload(msg)
         op.event.succeed(now)
 
     def _request_retransmit(
@@ -469,6 +512,7 @@ class RankRuntime:
                 now = self.world.engine.now
                 if sender_event is not None and not sender_event.triggered:
                     sender_event.succeed(now)
+                self._release_payload(msg)
                 defuse(
                     op.event.fail(
                         CorruptDataError(

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.errors import CorruptDataError, RMAError
-from repro.integrity.checksum import extent_checksum
+from repro.integrity.checksum import ChecksumLedger, extent_checksum
 from repro.mpi.message import MESSAGE_HEADER_SIZE
 from repro.sim.engine import Event
 from repro.sim.primitives import all_of, defuse
@@ -100,6 +100,18 @@ class Window:
         self.locks: dict[int, _TargetLock] = {}
         self.puts_issued = 0
         self.gets_issued = 0
+        #: Per-target ledgers of landed-and-verified put CRCs, keyed by
+        #: absolute file offset (carried via ``put``'s ``file_offset``).
+        #: The target's aggregator combines them at extent-record time so
+        #: the cycle buffer never needs a fresh checksum pass.
+        self.ledgers: dict[int, ChecksumLedger] = {}
+
+    def ledger(self, target: int) -> ChecksumLedger:
+        led = self.ledgers.get(target)
+        if led is None:
+            led = ChecksumLedger()
+            self.ledgers[target] = led
+        return led
 
     def buffer(self, rank: int) -> np.ndarray:
         buf = self.buffers.get(rank)
@@ -155,6 +167,8 @@ class WindowHandle:
         data: np.ndarray | None,
         target_offset: int,
         size: int | None = None,
+        checksum: int | None = None,
+        file_offset: int | None = None,
     ):
         """Non-blocking Put into ``target``'s window.  ``yield from``.
 
@@ -164,6 +178,12 @@ class WindowHandle:
         transfer completes (zero-copy semantics — keep the source buffer
         stable until the closing synchronization).  ``data=None`` +
         ``size`` selects size-only mode (same timing, no bytes land).
+
+        ``checksum`` is the piece's producer CRC-32 when the origin
+        already holds it (skips the post-time byte pass); ``file_offset``
+        is the piece's absolute file offset — when given, a verified
+        landing files its CRC in the target's window ledger for the
+        aggregator's extent record to combine.
         """
         world = self.comm.world
         spec = world.cluster.spec
@@ -221,10 +241,17 @@ class WindowHandle:
                 # completion fails with CorruptDataError, which fence /
                 # unlock / wait propagate to the calling rank.
                 completion = world.engine.event()
-                crc = extent_checksum(view)
+                if checksum is not None:
+                    crc = checksum
+                    integrity.checksum_reused += 1
+                else:
+                    crc = extent_checksum(view)
+                    integrity.checksum_computed += 1
 
                 def verify_land(_evt, attempt: int = 0) -> None:
                     land(_evt)
+                    # The per-hop verify byte pass over the landed copy.
+                    integrity.checksum_computed += 1
                     actual = extent_checksum(target_buf[off : off + nbytes])
                     if actual == crc:
                         if attempt:
@@ -232,6 +259,8 @@ class WindowHandle:
                                 "repaired", stage="rma", rank=target,
                                 src=self.rank, attempts=attempt,
                             )
+                        if file_offset is not None:
+                            self.window.ledger(target).file(file_offset, nbytes, crc)
                         completion.succeed(world.engine.now)
                         return
                     integrity.note(

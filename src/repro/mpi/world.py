@@ -23,6 +23,7 @@ from repro.fs.aio import AioEngine
 from repro.fs.pfs import ParallelFileSystem
 from repro.fs.presets import FsSpec
 from repro.hardware.cluster import Cluster, ClusterSpec
+from repro.mpi.bufpool import BufferPool
 from repro.mpi.collops import CollectiveEngine, CollectiveModel
 from repro.mpi.comm import Communicator
 from repro.mpi.runtime import RankRuntime
@@ -128,10 +129,29 @@ class World:
         self._runtimes = [RankRuntime(self, r) for r in range(nprocs)]
         self._comms = [Communicator(self, r) for r in range(nprocs)]
         self._aio: dict[int, AioEngine] = {}
+        #: Per-node receive-copy arenas (see :mod:`repro.mpi.bufpool`),
+        #: created lazily by the first borrower on each node.
+        self._buffer_pools: dict[int, BufferPool] = {}
 
     # ------------------------------------------------------------------
     def runtime(self, rank: int) -> RankRuntime:
         return self._runtimes[rank]
+
+    def buffer_pool(self, node: int) -> BufferPool:
+        """The node's delivery-side buffer arena (created lazily)."""
+        pool = self._buffer_pools.get(node)
+        if pool is None:
+            pool = BufferPool(node)
+            self._buffer_pools[node] = pool
+        return pool
+
+    def buffer_pool_counters(self) -> dict[str, int]:
+        """Aggregated ``bufpool.*`` counters across all node arenas."""
+        totals: dict[str, int] = {}
+        for node in sorted(self._buffer_pools):
+            for key, value in self._buffer_pools[node].counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def comm(self, rank: int) -> Communicator:
         return self._comms[rank]

@@ -314,6 +314,7 @@ class DrainScheduler:
         if integrity is None or ext.checksum is None or ext.data is None:
             return
         attempt = 0
+        integrity.checksum_computed += 1
         while extent_checksum(ext.data[: ext.nbytes]) != ext.checksum:
             integrity.note(
                 "detected", stage="staging", node=self.node,
@@ -334,6 +335,7 @@ class DrainScheduler:
             yield self.buffer.absorb_queue.submit(ext.nbytes)
             attempt += 1
             bitrot()
+            integrity.checksum_computed += 1
         if attempt:
             integrity.note(
                 "repaired", stage="staging", node=self.node,

@@ -20,9 +20,9 @@ their :class:`TrialSpec`, which makes three things possible:
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import asdict, dataclass
 
+from repro.bench.parallel import content_seed, parallel_map
 from repro.collio.api import RunSpec, run_collective_write
 from repro.config import DEFAULT_SEED
 from repro.sim.trace import Tracer
@@ -38,9 +38,11 @@ def trial_seed(scenario: ScenarioSpec, candidate: Candidate, rep: int,
 
     Independent of evaluation order, worker count and Python's hash
     randomization; distinct reps draw distinct (but reproducible) noise
-    streams, mirroring the paper's repeated measurements.
+    streams, mirroring the paper's repeated measurements.  (This is
+    :func:`repro.bench.parallel.content_seed` of the descriptor — the
+    same derivation every parallel campaign uses.)
     """
-    digest = stable_key(
+    return content_seed(
         {
             "base_seed": base_seed,
             "scenario": scenario.key(),
@@ -48,7 +50,6 @@ def trial_seed(scenario: ScenarioSpec, candidate: Candidate, rep: int,
             "rep": rep,
         }
     )
-    return int(digest[:15], 16) % (2**31 - 1)
 
 
 @dataclass(frozen=True)
@@ -147,12 +148,6 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     )
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (cheap, inherits sys.path); fall back to spawn."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 class Evaluator:
     """Runs batches of trials through the cache and a worker pool.
 
@@ -187,11 +182,7 @@ class Evaluator:
 
         if misses:
             specs = [t for _, t, _ in misses]
-            if self.n_workers > 1 and len(specs) > 1:
-                with _pool_context().Pool(min(self.n_workers, len(specs))) as pool:
-                    outcomes = pool.map(run_trial, specs)
-            else:
-                outcomes = [run_trial(t) for t in specs]
+            outcomes = parallel_map(run_trial, specs, jobs=self.n_workers)
             for (i, _, key), outcome in zip(misses, outcomes):
                 self.tracer.emit(0.0, "tune.sim_run")
                 self.cache.put(key, outcome.to_dict())

@@ -18,6 +18,9 @@ class TestArgumentValidation:
             ["tune", "--screen-reps", "0"],
             ["tune", "--screen-reps", "5", "--reps", "3"],
             ["tune", "--benchmark", "nope", "--nprocs", "2", "--scale", "512"],
+            ["table1", "--jobs", "0"],
+            ["integrity", "--jobs", "-2"],
+            ["table1", "--max-integrity-overhead", "0.25"],  # perf-only flag
         ],
     )
     def test_bad_arguments_exit_with_usage_error(self, argv, capsys):
@@ -36,6 +39,11 @@ class TestArgumentValidation:
         with pytest.raises(SystemExit):
             main(["table1", "--scale", "0"])
         assert "--scale must be >= 1" in capsys.readouterr().err
+
+    def test_jobs_error_message_names_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--jobs", "0"])
+        assert "--jobs must be >= 1" in capsys.readouterr().err
 
 
 class TestTuneSubcommand:

@@ -1,0 +1,103 @@
+"""BufferPool: pow2 size classes, exact-length views, recycle-on-release.
+
+The pool's contract (DESIGN Appendix F): ``take`` lends an exact-length
+view of a power-of-two block, ``release`` maps any view back to its
+block via ``view.base``, and releasing a buffer the pool never lent —
+including ``None`` — is a harmless no-op so call sites need not track
+buffer provenance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.bufpool import BufferPool
+
+
+class TestSizeClass:
+    @pytest.mark.parametrize(
+        ("nbytes", "expected"),
+        [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1023, 1024),
+         (1024, 1024), (1025, 2048)],
+    )
+    def test_rounds_to_next_power_of_two(self, nbytes, expected):
+        assert BufferPool._size_class(nbytes) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=1 << 24))
+    def test_class_is_pow2_and_tight(self, nbytes):
+        size = BufferPool._size_class(nbytes)
+        assert size & (size - 1) == 0  # power of two
+        assert size >= max(nbytes, 1)
+        assert size < 2 * max(nbytes, 1) or size == 1
+
+
+class TestTakeRelease:
+    def test_take_returns_exact_length_uint8_view(self):
+        pool = BufferPool(node=0)
+        view = pool.take(100)
+        assert view.dtype == np.uint8
+        assert view.size == 100
+        assert view.base is not None and view.base.size == 128
+
+    def test_release_then_take_reuses_block(self):
+        pool = BufferPool(node=0)
+        first = pool.take(100)
+        block_id = id(first.base)
+        pool.release(first)
+        second = pool.take(70)  # same 128-byte class
+        assert id(second.base) == block_id
+        assert pool.counters() == {
+            "bufpool.takes": 2,
+            "bufpool.hits": 1,
+            "bufpool.releases": 1,
+            "bufpool.bytes_allocated": 128,
+        }
+
+    def test_different_size_class_allocates_fresh(self):
+        pool = BufferPool(node=0)
+        pool.release(pool.take(100))  # stocks the 128 class
+        pool.take(200)  # 256 class: miss
+        assert pool.hits == 0
+        assert pool.bytes_allocated == 128 + 256
+
+    def test_outstanding_tracks_lent_blocks(self):
+        pool = BufferPool(node=0)
+        views = [pool.take(n) for n in (10, 20, 30)]
+        assert pool.outstanding == 3
+        for view in views:
+            pool.release(view)
+        assert pool.outstanding == 0
+
+    def test_recycled_block_keeps_stale_contents(self):
+        """Documented: no zeroing pass — borrowers must overwrite fully."""
+        pool = BufferPool(node=0)
+        view = pool.take(8)
+        view[:] = 0xAB
+        pool.release(view)
+        again = pool.take(8)
+        assert bytes(again) == b"\xab" * 8
+
+
+class TestForeignRelease:
+    def test_release_none_is_noop(self):
+        pool = BufferPool(node=0)
+        pool.release(None)
+        assert pool.releases == 0
+
+    def test_release_foreign_array_is_noop(self):
+        pool = BufferPool(node=0)
+        foreign = np.zeros(64, dtype=np.uint8)
+        pool.release(foreign)
+        pool.release(foreign[:32])  # foreign view too
+        assert pool.releases == 0
+        assert pool.outstanding == 0
+
+    def test_double_release_counts_once(self):
+        pool = BufferPool(node=0)
+        view = pool.take(16)
+        pool.release(view)
+        pool.release(view)  # block no longer lent: no-op
+        assert pool.releases == 1
+        assert len(pool._free[16]) == 1  # not stocked twice
